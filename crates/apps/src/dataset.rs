@@ -1,0 +1,275 @@
+//! Exhaustively evaluated configuration datasets.
+//!
+//! The paper's methodology evaluates tuners *against a fixed dataset*: the
+//! full parameter sweep is measured once, and every tuner's "evaluate the
+//! true objective" step is a lookup. [`Dataset`] reproduces that: it holds
+//! every feasible configuration of a space together with its objective
+//! value, generated deterministically from an analytic model plus hash-
+//! seeded noise (so the exhaustive best is a fixed, reproducible value).
+
+use hiperbot_space::{Configuration, ParameterSpace};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// A fully evaluated parameter sweep: the substitute for the paper's
+/// measured datasets.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    objective_label: String,
+    space: ParameterSpace,
+    configs: Vec<Configuration>,
+    objectives: Vec<f64>,
+    index: FxHashMap<Configuration, u32>,
+}
+
+impl Dataset {
+    /// Generates a dataset by evaluating `model` on every feasible
+    /// configuration of `space`, multiplying each value by deterministic
+    /// lognormal noise of scale `noise_sigma` keyed on `(seed, config id)`.
+    ///
+    /// Evaluation parallelizes across configurations with rayon; the result
+    /// is identical to a sequential evaluation (the noise depends only on
+    /// the configuration's enumeration position).
+    pub fn generate(
+        name: impl Into<String>,
+        objective_label: impl Into<String>,
+        space: ParameterSpace,
+        seed: u64,
+        noise_sigma: f64,
+        model: impl Fn(&Configuration, &ParameterSpace) -> f64 + Sync,
+    ) -> Self {
+        let configs = space.enumerate();
+        assert!(!configs.is_empty(), "space has no feasible configurations");
+        let objectives: Vec<f64> = configs
+            .par_iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                let clean = model(cfg, &space);
+                assert!(
+                    clean.is_finite() && clean > 0.0,
+                    "model produced a non-positive objective for {cfg:?}"
+                );
+                clean * hiperbot_perfsim::noise::lognormal_factor(&[seed, i as u64], noise_sigma)
+            })
+            .collect();
+        Self::from_table(name, objective_label, space, configs, objectives)
+    }
+
+    /// Builds a dataset from an explicit (configuration, objective) table.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, the table is empty, or it contains
+    /// duplicate configurations.
+    pub fn from_table(
+        name: impl Into<String>,
+        objective_label: impl Into<String>,
+        space: ParameterSpace,
+        configs: Vec<Configuration>,
+        objectives: Vec<f64>,
+    ) -> Self {
+        assert_eq!(configs.len(), objectives.len(), "table length mismatch");
+        assert!(!configs.is_empty(), "empty dataset");
+        let mut index = FxHashMap::default();
+        index.reserve(configs.len());
+        for (i, c) in configs.iter().enumerate() {
+            let prev = index.insert(c.clone(), i as u32);
+            assert!(prev.is_none(), "duplicate configuration in dataset");
+        }
+        Self {
+            name: name.into(),
+            objective_label: objective_label.into(),
+            space,
+            configs,
+            objectives,
+            index,
+        }
+    }
+
+    /// Dataset name (e.g. `"kripke-exec"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable objective label (e.g. `"Execution time (s)"`).
+    pub fn objective_label(&self) -> &str {
+        &self.objective_label
+    }
+
+    /// The parameter space the dataset sweeps.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// All configurations, in enumeration order.
+    pub fn configs(&self) -> &[Configuration] {
+        &self.configs
+    }
+
+    /// All objective values, parallel to [`configs`](Self::configs).
+    pub fn objectives(&self) -> &[f64] {
+        &self.objectives
+    }
+
+    /// The configuration at table position `i`.
+    pub fn config(&self, i: usize) -> &Configuration {
+        &self.configs[i]
+    }
+
+    /// The objective at table position `i`.
+    pub fn objective(&self, i: usize) -> f64 {
+        self.objectives[i]
+    }
+
+    /// Looks up the table position of a configuration.
+    pub fn position(&self, cfg: &Configuration) -> Option<usize> {
+        self.index.get(cfg).map(|&i| i as usize)
+    }
+
+    /// Evaluates the "true objective" for `cfg` — the lookup that stands in
+    /// for running the application (paper §IV-A: tuners are evaluated
+    /// against pre-collected sweeps).
+    ///
+    /// # Panics
+    /// Panics if `cfg` is not in the dataset (i.e. infeasible).
+    pub fn evaluate(&self, cfg: &Configuration) -> f64 {
+        match self.position(cfg) {
+            Some(i) => self.objectives[i],
+            None => panic!("configuration not in dataset (infeasible?): {cfg:?}"),
+        }
+    }
+
+    /// The exhaustive-best row: `(position, objective)` of the minimum.
+    pub fn best(&self) -> (usize, f64) {
+        self.objectives
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objectives"))
+            .map(|(i, &v)| (i, v))
+            .expect("non-empty dataset")
+    }
+
+    /// Objective value of the best `percentile` (0–1) configuration — the
+    /// `y_ℓ` of the paper's Recall metric (eq. 11).
+    pub fn percentile_value(&self, percentile: f64) -> f64 {
+        hiperbot_stats::quantile(&self.objectives, percentile).expect("valid percentile")
+    }
+
+    /// Number of configurations with objective ≤ `threshold` — the
+    /// denominator of both Recall metrics (eqs. 11–12).
+    pub fn count_within(&self, threshold: f64) -> usize {
+        self.objectives.iter().filter(|&&v| v <= threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef};
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .param(ParamDef::new("b", Domain::discrete_ints(&[0, 1])))
+            .build()
+            .unwrap()
+    }
+
+    fn linear_model(cfg: &Configuration, _s: &ParameterSpace) -> f64 {
+        1.0 + cfg.value(0).index() as f64 * 2.0 + cfg.value(1).index() as f64
+    }
+
+    #[test]
+    fn generation_covers_the_feasible_space() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.configs().len(), d.objectives().len());
+    }
+
+    #[test]
+    fn zero_noise_matches_model_exactly() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        for i in 0..d.len() {
+            assert_eq!(d.objective(i), linear_model(d.config(i), d.space()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate("t", "time", space(), 7, 0.05, linear_model);
+        let b = Dataset::generate("t", "time", space(), 7, 0.05, linear_model);
+        assert_eq!(a.objectives(), b.objectives());
+    }
+
+    #[test]
+    fn different_seeds_give_different_noise() {
+        let a = Dataset::generate("t", "time", space(), 1, 0.05, linear_model);
+        let b = Dataset::generate("t", "time", space(), 2, 0.05, linear_model);
+        assert_ne!(a.objectives(), b.objectives());
+    }
+
+    #[test]
+    fn best_is_the_minimum() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        let (i, v) = d.best();
+        assert_eq!(v, 1.0);
+        assert_eq!(d.config(i), &Configuration::from_indices(&[0, 0]));
+        for j in 0..d.len() {
+            assert!(d.objective(j) >= v);
+        }
+    }
+
+    #[test]
+    fn evaluate_looks_up_by_configuration() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        let cfg = Configuration::from_indices(&[2, 1]);
+        assert_eq!(d.evaluate(&cfg), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in dataset")]
+    fn evaluate_unknown_config_panics() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        let _ = d.evaluate(&Configuration::from_indices(&[0]));
+    }
+
+    #[test]
+    fn count_within_and_percentile() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        // objectives: 1,2,3,4,5,6
+        assert_eq!(d.count_within(3.0), 3);
+        assert_eq!(d.count_within(0.5), 0);
+        assert!((d.percentile_value(1.0) - 6.0).abs() < 1e-12);
+        assert!((d.percentile_value(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let clean = Dataset::generate("t", "time", space(), 3, 0.0, linear_model);
+        let noisy = Dataset::generate("t", "time", space(), 3, 0.03, linear_model);
+        for i in 0..clean.len() {
+            let ratio = noisy.objective(i) / clean.objective(i);
+            assert!(ratio > 0.85 && ratio < 1.18, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate configuration")]
+    fn duplicate_rows_panic() {
+        let cfgs = vec![
+            Configuration::from_indices(&[0, 0]),
+            Configuration::from_indices(&[0, 0]),
+        ];
+        let _ = Dataset::from_table("t", "time", space(), cfgs, vec![1.0, 2.0]);
+    }
+}

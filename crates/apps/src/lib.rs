@@ -1,0 +1,75 @@
+//! Application performance simulators and exhaustively evaluated datasets.
+//!
+//! The paper tunes four HPC applications from *measured* full-sweep datasets
+//! collected on LLNL clusters. Those measurements are not available, so each
+//! application is modeled analytically from the performance phenomena its
+//! parameters control (see `DESIGN.md` §2 for the substitution argument and
+//! `hiperbot-perfsim` for the underlying models):
+//!
+//! - [`kripke`] — SN transport sweeps: data-layout nesting, group/direction
+//!   sets (pipeline depth vs. message granularity), MPI ranks × OpenMP
+//!   threads, and a package power cap for the energy variant (paper §V-A).
+//! - [`hypre`] — the `new_ij` AMG benchmark: solver/smoother/cycle/interp
+//!   choices trading convergence rate against per-iteration cost (§V-B).
+//! - [`lulesh`] — compiler-flag tuning with multiplicative flag effects and
+//!   interactions (§V-C).
+//! - [`openatom`] — Charm++ over-decomposition: grain size trading overlap
+//!   against scheduling overhead and load imbalance (§V-D).
+//!
+//! Every app exposes `space()`, a noise-free `model()`, an `expert_config()`
+//! (the paper's manual-tuning anchor), and `dataset(scale, seed)` which
+//! enumerates the feasible space and evaluates every configuration with
+//! deterministic run-to-run noise — the substitute for the paper's measured
+//! sweeps. [`Scale::Source`] regenerates each dataset at the smaller node
+//! count / problem size used as the transfer-learning source domain (§VII).
+
+pub mod dataset;
+pub mod hypre;
+pub mod kripke;
+pub mod lulesh;
+pub mod openatom;
+
+pub use dataset::Dataset;
+
+use serde::{Deserialize, Serialize};
+
+/// Which scale of the study a dataset represents (paper §VII: transfer
+/// learning moves knowledge from a small `Source` study to the large
+/// `Target` machine/problem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// The small, cheap study: 16 nodes, reduced problem size.
+    Source,
+    /// The production target: 64 nodes, full problem size.
+    Target,
+}
+
+impl Scale {
+    /// Node count at this scale.
+    pub fn nodes(self) -> usize {
+        match self {
+            Scale::Source => 16,
+            Scale::Target => 64,
+        }
+    }
+
+    /// Problem-size multiplier relative to the target problem.
+    pub fn problem_factor(self) -> f64 {
+        match self {
+            Scale::Source => 0.25,
+            Scale::Target => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_match_the_paper() {
+        assert_eq!(Scale::Source.nodes(), 16);
+        assert_eq!(Scale::Target.nodes(), 64);
+        assert!(Scale::Source.problem_factor() < Scale::Target.problem_factor());
+    }
+}

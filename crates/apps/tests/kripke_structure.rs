@@ -1,0 +1,120 @@
+//! Structural tests of the Kripke simulator beyond its unit tests: the
+//! interactions that make its parameter space worth autotuning.
+
+use hiperbot_apps::{kripke, Scale};
+use hiperbot_space::Configuration;
+
+fn best_by<F: Fn(&Configuration) -> bool>(
+    space: &hiperbot_space::ParameterSpace,
+    pred: F,
+) -> f64 {
+    space
+        .enumerate()
+        .iter()
+        .filter(|c| pred(c))
+        .map(|c| kripke::exec_model(c, space, Scale::Target))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn nesting_and_gset_interact() {
+    // The headline interaction: with many group sets (1 group per set),
+    // group-innermost layouts collapse; with one group set they are fine.
+    // So the best achievable time per (nesting, gset) cell is NOT a
+    // product of marginals.
+    let s = kripke::exec_space();
+    let defs = s.params();
+    let nesting_idx = |c: &Configuration| c.value(kripke::param::NESTING).index();
+    let gset_val = |c: &Configuration| c.numeric_value(kripke::param::GSET, &defs[kripke::param::GSET]);
+
+    // DZG (groups innermost) vs DGZ (zones innermost)
+    let dzg = 1usize; // Nesting::ALL order: DGZ, DZG, ...
+    let dgz = 0usize;
+    let at = |nest: usize, gset: f64| {
+        best_by(&s, |c| nesting_idx(c) == nest && gset_val(c) == gset)
+    };
+    // With gset = 1 (32 groups per set) DZG is competitive…
+    let gap_low_gset = at(dzg, 1.0) / at(dgz, 1.0);
+    // …with gset = 32 (1 group per set) it collapses.
+    let gap_high_gset = at(dzg, 32.0) / at(dgz, 32.0);
+    assert!(
+        gap_high_gset > gap_low_gset + 0.05,
+        "interaction missing: {gap_low_gset:.3} vs {gap_high_gset:.3}"
+    );
+}
+
+#[test]
+fn best_stage_depth_grows_with_rank_count() {
+    // More ranks = deeper KBA fill = deeper pipelines pay off: the optimal
+    // gset×dset product must not decrease as ranks grow.
+    let s = kripke::exec_space();
+    let defs = s.params();
+    let best_stages_for_ranks = |ranks: f64| -> f64 {
+        s.enumerate()
+            .iter()
+            .filter(|c| c.numeric_value(kripke::param::RANKS, &defs[kripke::param::RANKS]) == ranks)
+            .min_by(|a, b| {
+                kripke::exec_model(a, &s, Scale::Target)
+                    .partial_cmp(&kripke::exec_model(b, &s, Scale::Target))
+                    .unwrap()
+            })
+            .map(|c| {
+                c.numeric_value(kripke::param::GSET, &defs[kripke::param::GSET])
+                    * c.numeric_value(kripke::param::DSET, &defs[kripke::param::DSET])
+            })
+            .expect("feasible configs at this rank count")
+    };
+    let low = best_stages_for_ranks(1.0);
+    let high = best_stages_for_ranks(36.0);
+    assert!(
+        high >= low,
+        "deeper pipelines should win at scale: ranks=1 -> {low}, ranks=36 -> {high}"
+    );
+}
+
+#[test]
+fn energy_optimal_cap_is_below_the_top_levels() {
+    // The expert picks the 2nd-highest cap; the true optimum sits lower.
+    let s = kripke::energy_space();
+    let defs = s.params();
+    let best = s
+        .enumerate()
+        .iter()
+        .min_by(|a, b| {
+            kripke::energy_model(a, &s, Scale::Target)
+                .1
+                .partial_cmp(&kripke::energy_model(b, &s, Scale::Target).1)
+                .unwrap()
+        })
+        .cloned()
+        .expect("non-empty");
+    let cap = best.numeric_value(kripke::param::PKG_LIMIT, &defs[kripke::param::PKG_LIMIT]);
+    assert!(
+        cap < 200.0,
+        "energy-optimal cap {cap} W should be below the expert's 200 W"
+    );
+}
+
+#[test]
+fn exec_and_energy_models_agree_on_time() {
+    // The energy model's time component at an uncapped setting equals the
+    // exec model's time for the same app configuration.
+    let es = kripke::energy_space();
+    let xs = kripke::exec_space();
+    for cfg in es.enumerate().iter().step_by(997) {
+        let cap = cfg.numeric_value(kripke::param::PKG_LIMIT, &es.params()[kripke::param::PKG_LIMIT]);
+        if cap < 215.0 {
+            continue; // only the uncapped level matches nominal time
+        }
+        let (t_energy, _) = kripke::energy_model(cfg, &es, Scale::Target);
+        let exec_cfg = Configuration::from_indices(
+            &(0..5).map(|i| cfg.value(i).index()).collect::<Vec<_>>(),
+        );
+        let t_exec = kripke::exec_model(&exec_cfg, &xs, Scale::Target);
+        // The 215 W cap still sits slightly below nominal frequency
+        // (headroom^(1/3) ≈ 0.95), so the capped run is a few percent
+        // slower than — and never faster than — the nominal exec time.
+        assert!(t_energy >= t_exec - 1e-9, "{t_energy} vs {t_exec}");
+        assert!(t_energy <= 1.15 * t_exec, "{t_energy} vs {t_exec}");
+    }
+}

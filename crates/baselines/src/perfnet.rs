@@ -1,0 +1,269 @@
+//! PerfNet: deep transfer learning for performance modeling
+//! (Marathe et al., SC'17 — the transfer-learning comparator of §VII).
+//!
+//! PerfNet trains a neural-network performance model on a cheap
+//! source-domain sweep, adapts it to the target domain with a *limited*
+//! budget of measured target runs, then uses the model's predictions to
+//! pick the configurations it believes are best. Reproduction here:
+//!
+//! 1. Train an MLP regressor (one-hot features → log-runtime) on the full
+//!    source dataset.
+//! 2. Spend half the target budget on uniformly random target runs and
+//!    fine-tune the network on them with the first layer frozen (the
+//!    source representation is kept, later layers adapt).
+//! 3. Spend the remaining budget on the model's top-predicted unseen
+//!    configurations.
+//!
+//! The selected set (random probes + model picks) is what the Recall
+//! metric is computed over, matching the evaluation protocol of the paper
+//! (§VII: "the models pick N samples from DTrgt").
+
+use crate::selector::SelectionRun;
+use hiperbot_nn::{train, Mlp, TrainOptions};
+use hiperbot_space::{Configuration, Encoder, EncodingKind, ParameterSpace};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// PerfNet hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PerfNetOptions {
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// Epochs over the source sweep.
+    pub source_epochs: usize,
+    /// Epochs over the target fine-tuning set.
+    pub finetune_epochs: usize,
+    /// Adam learning rate (source phase; fine-tuning uses 2×).
+    pub learning_rate: f64,
+    /// Leading layers frozen during fine-tuning.
+    pub frozen_layers: usize,
+    /// Fraction of the target budget spent on random probes (the rest goes
+    /// to model-predicted picks).
+    pub random_fraction: f64,
+    /// Cap on source examples used per epoch (subsampled once, for
+    /// tractability on the 60k-config sweeps).
+    pub source_subsample: usize,
+}
+
+impl Default for PerfNetOptions {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            source_epochs: 20,
+            finetune_epochs: 120,
+            learning_rate: 2e-3,
+            frozen_layers: 1,
+            random_fraction: 0.5,
+            source_subsample: 12_000,
+        }
+    }
+}
+
+/// The PerfNet transfer-learning baseline.
+#[derive(Debug, Clone, Default)]
+pub struct PerfNet {
+    /// Hyperparameters.
+    pub options: PerfNetOptions,
+}
+
+impl PerfNet {
+    /// Runs the full PerfNet protocol. `source` is the complete cheap-scale
+    /// sweep; `objective` measures a target configuration; `budget` is the
+    /// number of target evaluations allowed.
+    pub fn select_transfer(
+        &self,
+        space: &ParameterSpace,
+        pool: &[Configuration],
+        source_configs: &[Configuration],
+        source_objectives: &[f64],
+        objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        assert_eq!(source_configs.len(), source_objectives.len());
+        assert!(!source_configs.is_empty(), "PerfNet needs source data");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let budget = budget.min(pool.len());
+        let encoder = Encoder::new(space, EncodingKind::OneHot);
+
+        // --- Phase 1: train on the source sweep (log-standardized). ---
+        let mut src_idx: Vec<usize> = (0..source_configs.len()).collect();
+        src_idx.shuffle(&mut rng);
+        src_idx.truncate(self.options.source_subsample.max(1));
+        let src_x: Vec<Vec<f64>> = src_idx
+            .iter()
+            .map(|&i| encoder.encode(&source_configs[i]))
+            .collect();
+        let logs: Vec<f64> = src_idx.iter().map(|&i| source_objectives[i].ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let std = (logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / logs.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let src_y: Vec<Vec<f64>> = logs.iter().map(|&l| vec![(l - mean) / std]).collect();
+
+        let mut widths = vec![encoder.width()];
+        widths.extend_from_slice(&self.options.hidden);
+        widths.push(1);
+        let mut net = Mlp::new(&widths, &mut rng);
+        train(
+            &mut net,
+            &src_x,
+            &src_y,
+            &TrainOptions {
+                epochs: self.options.source_epochs,
+                batch_size: 64,
+                learning_rate: self.options.learning_rate,
+                frozen_layers: 0,
+            },
+            &mut rng,
+        );
+
+        // --- Phase 2: random target probes + fine-tuning. ---
+        let n_random = ((budget as f64 * self.options.random_fraction) as usize)
+            .clamp(1, budget);
+        let mut all: Vec<usize> = (0..pool.len()).collect();
+        all.shuffle(&mut rng);
+        let mut evaluated = vec![false; pool.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(budget);
+        let mut objectives: Vec<f64> = Vec::with_capacity(budget);
+        for &v in all.iter().take(n_random) {
+            evaluated[v] = true;
+            order.push(v);
+            objectives.push(objective(&pool[v]));
+        }
+        let ft_x: Vec<Vec<f64>> = order.iter().map(|&v| encoder.encode(&pool[v])).collect();
+        let ft_y: Vec<Vec<f64>> = objectives
+            .iter()
+            .map(|&y| vec![(y.ln() - mean) / std])
+            .collect();
+        let frozen = self.options.frozen_layers.min(net.layers().len() - 1);
+        train(
+            &mut net,
+            &ft_x,
+            &ft_y,
+            &TrainOptions {
+                epochs: self.options.finetune_epochs,
+                batch_size: 32,
+                learning_rate: 2.0 * self.options.learning_rate,
+                frozen_layers: frozen,
+            },
+            &mut rng,
+        );
+
+        // --- Phase 3: model-predicted picks. ---
+        let n_picks = budget - order.len();
+        if n_picks > 0 {
+            let mut predictions: Vec<(f64, usize)> = (0..pool.len())
+                .filter(|&v| !evaluated[v])
+                .map(|v| (net.predict_scalar(&encoder.encode(&pool[v])), v))
+                .collect();
+            predictions
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+            for &(_, v) in predictions.iter().take(n_picks) {
+                evaluated[v] = true;
+                order.push(v);
+                objectives.push(objective(&pool[v]));
+            }
+        }
+
+        SelectionRun {
+            configs: order.iter().map(|&v| pool[v].clone()).collect(),
+            objectives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef};
+
+    fn space() -> ParameterSpace {
+        let vals: Vec<i64> = (0..10).collect();
+        ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .build()
+            .unwrap()
+    }
+
+    /// Target objective with the optimum at (7, 3).
+    fn target(c: &Configuration) -> f64 {
+        let x = c.value(0).index() as f64;
+        let y = c.value(1).index() as f64;
+        (x - 7.0).powi(2) + (y - 3.0).powi(2) + 1.0
+    }
+
+    /// Source objective: same shape, shifted scale and slightly shifted
+    /// optimum — the transfer-learning premise.
+    fn source(c: &Configuration) -> f64 {
+        let x = c.value(0).index() as f64;
+        let y = c.value(1).index() as f64;
+        0.5 * ((x - 6.0).powi(2) + (y - 3.0).powi(2)) + 0.6
+    }
+
+    fn quick_options() -> PerfNetOptions {
+        PerfNetOptions {
+            source_epochs: 40,
+            finetune_epochs: 80,
+            ..PerfNetOptions::default()
+        }
+    }
+
+    #[test]
+    fn selects_budget_distinct_configs() {
+        let s = space();
+        let pool = s.enumerate();
+        let src_objs: Vec<f64> = pool.iter().map(source).collect();
+        let pn = PerfNet {
+            options: quick_options(),
+        };
+        let run = pn.select_transfer(&s, &pool, &pool, &src_objs, &target, 30, 1);
+        assert_eq!(run.len(), 30);
+        let set: std::collections::HashSet<_> = run.configs.iter().cloned().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn model_picks_concentrate_near_the_optimum() {
+        let s = space();
+        let pool = s.enumerate();
+        let src_objs: Vec<f64> = pool.iter().map(source).collect();
+        let pn = PerfNet {
+            options: quick_options(),
+        };
+        let run = pn.select_transfer(&s, &pool, &pool, &src_objs, &target, 30, 2);
+        // The second half of the trace are model picks; on this easy
+        // landscape they should average far better than the space's mean.
+        let picks = &run.objectives[15..];
+        let pick_mean: f64 = picks.iter().sum::<f64>() / picks.len() as f64;
+        let space_mean: f64 =
+            pool.iter().map(target).sum::<f64>() / pool.len() as f64;
+        assert!(
+            pick_mean < 0.5 * space_mean,
+            "model picks mean {pick_mean:.2} vs space mean {space_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn finds_good_configs_with_small_budget() {
+        let s = space();
+        let pool = s.enumerate();
+        let src_objs: Vec<f64> = pool.iter().map(source).collect();
+        let pn = PerfNet {
+            options: quick_options(),
+        };
+        let run = pn.select_transfer(&s, &pool, &pool, &src_objs, &target, 20, 3);
+        assert!(run.best_within(20) <= 3.0, "best = {}", run.best_within(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "source data")]
+    fn empty_source_panics() {
+        let s = space();
+        let pool = s.enumerate();
+        let pn = PerfNet::default();
+        let _ = pn.select_transfer(&s, &pool, &[], &[], &target, 10, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Uniform random selection (paper §V, baseline 2).
+
+use crate::selector::{ConfigSelector, SelectionRun};
+use hiperbot_space::{Configuration, ParameterSpace};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Selects configurations uniformly at random without replacement.
+#[derive(Debug, Clone, Default)]
+pub struct RandomSelector;
+
+impl ConfigSelector for RandomSelector {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn select(
+        &self,
+        _space: &ParameterSpace,
+        pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let budget = budget.min(pool.len());
+        let mut indices: Vec<usize> = (0..pool.len()).collect();
+        // Partial Fisher–Yates: rand shuffles (and returns) the chosen
+        // `budget` elements; the rest of the slice is untouched.
+        let (chosen, _) = indices.partial_shuffle(&mut rng, budget);
+        let configs: Vec<Configuration> = chosen.iter().map(|&i| pool[i].clone()).collect();
+        let objectives = configs.iter().map(objective).collect();
+        SelectionRun {
+            configs,
+            objectives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef};
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&(0..25).collect::<Vec<_>>())))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn draws_are_distinct_and_within_pool() {
+        let s = space();
+        let pool = s.enumerate();
+        let run = RandomSelector.select(&s, &pool, &|c| c.value(0).index() as f64, 10, 7);
+        assert_eq!(run.len(), 10);
+        let set: std::collections::HashSet<_> = run.configs.iter().cloned().collect();
+        assert_eq!(set.len(), 10);
+        for c in &run.configs {
+            assert!(pool.contains(c));
+        }
+    }
+
+    #[test]
+    fn budget_clamps_to_pool() {
+        let s = space();
+        let pool = s.enumerate();
+        let run = RandomSelector.select(&s, &pool, &|_| 1.0, 500, 7);
+        assert_eq!(run.len(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = space();
+        let pool = s.enumerate();
+        let a = RandomSelector.select(&s, &pool, &|_| 1.0, 10, 42);
+        let b = RandomSelector.select(&s, &pool, &|_| 1.0, 10, 42);
+        assert_eq!(a.configs, b.configs);
+        let c = RandomSelector.select(&s, &pool, &|_| 1.0, 10, 43);
+        assert_ne!(a.configs, c.configs);
+    }
+}

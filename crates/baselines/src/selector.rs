@@ -1,0 +1,154 @@
+//! The common interface the evaluation harness drives all methods through.
+
+use hiperbot_core::{SelectionStrategy, Tuner, TunerOptions};
+use hiperbot_space::{Configuration, ParameterSpace};
+
+/// A method's evaluation trace: configurations in the order they were
+/// evaluated, with their objective values. Prefixes of this trace are the
+/// method's state at smaller sample budgets, which is how the paper reports
+/// metrics "for a range of samples" (§V).
+#[derive(Debug, Clone)]
+pub struct SelectionRun {
+    /// Evaluated configurations, in order.
+    pub configs: Vec<Configuration>,
+    /// Objective values, parallel to `configs`.
+    pub objectives: Vec<f64>,
+}
+
+impl SelectionRun {
+    /// Best objective within the first `n` evaluations.
+    pub fn best_within(&self, n: usize) -> f64 {
+        self.objectives[..n.min(self.objectives.len())]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Number of evaluations in the trace.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+/// A sequential configuration-selection method.
+pub trait ConfigSelector: Sync {
+    /// Display name for reports.
+    fn name(&self) -> &str;
+
+    /// Runs the method for `budget` evaluations over the feasible `pool`
+    /// (the enumerated space), calling `objective` for each evaluation.
+    fn select(
+        &self,
+        space: &ParameterSpace,
+        pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun;
+}
+
+/// HiPerBOt wrapped as a [`ConfigSelector`].
+#[derive(Debug, Clone)]
+pub struct HiPerBOtSelector {
+    /// Bootstrap sample count (paper: 20).
+    pub init_samples: usize,
+    /// Quantile threshold (paper: 0.20).
+    pub alpha: f64,
+}
+
+impl Default for HiPerBOtSelector {
+    fn default() -> Self {
+        Self {
+            init_samples: 20,
+            alpha: 0.20,
+        }
+    }
+}
+
+impl ConfigSelector for HiPerBOtSelector {
+    fn name(&self) -> &str {
+        "HiPerBOt"
+    }
+
+    fn select(
+        &self,
+        space: &ParameterSpace,
+        _pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        let options = TunerOptions::default()
+            .with_seed(seed)
+            .with_init_samples(self.init_samples)
+            .with_alpha(self.alpha)
+            .with_strategy(SelectionStrategy::Ranking);
+        let mut tuner = Tuner::new(space.clone(), options);
+        tuner.run(budget, |c| objective(c));
+        SelectionRun {
+            configs: tuner.history().configs().to_vec(),
+            objectives: tuner.history().objectives().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef};
+
+    fn space() -> ParameterSpace {
+        let vals: Vec<i64> = (0..8).collect();
+        ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .build()
+            .unwrap()
+    }
+
+    fn objective(c: &Configuration) -> f64 {
+        let x = c.value(0).index() as f64;
+        let y = c.value(1).index() as f64;
+        (x - 5.0).powi(2) + (y - 2.0).powi(2) + 1.0
+    }
+
+    #[test]
+    fn hiperbot_selector_produces_a_full_trace() {
+        let s = space();
+        let pool = s.enumerate();
+        let run = HiPerBOtSelector::default().select(&s, &pool, &objective, 30, 1);
+        assert_eq!(run.len(), 30);
+        assert_eq!(run.configs.len(), run.objectives.len());
+        // trace values match the objective
+        for (c, &o) in run.configs.iter().zip(&run.objectives) {
+            assert_eq!(o, objective(c));
+        }
+    }
+
+    #[test]
+    fn best_within_is_monotone() {
+        let s = space();
+        let pool = s.enumerate();
+        let run = HiPerBOtSelector::default().select(&s, &pool, &objective, 40, 2);
+        let mut prev = f64::INFINITY;
+        for n in 1..=run.len() {
+            let b = run.best_within(n);
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn trace_has_no_duplicates() {
+        let s = space();
+        let pool = s.enumerate();
+        let run = HiPerBOtSelector::default().select(&s, &pool, &objective, 50, 3);
+        let set: std::collections::HashSet<_> = run.configs.iter().cloned().collect();
+        assert_eq!(set.len(), run.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Contract tests every `ConfigSelector` implementation must satisfy,
+//! run uniformly across the whole baseline suite.
+
+use hiperbot_baselines::{
+    ConfigSelector, GeistSelector, GpEiSelector, HiPerBOtSelector, RandomSelector,
+};
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+
+fn space() -> ParameterSpace {
+    let vals: Vec<i64> = (0..8).collect();
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+        .constraint("x+y >= 2", |c, _| {
+            c.value(0).index() + c.value(1).index() >= 2
+        })
+        .build()
+        .unwrap()
+}
+
+fn objective(c: &Configuration) -> f64 {
+    let x = c.value(0).index() as f64;
+    let y = c.value(1).index() as f64;
+    (x - 5.0).powi(2) + (y - 3.0).powi(2) + 1.0
+}
+
+fn all_selectors() -> Vec<Box<dyn ConfigSelector>> {
+    vec![
+        Box::new(RandomSelector),
+        Box::new(GeistSelector::default()),
+        Box::new(HiPerBOtSelector::default()),
+        Box::new(GpEiSelector {
+            candidate_cap: 200,
+            ..GpEiSelector::default()
+        }),
+    ]
+}
+
+#[test]
+fn every_selector_honors_the_contract() {
+    let s = space();
+    let pool = s.enumerate();
+    for selector in all_selectors() {
+        let run = selector.select(&s, &pool, &objective, 25, 7);
+        // exact budget
+        assert_eq!(run.len(), 25, "{}", selector.name());
+        // distinct picks
+        let set: std::collections::HashSet<_> = run.configs.iter().cloned().collect();
+        assert_eq!(set.len(), 25, "{} duplicated", selector.name());
+        // all feasible and from the pool
+        for c in &run.configs {
+            assert!(s.is_feasible(c), "{} infeasible pick", selector.name());
+            assert!(pool.contains(c), "{} out-of-pool pick", selector.name());
+        }
+        // objectives consistent
+        for (c, &y) in run.configs.iter().zip(&run.objectives) {
+            assert_eq!(y, objective(c), "{} objective mismatch", selector.name());
+        }
+        // best_within is a prefix minimum
+        let mut prev = f64::INFINITY;
+        for n in 1..=run.len() {
+            let b = run.best_within(n);
+            assert!(b <= prev, "{} best not monotone", selector.name());
+            prev = b;
+        }
+    }
+}
+
+#[test]
+fn every_selector_is_deterministic_per_seed() {
+    let s = space();
+    let pool = s.enumerate();
+    for selector in all_selectors() {
+        let a = selector.select(&s, &pool, &objective, 20, 99);
+        let b = selector.select(&s, &pool, &objective, 20, 99);
+        assert_eq!(a.configs, b.configs, "{}", selector.name());
+        let c = selector.select(&s, &pool, &objective, 20, 100);
+        assert_ne!(a.configs, c.configs, "{} ignores the seed", selector.name());
+    }
+}
+
+#[test]
+fn every_selector_clamps_to_pool_exhaustion() {
+    let s = ParameterSpace::builder()
+        .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2, 3, 4])))
+        .build()
+        .unwrap();
+    let pool = s.enumerate();
+    for selector in all_selectors() {
+        let run = selector.select(&s, &pool, &|c| c.value(0).index() as f64, 50, 3);
+        assert_eq!(run.len(), 5, "{}", selector.name());
+        // having exhausted the space, the exact best is found
+        assert_eq!(run.best_within(5), 0.0, "{}", selector.name());
+    }
+}
+
+#[test]
+fn model_based_selectors_beat_random_at_equal_budget() {
+    let s = space();
+    let pool = s.enumerate();
+    let budget = 24;
+    let mean_best = |sel: &dyn ConfigSelector| -> f64 {
+        (0..8u64)
+            .map(|seed| sel.select(&s, &pool, &objective, budget, seed).best_within(budget))
+            .sum::<f64>()
+            / 8.0
+    };
+    let random = mean_best(&RandomSelector);
+    for sel in [
+        Box::new(GeistSelector::default()) as Box<dyn ConfigSelector>,
+        Box::new(HiPerBOtSelector::default()),
+    ] {
+        let m = mean_best(sel.as_ref());
+        assert!(
+            m <= random + 0.25,
+            "{} mean best {m} vs random {random}",
+            sel.name()
+        );
+    }
+}

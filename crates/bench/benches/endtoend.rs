@@ -1,0 +1,89 @@
+//! End-to-end tuner benchmarks and design-choice ablations.
+//!
+//! `tuner_end2end_lulesh` checks the paper's §VII anecdote — selecting the
+//! best LULESH configuration took HiPerBOt ≈ 600 ms, versus 19 hours for
+//! the exhaustive sweep (and 2.7 s for a single best-config run).
+//!
+//! The ablations time the design choices DESIGN.md calls out:
+//! - Ranking vs. Proposal selection on a discrete space;
+//! - Laplace smoothing pseudo-count (affects fit cost not at all, but the
+//!   quality ablation here records best-found under equal budgets, exposed
+//!   as a throughput-of-quality bench: iterations to reach 1.1× best).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiperbot_apps::{lulesh, Scale};
+use hiperbot_core::{SelectionStrategy, Tuner, TunerOptions};
+use std::hint::black_box;
+
+fn bench_tuner_end2end_lulesh(c: &mut Criterion) {
+    let dataset = lulesh::dataset(Scale::Target);
+    c.bench_function("tuner_end2end_lulesh_150_samples", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut tuner = Tuner::new(
+                dataset.space().clone(),
+                TunerOptions::default().with_seed(seed),
+            );
+            tuner.run(150, |cfg| dataset.evaluate(black_box(cfg)))
+        })
+    });
+}
+
+fn bench_ablation_selection_strategy(c: &mut Criterion) {
+    let dataset = lulesh::dataset(Scale::Target);
+    let mut group = c.benchmark_group("ablation_selection");
+    group.bench_function("ranking", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut tuner = Tuner::new(
+                dataset.space().clone(),
+                TunerOptions::default()
+                    .with_seed(seed)
+                    .with_strategy(SelectionStrategy::Ranking),
+            );
+            tuner.run(100, |cfg| dataset.evaluate(cfg))
+        })
+    });
+    group.bench_function("proposal_32", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut tuner = Tuner::new(
+                dataset.space().clone(),
+                TunerOptions::default()
+                    .with_seed(seed)
+                    .with_strategy(SelectionStrategy::Proposal { candidates: 32 }),
+            );
+            tuner.run(100, |cfg| dataset.evaluate(cfg))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablation_smoothing(c: &mut Criterion) {
+    let dataset = lulesh::dataset(Scale::Target);
+    let mut group = c.benchmark_group("ablation_smoothing");
+    for &pseudo in &[0.1, 1.0, 5.0] {
+        group.bench_function(format!("pseudo_{pseudo}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut opts = TunerOptions::default().with_seed(seed);
+                opts.pseudo_count = pseudo;
+                let mut tuner = Tuner::new(dataset.space().clone(), opts);
+                tuner.run(100, |cfg| dataset.evaluate(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = endtoend;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tuner_end2end_lulesh, bench_ablation_selection_strategy,
+              bench_ablation_smoothing
+}
+criterion_main!(endtoend);

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the framework's building blocks.
+//!
+//! These back the paper's §VII claim that "the runtime for HiPerBOt is
+//! significantly less than the application time for a single
+//! configuration": surrogate fits, EI ranking over full datasets, KDE
+//! evaluation, GEIST propagation, one PerfNet epoch, and dataset
+//! generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiperbot_apps::{kripke, lulesh, Scale};
+use hiperbot_core::surrogate::{SurrogateOptions, TpeSurrogate};
+use hiperbot_space::sampling::sample_distinct;
+use hiperbot_stats::kde::{Bandwidth, GaussianKde};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_surrogate_fit(c: &mut Criterion) {
+    let space = kripke::exec_space();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("surrogate_fit");
+    for &n in &[20usize, 100, 400] {
+        let configs = sample_distinct(&space, n, &mut rng);
+        let objectives: Vec<f64> =
+            configs.iter().map(|cfg| kripke::exec_model(cfg, &space, Scale::Target)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                TpeSurrogate::fit(
+                    black_box(&space),
+                    black_box(&configs),
+                    black_box(&objectives),
+                    &SurrogateOptions::default(),
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ei_ranking(c: &mut Criterion) {
+    // Scoring every candidate of the Kripke exec space — the per-iteration
+    // cost of the Ranking strategy.
+    let space = kripke::exec_space();
+    let pool = space.enumerate();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let configs = sample_distinct(&space, 100, &mut rng);
+    let objectives: Vec<f64> =
+        configs.iter().map(|cfg| kripke::exec_model(cfg, &space, Scale::Target)).collect();
+    let surrogate = TpeSurrogate::fit(
+        &space,
+        &configs,
+        &objectives,
+        &SurrogateOptions::default(),
+        None,
+    );
+    c.bench_function("ei_ranking_1560_configs", |b| {
+        b.iter(|| {
+            pool.iter()
+                .map(|cfg| surrogate.log_ei(black_box(cfg)))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+    });
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let points: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+    let kde = GaussianKde::fit(&points, Bandwidth::Fixed(0.25));
+    c.bench_function("kde_pdf_200_kernels", |b| {
+        b.iter(|| {
+            (0..100)
+                .map(|i| kde.pdf(black_box(i as f64 * 0.06 - 3.0)))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_geist_round(c: &mut Criterion) {
+    use hiperbot_baselines::{ConfigSelector, GeistSelector};
+    let space = kripke::exec_space();
+    let pool = space.enumerate();
+    let geist = GeistSelector::default();
+    // One full (small-budget) GEIST run: graph build amortized via cache.
+    c.bench_function("geist_select_50_of_1560", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            geist.select(
+                &space,
+                &pool,
+                &|cfg| kripke::exec_model(cfg, &space, Scale::Target),
+                50,
+                seed,
+            )
+        })
+    });
+}
+
+fn bench_nn_epoch(c: &mut Criterion) {
+    use hiperbot_nn::{train, Mlp, TrainOptions};
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let xs: Vec<Vec<f64>> = (0..512)
+        .map(|i| (0..36).map(|j| ((i * 31 + j * 7) % 97) as f64 / 97.0).collect())
+        .collect();
+    let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x.iter().sum::<f64>() / 36.0]).collect();
+    c.bench_function("perfnet_epoch_512x36", |b| {
+        b.iter(|| {
+            let mut net = Mlp::new(&[36, 64, 32, 1], &mut rng);
+            train(
+                &mut net,
+                black_box(&xs),
+                black_box(&ys),
+                &TrainOptions {
+                    epochs: 1,
+                    batch_size: 64,
+                    learning_rate: 1e-3,
+                    frozen_layers: 0,
+                },
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("dataset_gen_lulesh_4800", |b| {
+        b.iter(|| lulesh::dataset(black_box(Scale::Target)))
+    });
+}
+
+criterion_group! {
+    name = framework;
+    config = Criterion::default().sample_size(10);
+    targets = bench_surrogate_fit, bench_ei_ranking, bench_kde,
+              bench_geist_round, bench_nn_epoch, bench_dataset_generation
+}
+criterion_main!(framework);

@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the statistics and space substrates: the inner
+//! loops every tuner iteration leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
+use hiperbot_space::{Domain, ParamDef, ParameterSpace};
+use hiperbot_stats::histogram::SmoothedHistogram;
+use hiperbot_stats::quantile::{quantile, split_by_quantile};
+use hiperbot_stats::{js_divergence, kendall_tau, spearman, Matrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn synthetic_values(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 * 0.731).sin() * 50.0 + 60.0) * (1.0 + (i % 7) as f64 * 0.01))
+        .collect()
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_split");
+    for &n in &[100usize, 1000, 10_000] {
+        let values = synthetic_values(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| split_by_quantile(black_box(&values), 0.2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram_update_and_pmf(c: &mut Criterion) {
+    c.bench_function("histogram_observe_and_pmf_32", |b| {
+        b.iter(|| {
+            let mut h = SmoothedHistogram::new(32, 1.0);
+            for i in 0..200 {
+                h.observe(black_box(i % 32));
+            }
+            h.pmf_vec()
+        })
+    });
+}
+
+fn bench_divergence_and_correlation(c: &mut Criterion) {
+    let p: Vec<f64> = (0..64).map(|i| (i + 1) as f64 / 2080.0).collect();
+    let q: Vec<f64> = (0..64).map(|i| (64 - i) as f64 / 2080.0).collect();
+    c.bench_function("js_divergence_64", |b| {
+        b.iter(|| js_divergence(black_box(&p), black_box(&q)))
+    });
+    let x = synthetic_values(200);
+    let y: Vec<f64> = x.iter().map(|v| v * 1.3 + 2.0).collect();
+    c.bench_function("spearman_200", |b| {
+        b.iter(|| spearman(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("kendall_200", |b| {
+        b.iter(|| kendall_tau(black_box(&x), black_box(&y)))
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for &n in &[32usize, 128, 256] {
+        let base = Matrix::from_fn(n, n, |i, j| {
+            (-0.1 * (i as f64 - j as f64).powi(2)).exp()
+        });
+        let mut a = base.clone();
+        for i in 0..n {
+            a[(i, i)] += 0.1;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(&a).cholesky().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_enumeration_and_sampling(c: &mut Criterion) {
+    let space = hiperbot_apps::kripke::energy_space();
+    c.bench_function("enumerate_kripke_energy_17k", |b| {
+        b.iter(|| black_box(&space).enumerate().len())
+    });
+    let small = ParameterSpace::builder()
+        .param(ParamDef::new("a", Domain::discrete_ints(&(0..12).collect::<Vec<_>>())))
+        .param(ParamDef::new("b", Domain::discrete_ints(&(0..12).collect::<Vec<_>>())))
+        .param(ParamDef::new("c", Domain::discrete_ints(&(0..12).collect::<Vec<_>>())))
+        .build()
+        .unwrap();
+    c.bench_function("sample_distinct_50", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| sample_distinct(black_box(&small), 50, &mut rng))
+    });
+    c.bench_function("latin_hypercube_50", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| latin_hypercube(black_box(&small), 50, &mut rng))
+    });
+    let _ = quantile(&[1.0], 0.5); // keep the import exercised
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quantile, bench_histogram_update_and_pmf,
+              bench_divergence_and_correlation, bench_cholesky,
+              bench_space_enumeration_and_sampling
+}
+criterion_main!(substrates);

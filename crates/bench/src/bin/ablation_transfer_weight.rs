@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see `hiperbot_bench::repro_ablation_transfer_weight`.
+fn main() {
+    hiperbot_bench::repro_ablation_transfer_weight();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see `hiperbot_bench::repro_fig4`.
+fn main() {
+    hiperbot_bench::repro_fig4();
+}

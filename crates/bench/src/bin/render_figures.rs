@@ -1,0 +1,27 @@
+//! Re-renders the SVG figures from previously written `results/*.json`
+//! reports, without re-running any experiments.
+
+use hiperbot_eval::report::FigureReport;
+
+fn main() {
+    let dir = hiperbot_bench::repo_root().join("results");
+    let mut rendered = 0;
+    for entry in std::fs::read_dir(&dir).expect("results/ exists — run repro_all first") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let json = std::fs::read_to_string(&path).expect("readable json");
+        // Only figure reports (figs 2–6 style) have this schema; skip others.
+        let Ok(report) = serde_json::from_str::<FigureReport>(&json) else {
+            continue;
+        };
+        for (suffix, svg) in hiperbot_eval::plot::figure_charts(&report) {
+            let out = dir.join(format!("{}-{suffix}.svg", report.id));
+            std::fs::write(&out, svg).expect("write svg");
+            println!("wrote {}", out.display());
+            rendered += 1;
+        }
+    }
+    assert!(rendered > 0, "no figure reports found in {}", dir.display());
+}

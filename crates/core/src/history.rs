@@ -1,0 +1,206 @@
+//! The observation history `H_t` (paper §III-A).
+
+use hiperbot_space::Configuration;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// The set of `(configuration, objective)` pairs observed so far, in
+/// evaluation order. Order matters: the evaluation harness reads prefixes
+/// of the history to score a tuner at intermediate sample budgets.
+///
+/// Serializes as the plain `(configs, objectives)` table (the dedup index
+/// is rebuilt on load), so long tuning campaigns can be checkpointed and
+/// resumed — see [`Tuner::resume`](crate::tuner::Tuner::resume).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(try_from = "SavedHistory", into = "SavedHistory")]
+pub struct ObservationHistory {
+    configs: Vec<Configuration>,
+    objectives: Vec<f64>,
+    seen: FxHashSet<Configuration>,
+}
+
+/// The serialized form of a history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedHistory {
+    /// Evaluated configurations, in order.
+    pub configs: Vec<Configuration>,
+    /// Objective values, parallel to `configs`.
+    pub objectives: Vec<f64>,
+}
+
+impl From<ObservationHistory> for SavedHistory {
+    fn from(h: ObservationHistory) -> Self {
+        Self {
+            configs: h.configs,
+            objectives: h.objectives,
+        }
+    }
+}
+
+impl TryFrom<SavedHistory> for ObservationHistory {
+    type Error = String;
+
+    fn try_from(s: SavedHistory) -> Result<Self, String> {
+        if s.configs.len() != s.objectives.len() {
+            return Err("saved history has mismatched table lengths".into());
+        }
+        let mut h = ObservationHistory::new();
+        for (c, y) in s.configs.into_iter().zip(s.objectives) {
+            if !y.is_finite() {
+                return Err("saved history contains a non-finite objective".into());
+            }
+            if h.contains(&c) {
+                return Err("saved history contains duplicate configurations".into());
+            }
+            h.push(c, y);
+        }
+        Ok(h)
+    }
+}
+
+impl ObservationHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Panics
+    /// Panics if the objective is not finite, or if the configuration was
+    /// already observed (the Ranking strategy guarantees distinctness; a
+    /// duplicate indicates a caller bug).
+    pub fn push(&mut self, config: Configuration, objective: f64) {
+        assert!(objective.is_finite(), "objective must be finite");
+        assert!(
+            self.seen.insert(config.clone()),
+            "duplicate configuration pushed to history"
+        );
+        self.configs.push(config);
+        self.objectives.push(objective);
+    }
+
+    /// Number of observations `t`.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Whether `config` has been observed.
+    pub fn contains(&self, config: &Configuration) -> bool {
+        self.seen.contains(config)
+    }
+
+    /// The observed configurations, in evaluation order.
+    pub fn configs(&self) -> &[Configuration] {
+        &self.configs
+    }
+
+    /// The observed objectives, parallel to [`configs`](Self::configs).
+    pub fn objectives(&self) -> &[f64] {
+        &self.objectives
+    }
+
+    /// The best observation so far: `(index, configuration, objective)`.
+    pub fn best(&self) -> Option<(usize, &Configuration, f64)> {
+        self.objectives
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objectives"))
+            .map(|(i, &v)| (i, &self.configs[i], v))
+    }
+
+    /// Best objective within the first `n` observations (prefix view used
+    /// by the evaluation harness's sample-size checkpoints).
+    pub fn best_within(&self, n: usize) -> Option<f64> {
+        let n = n.min(self.len());
+        self.objectives[..n]
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite objectives"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(i: usize) -> Configuration {
+        Configuration::from_indices(&[i])
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut h = ObservationHistory::new();
+        assert!(h.is_empty());
+        h.push(cfg(0), 3.0);
+        h.push(cfg(1), 1.0);
+        h.push(cfg(2), 2.0);
+        assert_eq!(h.len(), 3);
+        assert!(h.contains(&cfg(1)));
+        assert!(!h.contains(&cfg(9)));
+    }
+
+    #[test]
+    fn best_finds_minimum() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), 3.0);
+        h.push(cfg(1), 1.0);
+        h.push(cfg(2), 2.0);
+        let (i, c, v) = h.best().unwrap();
+        assert_eq!((i, v), (1, 1.0));
+        assert_eq!(c, &cfg(1));
+    }
+
+    #[test]
+    fn best_within_prefix() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), 3.0);
+        h.push(cfg(1), 1.0);
+        assert_eq!(h.best_within(1), Some(3.0));
+        assert_eq!(h.best_within(2), Some(1.0));
+        assert_eq!(h.best_within(100), Some(1.0));
+        assert_eq!(ObservationHistory::new().best_within(5), None);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_order_and_dedup() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(2), 3.0);
+        h.push(cfg(0), 1.0);
+        h.push(cfg(1), 2.0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: ObservationHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.configs(), h.configs());
+        assert_eq!(back.objectives(), h.objectives());
+        assert!(back.contains(&cfg(0)));
+        assert!(!back.contains(&cfg(9)));
+    }
+
+    #[test]
+    fn corrupt_saved_history_is_rejected() {
+        let dup = r#"{"configs":[{"values":[{"Index":0}]},{"values":[{"Index":0}]}],"objectives":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<ObservationHistory>(dup).is_err());
+        let mismatched = r#"{"configs":[{"values":[{"Index":0}]}],"objectives":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<ObservationHistory>(mismatched).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_push_panics() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), 1.0);
+        h.push(cfg(0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_objective_panics() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), f64::NAN);
+    }
+}

@@ -1,0 +1,189 @@
+//! Candidate selection strategies (paper §III-D).
+//!
+//! Given a fitted surrogate, the next configuration to evaluate is the one
+//! maximizing expected improvement. Two regimes:
+//!
+//! - **Ranking** — for discrete, finite, enumerable spaces (the common HPC
+//!   case): score *every* unseen configuration and take the argmax. This
+//!   also "eliminates the scenario where duplicate samples are selected"
+//!   (paper §VIII).
+//! - **Proposal** — for continuous or huge spaces: draw candidates from the
+//!   good density `p_g` and keep the best-scoring one. Sampling from `p_g`
+//!   focuses on promising regions while the randomness keeps exploring.
+
+use crate::history::ObservationHistory;
+use crate::surrogate::TpeSurrogate;
+use hiperbot_space::{Configuration, ParameterSpace};
+use serde::{Deserialize, Serialize};
+
+/// Which selection regime the tuner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SelectionStrategy {
+    /// Exhaustively rank all unseen configurations of a finite space.
+    #[default]
+    Ranking,
+    /// Sample this many candidates from `p_g` and keep the best scorer.
+    Proposal {
+        /// Number of candidates drawn per iteration.
+        candidates: usize,
+    },
+}
+
+
+/// Selects the next configuration by exhaustive ranking over `pool`,
+/// skipping configurations already in `history`. Returns `None` when the
+/// pool is exhausted.
+pub fn select_by_ranking(
+    surrogate: &TpeSurrogate,
+    pool: &[Configuration],
+    history: &ObservationHistory,
+) -> Option<Configuration> {
+    let mut best: Option<(f64, &Configuration)> = None;
+    for cfg in pool {
+        if history.contains(cfg) {
+            continue;
+        }
+        let score = surrogate.log_ei(cfg);
+        match best {
+            Some((s, _)) if s >= score => {}
+            _ => best = Some((score, cfg)),
+        }
+    }
+    best.map(|(_, c)| c.clone())
+}
+
+/// Selects the next configuration by proposal sampling: draw `candidates`
+/// feasible configurations from `p_g`, score each, return the best unseen
+/// one (falls back to the best seen-before draw only if every draw
+/// duplicates history — callers treat that as exploration noise).
+pub fn select_by_proposal<R: rand::Rng + ?Sized>(
+    surrogate: &TpeSurrogate,
+    space: &ParameterSpace,
+    history: &ObservationHistory,
+    candidates: usize,
+    rng: &mut R,
+) -> Configuration {
+    assert!(candidates > 0, "need at least one candidate");
+    let mut best_unseen: Option<(f64, Configuration)> = None;
+    let mut best_any: Option<(f64, Configuration)> = None;
+    for _ in 0..candidates {
+        let cfg = surrogate.sample_good(space, rng);
+        let score = surrogate.log_ei(&cfg);
+        if best_any.as_ref().is_none_or(|(s, _)| score > *s) {
+            best_any = Some((score, cfg.clone()));
+        }
+        if !history.contains(&cfg)
+            && best_unseen.as_ref().is_none_or(|(s, _)| score > *s)
+        {
+            best_unseen = Some((score, cfg));
+        }
+    }
+    best_unseen
+        .or(best_any)
+        .map(|(_, c)| c)
+        .expect("candidates > 0 guarantees a draw")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surrogate::SurrogateOptions;
+    use hiperbot_space::{Domain, ParamDef};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .build()
+            .unwrap()
+    }
+
+    fn surrogate_preferring_a0(space: &ParameterSpace) -> (TpeSurrogate, ObservationHistory) {
+        let mut history = ObservationHistory::new();
+        history.push(Configuration::from_indices(&[0]), 1.0);
+        history.push(Configuration::from_indices(&[2]), 10.0);
+        history.push(Configuration::from_indices(&[3]), 11.0);
+        let sur = TpeSurrogate::fit(
+            space,
+            history.configs(),
+            history.objectives(),
+            &SurrogateOptions::default(),
+            None,
+        );
+        (sur, history)
+    }
+
+    #[test]
+    fn ranking_picks_best_unseen() {
+        let s = space();
+        let (sur, history) = surrogate_preferring_a0(&s);
+        let pool = s.enumerate();
+        // a=0 scores best but is seen; a=1 is the best unseen (unseen values
+        // score between good and bad under smoothing).
+        let pick = select_by_ranking(&sur, &pool, &history).unwrap();
+        assert_eq!(pick, Configuration::from_indices(&[1]));
+    }
+
+    #[test]
+    fn ranking_exhausts_to_none() {
+        let s = space();
+        let mut history = ObservationHistory::new();
+        for i in 0..4 {
+            history.push(Configuration::from_indices(&[i]), i as f64);
+        }
+        let sur = TpeSurrogate::fit(
+            &s,
+            history.configs(),
+            history.objectives(),
+            &SurrogateOptions::default(),
+            None,
+        );
+        assert!(select_by_ranking(&sur, &s.enumerate(), &history).is_none());
+    }
+
+    #[test]
+    fn ranking_never_duplicates() {
+        let s = space();
+        let (sur, mut history) = surrogate_preferring_a0(&s);
+        let pool = s.enumerate();
+        let mut seen = std::collections::HashSet::new();
+        for c in history.configs() {
+            seen.insert(c.clone());
+        }
+        while let Some(pick) = select_by_ranking(&sur, &pool, &history) {
+            assert!(seen.insert(pick.clone()), "duplicate selection {pick:?}");
+            history.push(pick, 5.0);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn proposal_returns_feasible_and_mostly_unseen() {
+        let s = space();
+        let (sur, history) = surrogate_preferring_a0(&s);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let pick = select_by_proposal(&sur, &s, &history, 16, &mut rng);
+            assert!(s.is_feasible(&pick));
+        }
+    }
+
+    #[test]
+    fn proposal_prefers_high_scoring_draws() {
+        let s = space();
+        let (sur, _) = surrogate_preferring_a0(&s);
+        let empty = ObservationHistory::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // With many candidates per draw, the argmax should almost always be
+        // the known-good value a=0.
+        let hits = (0..100)
+            .filter(|_| {
+                select_by_proposal(&sur, &s, &empty, 32, &mut rng)
+                    == Configuration::from_indices(&[0])
+            })
+            .count();
+        assert!(hits > 90, "picked a=0 only {hits}/100 times");
+    }
+}

@@ -1,0 +1,159 @@
+//! Termination conditions for the iterative loop.
+//!
+//! The paper (§III-C) names two ways to stop: by the number of objective
+//! evaluations that can be afforded, or "based on the quality of the
+//! samples obtained as the iteration progresses — if the score of the new
+//! samples do not improve, the iterative process can be terminated". Both
+//! (and a target-value rule) are first-class here.
+
+use crate::history::ObservationHistory;
+
+/// When to stop the tuning loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoppingRule {
+    /// Stop after this many total evaluations.
+    MaxEvaluations(usize),
+    /// Stop when this many consecutive evaluations fail to improve the
+    /// best observed objective by more than `min_delta`.
+    NoImprovement {
+        /// Length of the stagnation window.
+        window: usize,
+        /// Required improvement to reset the window.
+        min_delta: f64,
+    },
+    /// Stop once an observation at or below this value is found.
+    TargetValue(f64),
+}
+
+impl StoppingRule {
+    /// Whether the loop should stop given the current history.
+    pub fn should_stop(&self, history: &ObservationHistory) -> bool {
+        match *self {
+            StoppingRule::MaxEvaluations(n) => history.len() >= n,
+            StoppingRule::TargetValue(target) => history
+                .best()
+                .map(|(_, _, best)| best <= target)
+                .unwrap_or(false),
+            StoppingRule::NoImprovement { window, min_delta } => {
+                let n = history.len();
+                if n <= window {
+                    return false;
+                }
+                // Best before the window vs best overall.
+                let before = history.best_within(n - window).expect("n > window");
+                let overall = history.best_within(n).expect("non-empty");
+                before - overall <= min_delta
+            }
+        }
+    }
+
+    /// A hard cap implied by the rule, if any (used to clamp loop bounds).
+    pub fn evaluation_cap(&self) -> Option<usize> {
+        match *self {
+            StoppingRule::MaxEvaluations(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Combines several rules: stop when *any* fires.
+#[derive(Debug, Clone, Default)]
+pub struct StoppingSet {
+    rules: Vec<StoppingRule>,
+}
+
+impl StoppingSet {
+    /// Creates an empty set (never stops on its own).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule.
+    pub fn with(mut self, rule: StoppingRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Whether any rule fires.
+    pub fn should_stop(&self, history: &ObservationHistory) -> bool {
+        self.rules.iter().any(|r| r.should_stop(history))
+    }
+
+    /// The tightest evaluation cap across rules, if any.
+    pub fn evaluation_cap(&self) -> Option<usize> {
+        self.rules.iter().filter_map(|r| r.evaluation_cap()).min()
+    }
+
+    /// Whether the set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::Configuration;
+
+    fn history_of(values: &[f64]) -> ObservationHistory {
+        let mut h = ObservationHistory::new();
+        for (i, &v) in values.iter().enumerate() {
+            h.push(Configuration::from_indices(&[i]), v);
+        }
+        h
+    }
+
+    #[test]
+    fn max_evaluations_fires_at_the_cap() {
+        let rule = StoppingRule::MaxEvaluations(3);
+        assert!(!rule.should_stop(&history_of(&[5.0, 4.0])));
+        assert!(rule.should_stop(&history_of(&[5.0, 4.0, 3.0])));
+        assert_eq!(rule.evaluation_cap(), Some(3));
+    }
+
+    #[test]
+    fn target_value_fires_on_good_enough() {
+        let rule = StoppingRule::TargetValue(2.0);
+        assert!(!rule.should_stop(&history_of(&[5.0, 3.0])));
+        assert!(rule.should_stop(&history_of(&[5.0, 1.9])));
+        assert!(!rule.should_stop(&ObservationHistory::new()));
+    }
+
+    #[test]
+    fn no_improvement_fires_after_stagnation() {
+        let rule = StoppingRule::NoImprovement {
+            window: 3,
+            min_delta: 0.0,
+        };
+        // Improving run: never fires.
+        assert!(!rule.should_stop(&history_of(&[5.0, 4.0, 3.0, 2.0, 1.0])));
+        // Last 3 evaluations all worse than the earlier best: fires.
+        assert!(rule.should_stop(&history_of(&[5.0, 1.0, 2.0, 3.0, 4.0])));
+        // Window not yet full: does not fire.
+        assert!(!rule.should_stop(&history_of(&[5.0, 6.0, 7.0])));
+    }
+
+    #[test]
+    fn no_improvement_respects_min_delta() {
+        let rule = StoppingRule::NoImprovement {
+            window: 2,
+            min_delta: 0.5,
+        };
+        // Improvement of 0.3 within the window is below min_delta: stop.
+        assert!(rule.should_stop(&history_of(&[5.0, 3.0, 2.9, 2.7])));
+        // Improvement of 1.0 resets it.
+        assert!(!rule.should_stop(&history_of(&[5.0, 3.0, 2.5, 2.0])));
+    }
+
+    #[test]
+    fn stopping_set_is_any_semantics() {
+        let set = StoppingSet::new()
+            .with(StoppingRule::MaxEvaluations(100))
+            .with(StoppingRule::TargetValue(1.0));
+        assert!(!set.should_stop(&history_of(&[5.0, 4.0])));
+        assert!(set.should_stop(&history_of(&[5.0, 0.5])));
+        assert_eq!(set.evaluation_cap(), Some(100));
+        assert!(!set.is_empty());
+        assert!(StoppingSet::new().evaluation_cap().is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Transfer learning: source-domain priors (paper §III-E, §VII).
+//!
+//! HPC users routinely tune at small scale before running at large scale.
+//! HiPerBOt exploits this by turning the *entire* source-domain study into
+//! prior densities: the source observations are split good/bad at the same
+//! α-quantile, and their per-parameter distributions enter the target
+//! surrogate as weighted pseudo-observations —
+//! `p_g(x_i) = w · p_g^Src(x_i) + p_g^Trgt(x_i)` (eqs. 9–10).
+
+use hiperbot_space::{Configuration, Domain, ParameterSpace};
+use hiperbot_stats::histogram::SmoothedHistogram;
+use hiperbot_stats::quantile::split_by_quantile;
+
+/// Per-parameter good/bad evidence extracted from a source-domain study.
+///
+/// Discrete parameters keep histograms; continuous parameters keep the raw
+/// good/bad sample points (they become weighted KDE kernels in the target
+/// surrogate).
+#[derive(Debug, Clone)]
+pub struct TransferPrior {
+    discrete: Vec<(SmoothedHistogram, SmoothedHistogram)>,
+    continuous: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Which representation parameter `i` uses.
+    kinds: Vec<PriorKind>,
+    n_source: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PriorKind {
+    Discrete(usize),
+    Continuous(usize),
+}
+
+impl TransferPrior {
+    /// Builds a prior from source-domain observations, splitting at the
+    /// `alpha` quantile (use the same α as the target surrogate).
+    ///
+    /// The source space must have the same parameters (same order, same
+    /// domains) as the target space — the paper's setting, where source and
+    /// target differ in scale, not in tunables.
+    ///
+    /// # Panics
+    /// Panics on empty input or length mismatch.
+    pub fn from_source(
+        space: &ParameterSpace,
+        configs: &[Configuration],
+        objectives: &[f64],
+        alpha: f64,
+        pseudo_count: f64,
+    ) -> Self {
+        assert!(!configs.is_empty(), "empty source study");
+        assert_eq!(configs.len(), objectives.len(), "length mismatch");
+        let (good_idx, bad_idx, _) = split_by_quantile(objectives, alpha);
+
+        let mut discrete = Vec::new();
+        let mut continuous = Vec::new();
+        let mut kinds = Vec::new();
+        for (p, def) in space.params().iter().enumerate() {
+            match def.domain() {
+                Domain::Discrete(values) => {
+                    let n = values.len();
+                    let mut good = SmoothedHistogram::new(n, pseudo_count);
+                    let mut bad = SmoothedHistogram::new(n, pseudo_count);
+                    for &i in &good_idx {
+                        good.observe(configs[i].value(p).index());
+                    }
+                    for &i in &bad_idx {
+                        bad.observe(configs[i].value(p).index());
+                    }
+                    kinds.push(PriorKind::Discrete(discrete.len()));
+                    discrete.push((good, bad));
+                }
+                Domain::Continuous { .. } => {
+                    let gpts: Vec<f64> =
+                        good_idx.iter().map(|&i| configs[i].value(p).as_f64()).collect();
+                    let bpts: Vec<f64> =
+                        bad_idx.iter().map(|&i| configs[i].value(p).as_f64()).collect();
+                    kinds.push(PriorKind::Continuous(continuous.len()));
+                    continuous.push((gpts, bpts));
+                }
+            }
+        }
+        Self {
+            discrete,
+            continuous,
+            kinds,
+            n_source: configs.len(),
+        }
+    }
+
+    /// The (good, bad) histograms of discrete parameter `p`.
+    ///
+    /// # Panics
+    /// Panics if parameter `p` is continuous.
+    pub fn discrete(&self, p: usize) -> (&SmoothedHistogram, &SmoothedHistogram) {
+        match self.kinds[p] {
+            PriorKind::Discrete(i) => (&self.discrete[i].0, &self.discrete[i].1),
+            PriorKind::Continuous(_) => panic!("parameter {p} is continuous"),
+        }
+    }
+
+    /// The (good, bad) sample points of continuous parameter `p`.
+    ///
+    /// # Panics
+    /// Panics if parameter `p` is discrete.
+    pub fn continuous(&self, p: usize) -> (&[f64], &[f64]) {
+        match self.kinds[p] {
+            PriorKind::Continuous(i) => (&self.continuous[i].0, &self.continuous[i].1),
+            PriorKind::Discrete(_) => panic!("parameter {p} is discrete"),
+        }
+    }
+
+    /// Number of source observations the prior was built from.
+    pub fn n_source(&self) -> usize {
+        self.n_source
+    }
+
+    /// The default prior weight: each source observation counts as `w`
+    /// target observations. The paper folds the whole low-cost study in;
+    /// a weight below 1 keeps fresh target evidence dominant per-sample
+    /// while the (much larger) source study still shapes the densities.
+    pub fn default_weight() -> f64 {
+        0.3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef, ParamValue};
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .param(ParamDef::new("x", Domain::continuous(0.0, 1.0)))
+            .build()
+            .unwrap()
+    }
+
+    fn source_data() -> (Vec<Configuration>, Vec<f64>) {
+        // a=0 good (low objective), a=2 bad; x correlates with objective
+        let mut configs = Vec::new();
+        let mut objs = Vec::new();
+        for i in 0..4 {
+            configs.push(Configuration::new(vec![
+                ParamValue::Index(0),
+                ParamValue::Real(0.1 + 0.01 * i as f64),
+            ]));
+            objs.push(1.0 + 0.01 * i as f64);
+        }
+        for i in 0..16 {
+            configs.push(Configuration::new(vec![
+                ParamValue::Index(2),
+                ParamValue::Real(0.8 + 0.01 * i as f64),
+            ]));
+            objs.push(5.0 + 0.01 * i as f64);
+        }
+        (configs, objs)
+    }
+
+    #[test]
+    fn prior_splits_good_and_bad() {
+        let s = space();
+        let (configs, objs) = source_data();
+        let prior = TransferPrior::from_source(&s, &configs, &objs, 0.2, 1.0);
+        assert_eq!(prior.n_source(), 20);
+        let (good, bad) = prior.discrete(0);
+        assert!(good.pmf(0) > good.pmf(2), "good favors a=0");
+        assert!(bad.pmf(2) > bad.pmf(0), "bad favors a=2");
+        let (gpts, bpts) = prior.continuous(1);
+        assert_eq!(gpts.len() + bpts.len(), 20);
+        assert!(gpts.iter().all(|&x| x < 0.5));
+        assert!(bpts.iter().all(|&x| x > 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "is continuous")]
+    fn discrete_accessor_on_continuous_panics() {
+        let s = space();
+        let (configs, objs) = source_data();
+        let prior = TransferPrior::from_source(&s, &configs, &objs, 0.2, 1.0);
+        let _ = prior.discrete(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is discrete")]
+    fn continuous_accessor_on_discrete_panics() {
+        let s = space();
+        let (configs, objs) = source_data();
+        let prior = TransferPrior::from_source(&s, &configs, &objs, 0.2, 1.0);
+        let _ = prior.continuous(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty source")]
+    fn empty_source_panics() {
+        let _ = TransferPrior::from_source(&space(), &[], &[], 0.2, 1.0);
+    }
+
+    #[test]
+    fn prior_shapes_target_surrogate() {
+        use crate::surrogate::{SurrogateOptions, TpeSurrogate};
+        let s = space();
+        let (configs, objs) = source_data();
+        let prior = TransferPrior::from_source(&s, &configs, &objs, 0.2, 1.0);
+
+        // A single (uninformative) target observation.
+        let tconfigs = vec![Configuration::new(vec![
+            ParamValue::Index(1),
+            ParamValue::Real(0.5),
+        ])];
+        let tobjs = vec![3.0];
+
+        let with_prior = TpeSurrogate::fit(
+            &s,
+            &tconfigs,
+            &tobjs,
+            &SurrogateOptions::default(),
+            Some((&prior, 1.0)),
+        );
+        // Prior knowledge: a=0/x≈0.1 should outscore a=2/x≈0.9.
+        let good_like = Configuration::new(vec![ParamValue::Index(0), ParamValue::Real(0.1)]);
+        let bad_like = Configuration::new(vec![ParamValue::Index(2), ParamValue::Real(0.9)]);
+        assert!(with_prior.log_ei(&good_like) > with_prior.log_ei(&bad_like));
+    }
+
+    #[test]
+    fn zero_weight_prior_is_inert() {
+        use crate::surrogate::{SurrogateOptions, TpeSurrogate};
+        let s = space();
+        let (configs, objs) = source_data();
+        let prior = TransferPrior::from_source(&s, &configs, &objs, 0.2, 1.0);
+
+        let tconfigs: Vec<Configuration> = (0..6)
+            .map(|i| {
+                Configuration::new(vec![
+                    ParamValue::Index(i % 3),
+                    ParamValue::Real(0.1 + 0.15 * i as f64),
+                ])
+            })
+            .collect();
+        let tobjs: Vec<f64> = vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+
+        let opts = SurrogateOptions::default();
+        let plain = TpeSurrogate::fit(&s, &tconfigs, &tobjs, &opts, None);
+        let zeroed = TpeSurrogate::fit(&s, &tconfigs, &tobjs, &opts, Some((&prior, 0.0)));
+        let probe = Configuration::new(vec![ParamValue::Index(0), ParamValue::Real(0.3)]);
+        assert!((plain.log_ei(&probe) - zeroed.log_ei(&probe)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,723 @@
+//! The HiPerBOt iterative tuner (paper §III-C).
+//!
+//! Putting the pieces together:
+//!
+//! 1. Evaluate `init_samples` (default 20) configurations drawn uniformly
+//!    at random.
+//! 2. Fit the TPE surrogate at quantile `alpha` (default 0.20).
+//! 3. Select the next candidate (Ranking or Proposal).
+//! 4. Evaluate the true objective; append; goto 2 until the evaluation
+//!    budget is exhausted (or, for Ranking, the space is).
+
+use crate::history::ObservationHistory;
+use crate::selection::{select_by_proposal, select_by_ranking, SelectionStrategy};
+use crate::surrogate::{SurrogateOptions, TpeSurrogate};
+use crate::transfer::TransferPrior;
+use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
+use hiperbot_space::{Configuration, ParameterSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// How the bootstrap observations are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitDesign {
+    /// Uniform random sampling without replacement (the paper's choice).
+    #[default]
+    UniformRandom,
+    /// Latin-hypercube design: guaranteed one-dimensional coverage of each
+    /// parameter — an extension useful when the bootstrap budget is tiny
+    /// relative to the number of parameter levels.
+    LatinHypercube,
+}
+
+/// Tuner hyperparameters (paper §V-E studies the sensitivity of the first
+/// two).
+#[derive(Debug, Clone)]
+pub struct TunerOptions {
+    /// Number of bootstrap evaluations (paper: 20).
+    pub init_samples: usize,
+    /// Bootstrap layout.
+    pub init_design: InitDesign,
+    /// Good/bad quantile threshold α (paper: 0.20).
+    pub alpha: f64,
+    /// Candidate selection regime.
+    pub strategy: SelectionStrategy,
+    /// Laplace pseudo-count for discrete densities.
+    pub pseudo_count: f64,
+    /// KDE bandwidth as a fraction of each continuous parameter's range.
+    pub bandwidth_fraction: f64,
+    /// RNG seed (bootstrap sampling + proposal draws).
+    pub seed: u64,
+    /// Optional transfer-learning prior with its mixture weight `w`.
+    pub prior: Option<(TransferPrior, f64)>,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        Self {
+            init_samples: 20,
+            init_design: InitDesign::default(),
+            alpha: 0.20,
+            strategy: SelectionStrategy::Ranking,
+            pseudo_count: 1.0,
+            bandwidth_fraction: 0.10,
+            seed: 0,
+            prior: None,
+        }
+    }
+}
+
+impl TunerOptions {
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the bootstrap sample count.
+    pub fn with_init_samples(mut self, n: usize) -> Self {
+        self.init_samples = n;
+        self
+    }
+
+    /// Sets the bootstrap design.
+    pub fn with_init_design(mut self, design: InitDesign) -> Self {
+        self.init_design = design;
+        self
+    }
+
+    /// Sets the quantile threshold.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Installs a transfer-learning prior with weight `w` (eqs. 9–10).
+    pub fn with_prior(mut self, prior: TransferPrior, w: f64) -> Self {
+        self.prior = Some((prior, w));
+        self
+    }
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct BestResult {
+    /// The best configuration found.
+    pub config: Configuration,
+    /// Its objective value.
+    pub objective: f64,
+    /// How many evaluations were actually spent.
+    pub evaluations: usize,
+}
+
+/// The HiPerBOt tuner.
+pub struct Tuner {
+    space: ParameterSpace,
+    options: TunerOptions,
+    history: ObservationHistory,
+    /// Enumerated feasible pool (Ranking strategy only; built lazily).
+    pool: Option<Vec<Configuration>>,
+    rng: ChaCha8Rng,
+    bootstrapped: bool,
+}
+
+impl Tuner {
+    /// Creates a tuner over `space`.
+    pub fn new(space: ParameterSpace, options: TunerOptions) -> Self {
+        assert!(options.init_samples > 0, "need at least one bootstrap sample");
+        assert!(
+            (0.0..=1.0).contains(&options.alpha),
+            "alpha must be a quantile"
+        );
+        if options.strategy == SelectionStrategy::Ranking {
+            assert!(
+                space.is_fully_discrete(),
+                "Ranking requires a fully discrete space; use Proposal"
+            );
+        }
+        let rng = ChaCha8Rng::seed_from_u64(options.seed);
+        Self {
+            space,
+            options,
+            history: ObservationHistory::new(),
+            pool: None,
+            rng,
+            bootstrapped: false,
+        }
+    }
+
+    /// Resumes a tuner from a previously saved history (see
+    /// [`ObservationHistory`]'s serde support). The bootstrap is considered
+    /// done if the history already holds at least one observation; further
+    /// `run`/`step` calls continue model-driven selection from there.
+    ///
+    /// # Panics
+    /// Panics if any saved configuration is infeasible in `space` (the
+    /// space definition changed since the save).
+    pub fn resume(space: ParameterSpace, options: TunerOptions, history: ObservationHistory) -> Self {
+        for cfg in history.configs() {
+            assert!(
+                space.is_feasible(cfg),
+                "saved history contains a configuration infeasible in this space"
+            );
+        }
+        let bootstrapped = !history.is_empty();
+        let mut tuner = Self::new(space, options);
+        tuner.history = history;
+        tuner.bootstrapped = bootstrapped;
+        tuner
+    }
+
+    /// The space being tuned.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// The observation history so far (evaluation order).
+    pub fn history(&self) -> &ObservationHistory {
+        &self.history
+    }
+
+    fn pool(&mut self) -> &[Configuration] {
+        if self.pool.is_none() {
+            self.pool = Some(self.space.enumerate());
+        }
+        self.pool.as_deref().expect("just built")
+    }
+
+    fn fit_surrogate(&self) -> TpeSurrogate {
+        let opts = SurrogateOptions {
+            alpha: self.options.alpha,
+            pseudo_count: self.options.pseudo_count,
+            bandwidth_fraction: self.options.bandwidth_fraction,
+        };
+        let prior = self.options.prior.as_ref().map(|(p, w)| (p, *w));
+        TpeSurrogate::fit(
+            &self.space,
+            self.history.configs(),
+            self.history.objectives(),
+            &opts,
+            prior,
+        )
+    }
+
+    /// Runs the bootstrap phase if it has not happened yet: evaluates
+    /// `init_samples` distinct uniform random configurations.
+    fn bootstrap(&mut self, objective: &mut impl FnMut(&Configuration) -> f64) {
+        if self.bootstrapped {
+            return;
+        }
+        let n = if self.space.is_fully_discrete() {
+            // Never ask for more distinct samples than exist.
+            let pool_len = self.pool().len();
+            self.options.init_samples.min(pool_len)
+        } else {
+            self.options.init_samples
+        };
+        let samples = match self.options.init_design {
+            InitDesign::UniformRandom => sample_distinct(&self.space, n, &mut self.rng),
+            InitDesign::LatinHypercube => latin_hypercube(&self.space, n, &mut self.rng),
+        };
+        for cfg in samples {
+            let y = objective(&cfg);
+            self.history.push(cfg, y);
+        }
+        self.bootstrapped = true;
+    }
+
+    /// Fits and returns the surrogate for the current history — the object
+    /// the parameter-importance analysis (§VI) reads its densities from.
+    ///
+    /// # Panics
+    /// Panics before any observations exist.
+    pub fn surrogate(&self) -> TpeSurrogate {
+        assert!(
+            !self.history.is_empty(),
+            "no observations yet: run or step the tuner first"
+        );
+        self.fit_surrogate()
+    }
+
+    /// Selects the next configuration to evaluate, without evaluating it.
+    /// Returns `None` when a Ranking pool is exhausted.
+    pub fn suggest(&mut self) -> Option<Configuration> {
+        assert!(
+            self.bootstrapped,
+            "call run/step first: the surrogate needs bootstrap data"
+        );
+        let surrogate = self.fit_surrogate();
+        match self.options.strategy {
+            SelectionStrategy::Ranking => {
+                // Split borrows: build pool before borrowing history.
+                if self.pool.is_none() {
+                    self.pool = Some(self.space.enumerate());
+                }
+                let pool = self.pool.as_deref().expect("built above");
+                select_by_ranking(&surrogate, pool, &self.history)
+            }
+            SelectionStrategy::Proposal { candidates } => Some(select_by_proposal(
+                &surrogate,
+                &self.space,
+                &self.history,
+                candidates,
+                &mut self.rng,
+            )),
+        }
+    }
+
+    /// Performs one iteration: bootstrap if needed, otherwise select one
+    /// candidate and evaluate it. Returns `false` when no further progress
+    /// is possible (Ranking pool exhausted).
+    ///
+    /// With the Proposal strategy a duplicate suggestion (possible by
+    /// design: sampling may re-draw a seen configuration) is *not*
+    /// re-evaluated; the iteration is simply skipped.
+    pub fn step(&mut self, mut objective: impl FnMut(&Configuration) -> f64) -> bool {
+        if !self.bootstrapped {
+            self.bootstrap(&mut objective);
+            return true;
+        }
+        match self.suggest() {
+            None => false,
+            Some(cfg) => {
+                if !self.history.contains(&cfg) {
+                    let y = objective(&cfg);
+                    self.history.push(cfg, y);
+                }
+                true
+            }
+        }
+    }
+
+    /// Suggests the `k` best unseen configurations under the current
+    /// surrogate (batch variant of [`suggest`](Self::suggest), for settings
+    /// that can evaluate several configurations in parallel, e.g. a batch
+    /// job submission). Ranking strategy only.
+    ///
+    /// # Panics
+    /// Panics before bootstrap, or with a Proposal strategy.
+    pub fn suggest_batch(&mut self, k: usize) -> Vec<Configuration> {
+        assert!(
+            self.bootstrapped,
+            "call run/step first: the surrogate needs bootstrap data"
+        );
+        assert_eq!(
+            self.options.strategy,
+            SelectionStrategy::Ranking,
+            "batch suggestion requires the Ranking strategy"
+        );
+        let surrogate = self.fit_surrogate();
+        if self.pool.is_none() {
+            self.pool = Some(self.space.enumerate());
+        }
+        let pool = self.pool.as_deref().expect("built above");
+        let mut scored: Vec<(f64, &Configuration)> = pool
+            .iter()
+            .filter(|c| !self.history.contains(c))
+            .map(|c| (surrogate.log_ei(c), c))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite EI"));
+        scored.into_iter().take(k).map(|(_, c)| c.clone()).collect()
+    }
+
+    /// Runs until a [`StoppingSet`](crate::stopping::StoppingSet) fires or
+    /// the space is exhausted. The bootstrap always completes first.
+    ///
+    /// # Panics
+    /// Panics if `rules` is empty and the space is continuous (the loop
+    /// would never terminate).
+    pub fn run_until(
+        &mut self,
+        rules: &crate::stopping::StoppingSet,
+        mut objective: impl FnMut(&Configuration) -> f64,
+    ) -> BestResult {
+        assert!(
+            !rules.is_empty() || self.space.is_fully_discrete(),
+            "an empty stopping set on a continuous space never terminates"
+        );
+        if !self.bootstrapped {
+            if let Some(cap) = rules.evaluation_cap() {
+                self.options.init_samples = self.options.init_samples.min(cap.max(1));
+            }
+            self.bootstrap(&mut objective);
+        }
+        let mut stall_guard = 0usize;
+        while !rules.should_stop(&self.history) {
+            let before = self.history.len();
+            if !self.step(&mut objective) {
+                break; // pool exhausted
+            }
+            if self.history.len() == before {
+                stall_guard += 1;
+                if stall_guard > 10_000 {
+                    break; // proposal duplicates only; treat as converged
+                }
+            } else {
+                stall_guard = 0;
+            }
+        }
+        let (_, cfg, obj) = self.history.best().expect("bootstrap ran");
+        BestResult {
+            config: cfg.clone(),
+            objective: obj,
+            evaluations: self.history.len(),
+        }
+    }
+
+    /// Runs until `budget` total evaluations have been spent (bootstrap
+    /// included) or the space is exhausted, and returns the best found.
+    ///
+    /// # Panics
+    /// Panics if `budget < init_samples` would leave the surrogate unfit —
+    /// the bootstrap is clamped to `budget` instead, mirroring the paper's
+    /// fixed-total-sample experiments.
+    pub fn run(
+        &mut self,
+        budget: usize,
+        mut objective: impl FnMut(&Configuration) -> f64,
+    ) -> BestResult {
+        assert!(budget > 0, "budget must be positive");
+        if !self.bootstrapped {
+            // A budget smaller than init_samples spends it all on bootstrap.
+            let clamped = self.options.init_samples.min(budget);
+            self.options.init_samples = clamped;
+            self.bootstrap(&mut objective);
+        }
+        let mut stall_guard = 0usize;
+        while self.history.len() < budget {
+            let before = self.history.len();
+            if !self.step(&mut objective) {
+                break; // pool exhausted
+            }
+            if self.history.len() == before {
+                // Proposal duplicate; tolerate a bounded number of stalls.
+                stall_guard += 1;
+                if stall_guard > 100 * budget {
+                    break;
+                }
+            } else {
+                stall_guard = 0;
+            }
+        }
+        let (_, cfg, obj) = self.history.best().expect("bootstrap ran");
+        BestResult {
+            config: cfg.clone(),
+            objective: obj,
+            evaluations: self.history.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef};
+
+    /// A 2-D discrete space with a unique optimum at (7, 3).
+    fn space() -> ParameterSpace {
+        let vals: Vec<i64> = (0..10).collect();
+        ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .build()
+            .unwrap()
+    }
+
+    fn objective(cfg: &Configuration) -> f64 {
+        let x = cfg.value(0).index() as f64;
+        let y = cfg.value(1).index() as f64;
+        (x - 7.0).powi(2) + (y - 3.0).powi(2) + 1.0
+    }
+
+    #[test]
+    fn finds_the_optimum_with_a_fraction_of_the_space() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(1));
+        let best = tuner.run(45, objective);
+        // 45 of 100 configs; TPE should land on or next to (7,3).
+        assert!(best.objective <= 2.0, "best = {:?}", best);
+        assert_eq!(best.evaluations, 45);
+    }
+
+    #[test]
+    fn beats_random_sampling_on_average() {
+        let mut tpe_wins = 0;
+        for seed in 0..10u64 {
+            let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(seed));
+            let tpe = tuner.run(40, objective).objective;
+
+            // Random baseline: first 40 uniform samples.
+            use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+            let s = space();
+            let rand_best = sample_distinct(&s, 40, &mut rng)
+                .iter()
+                .map(objective)
+                .fold(f64::INFINITY, f64::min);
+            if tpe <= rand_best {
+                tpe_wins += 1;
+            }
+        }
+        assert!(tpe_wins >= 7, "TPE won only {tpe_wins}/10 against random");
+    }
+
+    #[test]
+    fn exhausts_small_spaces_gracefully() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .build()
+            .unwrap();
+        let mut tuner = Tuner::new(s, TunerOptions::default().with_seed(3));
+        let best = tuner.run(50, |c| c.value(0).index() as f64 + 1.0);
+        assert_eq!(best.evaluations, 3); // the whole space
+        assert_eq!(best.objective, 1.0);
+    }
+
+    #[test]
+    fn budget_below_init_samples_is_all_bootstrap() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(4));
+        let best = tuner.run(5, objective);
+        assert_eq!(best.evaluations, 5);
+    }
+
+    #[test]
+    fn history_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = Tuner::new(space(), TunerOptions::default().with_seed(seed));
+            t.run(30, objective);
+            t.history().objectives().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn later_samples_are_better_than_bootstrap() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(5));
+        tuner.run(60, objective);
+        let h = tuner.history();
+        let boot_avg: f64 =
+            h.objectives()[..20].iter().sum::<f64>() / 20.0;
+        let model_avg: f64 =
+            h.objectives()[20..].iter().sum::<f64>() / (h.len() - 20) as f64;
+        assert!(
+            model_avg < boot_avg,
+            "model-driven picks ({model_avg:.2}) should beat random bootstrap ({boot_avg:.2})"
+        );
+    }
+
+    #[test]
+    fn proposal_strategy_works_on_continuous_spaces() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::continuous(0.0, 5.0)))
+            .build()
+            .unwrap();
+        let opts = TunerOptions::default()
+            .with_seed(6)
+            .with_strategy(SelectionStrategy::Proposal { candidates: 24 });
+        let mut tuner = Tuner::new(s, opts);
+        let best = tuner.run(80, |c| {
+            let x = c.value(0).as_f64();
+            (x - 3.2).powi(2) + 0.5
+        });
+        assert!(
+            (best.config.value(0).as_f64() - 3.2).abs() < 0.4,
+            "best x = {}",
+            best.config.value(0).as_f64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Ranking requires a fully discrete space")]
+    fn ranking_on_continuous_space_panics() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::continuous(0.0, 1.0)))
+            .build()
+            .unwrap();
+        let _ = Tuner::new(s, TunerOptions::default());
+    }
+
+    #[test]
+    fn respects_feasibility_constraints() {
+        let vals: Vec<i64> = (0..10).collect();
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .constraint("x+y <= 10", |c, _| {
+                c.value(0).index() + c.value(1).index() <= 10
+            })
+            .build()
+            .unwrap();
+        let mut tuner = Tuner::new(s.clone(), TunerOptions::default().with_seed(9));
+        tuner.run(40, objective);
+        for cfg in tuner.history().configs() {
+            assert!(s.is_feasible(cfg));
+        }
+    }
+
+    #[test]
+    fn latin_hypercube_bootstrap_works_end_to_end() {
+        let opts = TunerOptions::default()
+            .with_seed(31)
+            .with_init_design(InitDesign::LatinHypercube);
+        let mut tuner = Tuner::new(space(), opts);
+        let best = tuner.run(40, objective);
+        assert_eq!(best.evaluations, 40);
+        // bootstrap rows are distinct and feasible
+        let set: std::collections::HashSet<_> =
+            tuner.history().configs()[..20].iter().cloned().collect();
+        assert_eq!(set.len(), 20);
+        assert!(best.objective <= 3.0);
+    }
+
+    #[test]
+    fn lhs_bootstrap_covers_each_parameter_better_than_worst_case() {
+        // With 10 LHS samples on a 10-level parameter, every level appears
+        // exactly once.
+        let vals: Vec<i64> = (0..10).collect();
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .build()
+            .unwrap();
+        let opts = TunerOptions::default()
+            .with_seed(32)
+            .with_init_samples(10)
+            .with_init_design(InitDesign::LatinHypercube);
+        let mut tuner = Tuner::new(s, opts);
+        tuner.run(10, objective);
+        let mut levels: Vec<usize> = tuner
+            .history()
+            .configs()
+            .iter()
+            .map(|c| c.value(0).index())
+            .collect();
+        levels.sort_unstable();
+        assert_eq!(levels, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resume_continues_where_a_run_left_off() {
+        // Run 30 evaluations, save, resume, run to 45: the combined trace
+        // must equal a single 45-evaluation run with the same seed.
+        let mut first = Tuner::new(space(), TunerOptions::default().with_seed(21));
+        first.run(30, objective);
+        let saved = serde_json::to_string(first.history()).unwrap();
+
+        let restored: crate::history::ObservationHistory =
+            serde_json::from_str(&saved).unwrap();
+        let mut resumed = Tuner::resume(space(), TunerOptions::default().with_seed(21), restored);
+        let best = resumed.run(45, objective);
+        assert_eq!(best.evaluations, 45);
+        assert_eq!(&resumed.history().configs()[..30], first.history().configs());
+        // resumption must not re-bootstrap
+        let boot_like = resumed.history().configs()[30..].to_vec();
+        assert_eq!(boot_like.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn resume_rejects_histories_from_a_different_space() {
+        let mut h = crate::history::ObservationHistory::new();
+        h.push(Configuration::from_indices(&[50, 0]), 1.0); // out of domain
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&[0, 1])))
+            .param(ParamDef::new("y", Domain::discrete_ints(&[0, 1])))
+            .constraint("index in range", |c, d| {
+                (0..c.len()).all(|i| c.value(i).index() < d[i].values().len())
+            })
+            .build()
+            .unwrap();
+        let _ = Tuner::resume(s, TunerOptions::default(), h);
+    }
+
+    #[test]
+    fn suggest_batch_returns_distinct_top_scorers() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(11));
+        tuner.run(25, objective);
+        let batch = tuner.suggest_batch(5);
+        assert_eq!(batch.len(), 5);
+        let set: std::collections::HashSet<_> = batch.iter().cloned().collect();
+        assert_eq!(set.len(), 5);
+        for c in &batch {
+            assert!(!tuner.history().contains(c), "suggested a seen config");
+        }
+    }
+
+    #[test]
+    fn suggest_batch_clamps_to_remaining_pool() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .build()
+            .unwrap();
+        let mut tuner = Tuner::new(s, TunerOptions::default().with_seed(12));
+        tuner.run(3, |c| c.value(0).index() as f64);
+        let batch = tuner.suggest_batch(10);
+        assert_eq!(batch.len(), 1); // only one unseen config left
+    }
+
+    #[test]
+    fn run_until_stops_on_stagnation() {
+        use crate::stopping::{StoppingRule, StoppingSet};
+        let rules = StoppingSet::new()
+            .with(StoppingRule::MaxEvaluations(100))
+            .with(StoppingRule::NoImprovement {
+                window: 8,
+                min_delta: 0.0,
+            });
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(13));
+        let best = tuner.run_until(&rules, objective);
+        assert!(best.evaluations < 100, "stagnation should stop early");
+        assert!(best.objective <= 3.0, "still found a good config");
+    }
+
+    #[test]
+    fn run_until_stops_on_target_value() {
+        use crate::stopping::{StoppingRule, StoppingSet};
+        let rules = StoppingSet::new().with(StoppingRule::TargetValue(1.0));
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(14));
+        let best = tuner.run_until(&rules, objective);
+        assert!(best.objective <= 1.0);
+        assert!(best.evaluations <= 100);
+    }
+
+    #[test]
+    fn transfer_prior_accelerates_the_search() {
+        // Source study: full sweep of the same landscape.
+        let s = space();
+        let all = s.enumerate();
+        let objs: Vec<f64> = all.iter().map(objective).collect();
+        let prior =
+            TransferPrior::from_source(&s, &all, &objs, 0.2, 1.0);
+
+        let mut wins = 0;
+        for seed in 0..10u64 {
+            let with = Tuner::new(
+                s.clone(),
+                TunerOptions::default()
+                    .with_seed(seed)
+                    .with_init_samples(5)
+                    .with_prior(prior.clone(), 1.0),
+            )
+            .run(12, objective)
+            .objective;
+            let without = Tuner::new(
+                s.clone(),
+                TunerOptions::default()
+                    .with_seed(seed)
+                    .with_init_samples(5),
+            )
+            .run(12, objective)
+            .objective;
+            if with <= without {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 7, "prior helped only {wins}/10 runs");
+    }
+}

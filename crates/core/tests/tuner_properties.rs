@@ -1,0 +1,144 @@
+//! Property-based invariants of the tuner over randomized spaces,
+//! objectives, and hyperparameters.
+
+use hiperbot_core::{SelectionStrategy, Tuner, TunerOptions};
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+use proptest::prelude::*;
+
+/// A random fully discrete space of 1–4 parameters with 2–5 values each.
+fn arb_space() -> impl Strategy<Value = ParameterSpace> {
+    proptest::collection::vec(2usize..=5, 1..=4).prop_map(|cards| {
+        let mut b = ParameterSpace::builder();
+        for (i, c) in cards.into_iter().enumerate() {
+            let vals: Vec<i64> = (0..c as i64).collect();
+            b = b.param(ParamDef::new(format!("p{i}"), Domain::discrete_ints(&vals)));
+        }
+        b.build().expect("valid")
+    })
+}
+
+/// A deterministic pseudo-random objective keyed on the configuration.
+fn hash_objective(cfg: &Configuration, salt: u64) -> f64 {
+    let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
+    for v in cfg.values() {
+        h = h
+            .wrapping_add(v.index() as u64 + 1)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 29;
+    }
+    1.0 + (h % 10_000) as f64 / 100.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tuner_respects_budget_and_feasibility(
+        space in arb_space(),
+        seed in 0u64..1000,
+        salt in 0u64..1000,
+        budget in 1usize..60,
+    ) {
+        let mut tuner = Tuner::new(
+            space.clone(),
+            TunerOptions::default().with_seed(seed).with_init_samples(5),
+        );
+        let best = tuner.run(budget, |c| hash_objective(c, salt));
+        let pool = space.product_cardinality().unwrap();
+        prop_assert_eq!(best.evaluations, budget.min(pool));
+        prop_assert_eq!(tuner.history().len(), best.evaluations);
+        for cfg in tuner.history().configs() {
+            prop_assert!(space.is_feasible(cfg));
+        }
+        // best result is indeed the history minimum
+        let min = tuner
+            .history()
+            .objectives()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(best.objective, min);
+    }
+
+    #[test]
+    fn trace_never_contains_duplicates(
+        space in arb_space(),
+        seed in 0u64..1000,
+        salt in 0u64..1000,
+    ) {
+        let pool = space.product_cardinality().unwrap();
+        let mut tuner = Tuner::new(
+            space,
+            TunerOptions::default().with_seed(seed).with_init_samples(5),
+        );
+        tuner.run(pool, |c| hash_objective(c, salt));
+        let set: std::collections::HashSet<_> =
+            tuner.history().configs().iter().cloned().collect();
+        prop_assert_eq!(set.len(), tuner.history().len());
+    }
+
+    #[test]
+    fn exhausting_the_space_finds_the_global_optimum(
+        space in arb_space(),
+        seed in 0u64..100,
+        salt in 0u64..100,
+    ) {
+        let pool = space.product_cardinality().unwrap();
+        let mut tuner = Tuner::new(
+            space.clone(),
+            TunerOptions::default().with_seed(seed).with_init_samples(3),
+        );
+        let best = tuner.run(pool + 10, |c| hash_objective(c, salt));
+        let true_best = space
+            .enumerate()
+            .iter()
+            .map(|c| hash_objective(c, salt))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(best.objective, true_best);
+    }
+
+    #[test]
+    fn alpha_variations_never_break_the_loop(
+        space in arb_space(),
+        alpha in 0.01f64..0.6,
+        seed in 0u64..200,
+    ) {
+        let mut tuner = Tuner::new(
+            space,
+            TunerOptions::default()
+                .with_seed(seed)
+                .with_alpha(alpha)
+                .with_init_samples(4),
+        );
+        let best = tuner.run(20, |c| hash_objective(c, seed));
+        prop_assert!(best.objective.is_finite());
+    }
+
+    #[test]
+    fn proposal_strategy_matches_budget_on_mixed_spaces(
+        seed in 0u64..200,
+        lo in -5.0f64..0.0,
+        span in 0.5f64..10.0,
+    ) {
+        let space = ParameterSpace::builder()
+            .param(ParamDef::new("d", Domain::discrete_ints(&[0, 1, 2])))
+            .param(ParamDef::new("x", Domain::continuous(lo, lo + span)))
+            .build()
+            .unwrap();
+        let mut tuner = Tuner::new(
+            space,
+            TunerOptions::default()
+                .with_seed(seed)
+                .with_init_samples(6)
+                .with_strategy(SelectionStrategy::Proposal { candidates: 8 }),
+        );
+        let best = tuner.run(25, |c| {
+            let d = c.value(0).index() as f64;
+            let x = c.value(1).as_f64();
+            (x - lo - span / 2.0).abs() + d
+        });
+        prop_assert!(best.objective.is_finite());
+        prop_assert!(tuner.history().len() <= 25);
+        prop_assert!(tuner.history().len() >= 6);
+    }
+}

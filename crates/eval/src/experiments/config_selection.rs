@@ -1,0 +1,143 @@
+//! The configuration-selection study shared by Figs. 2–6 (§V).
+//!
+//! For one dataset, run Random, GEIST, and HiPerBOt at the paper's
+//! sample-size checkpoints (50 repetitions each), report Best-Configuration
+//! and Recall with mean ± std, plus the exhaustive-best line.
+
+use crate::metrics::GoodSet;
+use crate::report::{FigureReport, MethodSeries};
+use crate::runner::{run_trials, TrialConfig};
+use hiperbot_apps::Dataset;
+use hiperbot_baselines::{ConfigSelector, GeistSelector, HiPerBOtSelector, RandomSelector};
+
+/// Specification of one Fig. 2–6 style experiment.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Report id, e.g. `"fig2-kripke-exec"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Sample-size checkpoints (the figure's x-axis).
+    pub checkpoints: Vec<usize>,
+    /// Recall good-set criterion.
+    pub good: GoodSet,
+    /// Repetitions (paper: 50).
+    pub repetitions: usize,
+}
+
+/// The paper's checkpoints for each figure.
+pub mod checkpoints {
+    /// Fig. 2 (Kripke exec): 2–11.9 % of 1609.
+    pub const FIG2: [usize; 6] = [32, 64, 96, 128, 160, 192];
+    /// Fig. 3 (Kripke energy): 0.2–2.5 % of 17 815.
+    pub const FIG3: [usize; 5] = [39, 139, 239, 339, 439];
+    /// Fig. 4 (HYPRE): 0.9–9.6 % of 4589.
+    pub const FIG4: [usize; 5] = [41, 141, 241, 341, 441];
+    /// Fig. 5 (LULESH): 1–9.3 % of 4800.
+    pub const FIG5: [usize; 5] = [46, 146, 246, 346, 446];
+    /// Fig. 6 (OpenAtom): 0.4–4.9 % of 8928.
+    pub const FIG6: [usize; 5] = [39, 139, 239, 339, 439];
+}
+
+/// Runs the three methods on `dataset` and assembles the figure report.
+pub fn run(dataset: &Dataset, spec: &FigureSpec) -> FigureReport {
+    let trial = TrialConfig::new(spec.checkpoints.clone())
+        .with_repetitions(spec.repetitions)
+        .with_good(spec.good)
+        .with_seed(0xF1E1D1 ^ spec.id.len() as u64);
+
+    let random = RandomSelector;
+    let geist = GeistSelector::default();
+    let hiperbot = HiPerBOtSelector::default();
+    let methods: Vec<(&str, &dyn ConfigSelector)> = vec![
+        ("Random", &random),
+        ("GEIST", &geist),
+        ("HiPerBOt", &hiperbot),
+    ];
+
+    let series = methods
+        .into_iter()
+        .map(|(name, m)| MethodSeries::from_stats(name, &run_trials(dataset, m, &trial)))
+        .collect();
+
+    let (_, best) = dataset.best();
+    FigureReport {
+        id: spec.id.clone(),
+        title: spec.title.clone(),
+        dataset_size: dataset.len(),
+        exhaustive_best: best,
+        total_good: spec.good.count(dataset),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Domain, ParamDef, ParameterSpace};
+
+    fn toy_dataset() -> Dataset {
+        let vals: Vec<i64> = (0..15).collect();
+        let space = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .build()
+            .unwrap();
+        Dataset::generate("toy", "time", space, 9, 0.01, |c, _| {
+            let x = c.value(0).index() as f64;
+            let y = c.value(1).index() as f64;
+            1.0 + (x - 11.0).powi(2) * 0.3 + (y - 4.0).powi(2) * 0.2
+        })
+    }
+
+    fn quick_spec() -> FigureSpec {
+        FigureSpec {
+            id: "fig-test".into(),
+            title: "toy".into(),
+            checkpoints: vec![25, 60],
+            good: GoodSet::Percentile(0.05),
+            repetitions: 6,
+        }
+    }
+
+    #[test]
+    fn produces_three_method_series() {
+        let report = run(&toy_dataset(), &quick_spec());
+        let names: Vec<&str> = report.series.iter().map(|s| s.method.as_str()).collect();
+        assert_eq!(names, vec!["Random", "GEIST", "HiPerBOt"]);
+        for s in &report.series {
+            assert_eq!(s.points.len(), 2);
+        }
+    }
+
+    #[test]
+    fn the_paper_ordering_holds_on_the_toy_landscape() {
+        // HiPerBOt ≥ GEIST ≥ Random in best-config at the larger budget —
+        // the qualitative result of every §V figure.
+        let report = run(&toy_dataset(), &quick_spec());
+        let best_at_end: Vec<f64> = report
+            .series
+            .iter()
+            .map(|s| s.points.last().unwrap().best_mean)
+            .collect();
+        let (random, geist, hiperbot) = (best_at_end[0], best_at_end[1], best_at_end[2]);
+        assert!(
+            hiperbot <= random + 1e-9,
+            "HiPerBOt {hiperbot} should beat Random {random}"
+        );
+        assert!(
+            geist <= random + 1e-9,
+            "GEIST {geist} should beat Random {random}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_best_bounds_everything() {
+        let report = run(&toy_dataset(), &quick_spec());
+        for s in &report.series {
+            for p in &s.points {
+                assert!(p.best_mean >= report.exhaustive_best - 1e-9);
+            }
+        }
+    }
+}

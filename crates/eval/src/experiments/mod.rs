@@ -1,0 +1,19 @@
+//! One module per paper figure/table.
+//!
+//! Each module exposes a `run(...) -> Report` entry point that the
+//! `hiperbot-bench` binaries call; reports carry both a text rendering
+//! (the rows/series the paper's figure shows) and JSON for plotting.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — toy 1-D example: samples, densities, EI |
+//! | [`config_selection`] | Figs. 2–6 — best-config & recall vs samples |
+//! | [`fig7`] | Fig. 7 — hyperparameter sensitivity |
+//! | [`table1`] | Table I — JS-divergence parameter ranking |
+//! | [`fig8`] | Fig. 8 — transfer learning vs PerfNet |
+
+pub mod config_selection;
+pub mod fig1;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;

@@ -1,0 +1,158 @@
+//! The paper's evaluation metrics (§IV-B).
+
+use hiperbot_apps::Dataset;
+
+/// How the "good" set of a dataset is defined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GoodSet {
+    /// Good = best `ℓ` fraction of the dataset (eq. 11's `y_ℓ`), the
+    /// configuration-selection criterion.
+    Percentile(f64),
+    /// Good = within `(1 + γ)` of the absolute best (eq. 12), the
+    /// transfer-learning criterion shared with PerfNet's evaluation.
+    Tolerance(f64),
+}
+
+impl GoodSet {
+    /// The objective threshold this criterion induces on `dataset`.
+    pub fn threshold(&self, dataset: &Dataset) -> f64 {
+        match *self {
+            GoodSet::Percentile(l) => {
+                assert!((0.0..=1.0).contains(&l), "percentile out of range");
+                dataset.percentile_value(l)
+            }
+            GoodSet::Tolerance(gamma) => {
+                assert!(gamma >= 0.0, "tolerance must be non-negative");
+                let (_, best) = dataset.best();
+                (1.0 + gamma) * best
+            }
+        }
+    }
+
+    /// Number of good configurations in the dataset (the recall
+    /// denominator).
+    pub fn count(&self, dataset: &Dataset) -> usize {
+        dataset.count_within(self.threshold(dataset))
+    }
+}
+
+/// Recall of a selection trace against a dataset (eqs. 11–12): the
+/// fraction of all good configurations present among the selected ones.
+#[derive(Debug, Clone, Copy)]
+pub struct Recall {
+    threshold: f64,
+    total_good: usize,
+}
+
+impl Recall {
+    /// Prepares the recall computation for `dataset` under `good`.
+    pub fn new(dataset: &Dataset, good: GoodSet) -> Self {
+        let threshold = good.threshold(dataset);
+        let total_good = dataset.count_within(threshold);
+        Self {
+            threshold,
+            total_good,
+        }
+    }
+
+    /// The induced objective threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The denominator |{x : f(x) ≤ y_threshold}|.
+    pub fn total_good(&self) -> usize {
+        self.total_good
+    }
+
+    /// Recall of a trace prefix: objectives of the first `n` selections.
+    pub fn of_prefix(&self, objectives: &[f64], n: usize) -> f64 {
+        if self.total_good == 0 {
+            return 0.0;
+        }
+        let hits = objectives[..n.min(objectives.len())]
+            .iter()
+            .filter(|&&y| y <= self.threshold)
+            .count();
+        hits as f64 / self.total_good as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+
+    fn dataset() -> Dataset {
+        let space = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&(0..10).collect::<Vec<_>>())))
+            .build()
+            .unwrap();
+        // objectives 1..=10
+        Dataset::generate("t", "time", space, 0, 0.0, |c, _| {
+            c.value(0).index() as f64 + 1.0
+        })
+    }
+
+    #[test]
+    fn percentile_threshold_and_count() {
+        let d = dataset();
+        let g = GoodSet::Percentile(0.2);
+        // quantile(0.2) of 1..=10 = 2.8 → good = {1, 2} → 2 configs
+        assert!((g.threshold(&d) - 2.8).abs() < 1e-12);
+        assert_eq!(g.count(&d), 2);
+    }
+
+    #[test]
+    fn tolerance_threshold_and_count() {
+        let d = dataset();
+        let g = GoodSet::Tolerance(0.10);
+        // best = 1 → threshold 1.1 → only the best qualifies
+        assert_eq!(g.count(&d), 1);
+        let g2 = GoodSet::Tolerance(1.0);
+        // threshold 2.0 → {1, 2}
+        assert_eq!(g2.count(&d), 2);
+    }
+
+    #[test]
+    fn recall_counts_hits_in_prefix() {
+        let d = dataset();
+        let r = Recall::new(&d, GoodSet::Percentile(0.35)); // threshold 4.15 → good {1,2,3,4}
+        assert_eq!(r.total_good(), 4);
+        let trace = [9.0, 2.0, 5.0, 1.0, 3.0];
+        assert_eq!(r.of_prefix(&trace, 1), 0.0);
+        assert_eq!(r.of_prefix(&trace, 2), 0.25);
+        assert_eq!(r.of_prefix(&trace, 4), 0.5);
+        assert_eq!(r.of_prefix(&trace, 5), 0.75);
+        // n beyond trace length is clamped
+        assert_eq!(r.of_prefix(&trace, 100), 0.75);
+    }
+
+    #[test]
+    fn full_selection_reaches_recall_one() {
+        let d = dataset();
+        let r = Recall::new(&d, GoodSet::Percentile(0.35));
+        let all: Vec<f64> = d.objectives().to_vec();
+        assert_eq!(r.of_prefix(&all, all.len()), 1.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_prefix_length() {
+        let d = dataset();
+        let r = Recall::new(&d, GoodSet::Percentile(0.5));
+        let trace = [3.0, 8.0, 1.0, 9.0, 2.0, 4.0];
+        let mut prev = 0.0;
+        for n in 0..=trace.len() {
+            let v = r.of_prefix(&trace, n);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_panics() {
+        let d = dataset();
+        let _ = GoodSet::Percentile(1.5).threshold(&d);
+    }
+}

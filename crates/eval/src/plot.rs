@@ -1,0 +1,510 @@
+//! Static SVG figure rendering for the reproduction reports.
+//!
+//! The repro binaries emit, next to each figure's text/JSON tables, an SVG
+//! line chart in the shape of the paper's figures: best-configuration and
+//! recall vs. sample size, one line per method, mean ± std error bars, and
+//! the exhaustive-best reference line.
+//!
+//! Rendering follows a fixed spec: 2 px round-capped series lines, ≥8 px
+//! markers with a 2 px surface ring, hairline solid gridlines one step off
+//! the surface, text in ink tokens (never the series color), a legend for
+//! ≥2 series plus selective direct end-labels (skipped when they would
+//! collide — the legend carries identity), and a validated categorical
+//! palette (worst adjacent CVD ΔE 47; the two low-contrast hues rely on the
+//! labels and the accompanying table views, which every report ships).
+
+/// Chart surface (light).
+const SURFACE: &str = "#fcfcfb";
+/// Primary ink.
+const INK: &str = "#0b0b0b";
+/// Secondary ink (axis text, legends).
+const INK_2: &str = "#52514e";
+/// Gridline gray, one step off the surface.
+const GRID: &str = "#ececea";
+/// Reference-line gray.
+const REF: &str = "#9a9a94";
+/// Validated categorical palette, fixed assignment order.
+const PALETTE: [&str; 4] = ["#2a78d6", "#1baf7a", "#eda100", "#4a3aa7"];
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points: `(x, y, y_err)`; the error bar spans `y ± y_err`.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// A line chart with error bars.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// The series, in fixed palette order.
+    pub series: Vec<Series>,
+    /// Optional horizontal reference line, e.g. the exhaustive best.
+    pub reference: Option<(f64, String)>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 110.0; // room for direct end-labels
+const MARGIN_T: f64 = 56.0; // title + legend row
+const MARGIN_B: f64 = 48.0;
+
+/// Rounds a raw step up to the 1–2–5 ladder.
+fn nice_step(raw: f64) -> f64 {
+    assert!(raw > 0.0 && raw.is_finite());
+    let mag = 10f64.powf(raw.log10().floor());
+    let frac = raw / mag;
+    // Round to the *nearest* nice value (standard tick heuristics), so a
+    // raw step of 2.02 becomes 2 rather than ballooning to 5.
+    let nice = if frac < 1.5 {
+        1.0
+    } else if frac < 3.0 {
+        2.0
+    } else if frac < 7.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+/// Clean tick positions covering `[lo, hi]` with roughly `target` ticks.
+pub fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    assert!(hi > lo, "degenerate tick range");
+    assert!(target >= 2);
+    let step = nice_step((hi - lo) / target as f64);
+    let first = (lo / step).floor() * step;
+    let mut out = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 0.501 {
+        if t >= lo - step * 0.501 {
+            // snap float noise to the step grid for clean labels
+            out.push((t / step).round() * step);
+        }
+        t += step;
+    }
+    out
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{:.0}", v)
+    } else if a >= 10.0 {
+        let s = format!("{v:.1}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        let s = format!("{v:.2}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl LineChart {
+    /// Renders the chart to a standalone SVG document.
+    ///
+    /// # Panics
+    /// Panics on empty series, more series than the palette holds, or
+    /// non-finite data.
+    pub fn render_svg(&self) -> String {
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        assert!(
+            self.series.len() <= PALETTE.len(),
+            "more series than palette slots; fold into 'Other' or facet"
+        );
+
+        // --- Data ranges (including error bars and the reference line). --
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            assert!(!s.points.is_empty(), "series '{}' is empty", s.label);
+            for &(x, y, e) in &s.points {
+                assert!(x.is_finite() && y.is_finite() && e.is_finite());
+                xs.push(x);
+                ys.push(y - e);
+                ys.push(y + e);
+            }
+        }
+        if let Some((r, _)) = &self.reference {
+            ys.push(*r);
+        }
+        let (x_lo, x_hi) = (
+            xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let (mut y_lo, mut y_hi) = (
+            ys.iter().cloned().fold(f64::INFINITY, f64::min),
+            ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        if y_hi - y_lo < 1e-12 {
+            y_lo -= 0.5;
+            y_hi += 0.5;
+        }
+        let pad = 0.06 * (y_hi - y_lo);
+        let (y_lo, y_hi) = (y_lo - pad, y_hi + pad);
+        let x_span = (x_hi - x_lo).max(1e-12);
+
+        let pw = WIDTH - MARGIN_L - MARGIN_R;
+        let ph = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x_lo) / x_span * pw;
+        let py = |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * ph;
+
+        let mut svg = String::with_capacity(16 * 1024);
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">"#
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>"#
+        ));
+
+        // --- Title. ------------------------------------------------------
+        svg.push_str(&format!(
+            r#"<text x="{MARGIN_L}" y="22" font-size="13" font-weight="600" fill="{INK}">{}</text>"#,
+            esc(&self.title)
+        ));
+
+        // --- Legend row (always present for >= 2 series). ----------------
+        if self.series.len() >= 2 {
+            let mut lx = MARGIN_L;
+            for (i, s) in self.series.iter().enumerate() {
+                let c = PALETTE[i];
+                svg.push_str(&format!(
+                    r#"<line x1="{lx}" y1="38" x2="{}" y2="38" stroke="{c}" stroke-width="2" stroke-linecap="round"/>"#,
+                    lx + 16.0
+                ));
+                svg.push_str(&format!(
+                    r#"<text x="{}" y="42" font-size="11" fill="{INK_2}">{}</text>"#,
+                    lx + 21.0,
+                    esc(&s.label)
+                ));
+                lx += 28.0 + 7.0 * s.label.len() as f64;
+            }
+        }
+
+        // --- Gridlines + y ticks. ----------------------------------------
+        for t in ticks(y_lo, y_hi, 5) {
+            let y = py(t);
+            svg.push_str(&format!(
+                r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                MARGIN_L + pw
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" fill="{INK_2}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                y + 3.5,
+                fmt_tick(t)
+            ));
+        }
+        // --- X ticks (at the data's sample sizes — the paper's style). ---
+        let x_ticks: Vec<f64> = self.series[0].points.iter().map(|p| p.0).collect();
+        for &t in &x_ticks {
+            let x = px(t);
+            svg.push_str(&format!(
+                r#"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                MARGIN_T + ph,
+                MARGIN_T + ph + 4.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{x:.1}" y="{:.1}" font-size="10" fill="{INK_2}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + ph + 16.0,
+                fmt_tick(t)
+            ));
+        }
+
+        // --- Axis captions. ----------------------------------------------
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + pw / 2.0,
+            HEIGHT - 10.0,
+            esc(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="14" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            MARGIN_T + ph / 2.0,
+            MARGIN_T + ph / 2.0,
+            esc(&self.y_label)
+        ));
+
+        // --- Reference line (e.g. exhaustive best). ----------------------
+        if let Some((r, label)) = &self.reference {
+            let y = py(*r);
+            svg.push_str(&format!(
+                r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{REF}" stroke-width="1"/>"#,
+                MARGIN_L + pw
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" fill="{INK_2}" text-anchor="end">{}</text>"#,
+                MARGIN_L + pw - 4.0,
+                y - 5.0,
+                esc(label)
+            ));
+        }
+
+        // --- Series: error bars, lines, markers. --------------------------
+        for (i, s) in self.series.iter().enumerate() {
+            let c = PALETTE[i];
+            // error bars first (under the line)
+            for &(x, y, e) in &s.points {
+                if e > 0.0 {
+                    let (x, y1, y2) = (px(x), py(y - e), py(y + e));
+                    svg.push_str(&format!(
+                        r#"<line x1="{x:.1}" y1="{y1:.1}" x2="{x:.1}" y2="{y2:.1}" stroke="{c}" stroke-width="1.5" opacity="0.55"/>"#
+                    ));
+                    for yy in [y1, y2] {
+                        svg.push_str(&format!(
+                            r#"<line x1="{:.1}" y1="{yy:.1}" x2="{:.1}" y2="{yy:.1}" stroke="{c}" stroke-width="1.5" opacity="0.55"/>"#,
+                            x - 3.0,
+                            x + 3.0
+                        ));
+                    }
+                }
+            }
+            // the 2px round-capped line
+            let path: String = s
+                .points
+                .iter()
+                .enumerate()
+                .map(|(j, &(x, y, _))| {
+                    format!("{}{:.1} {:.1}", if j == 0 { "M" } else { "L" }, px(x), py(y))
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            svg.push_str(&format!(
+                r#"<path d="{path}" fill="none" stroke="{c}" stroke-width="2" stroke-linecap="round" stroke-linejoin="round"/>"#
+            ));
+            // markers with a 2px surface ring
+            for &(x, y, _) in &s.points {
+                svg.push_str(&format!(
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{c}" stroke="{SURFACE}" stroke-width="2"/>"#,
+                    px(x),
+                    py(y)
+                ));
+            }
+        }
+
+        // --- Selective direct end-labels (skip on collision; the legend
+        //     carries identity). ------------------------------------------
+        let mut used: Vec<f64> = Vec::new();
+        for (i, s) in self.series.iter().enumerate() {
+            let &(x, y, _) = s.points.last().expect("non-empty");
+            let ly = py(y);
+            if used.iter().any(|&u| (u - ly).abs() < 12.0) {
+                continue; // would collide with a previous label
+            }
+            used.push(ly);
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{ly:.1}" r="3" fill="{}"/>"#,
+                px(x) + 10.0,
+                PALETTE[i]
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK}">{}</text>"#,
+                px(x) + 16.0,
+                ly + 3.5,
+                esc(&s.label)
+            ));
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// Builds the two standard figure charts (best-config, recall) from a
+/// report and returns `[(file-suffix, svg)]`.
+pub fn figure_charts(report: &crate::report::FigureReport) -> Vec<(String, String)> {
+    // Keep titles inside the canvas: drop any parenthetical annotation
+    // (the full title lives in the .txt/.json report).
+    let short_title = report
+        .title
+        .split(" (")
+        .next()
+        .unwrap_or(&report.title)
+        .to_string();
+    let series_of = |metric: usize| -> Vec<Series> {
+        report
+            .series
+            .iter()
+            .map(|m| Series {
+                label: m.method.clone(),
+                points: m
+                    .points
+                    .iter()
+                    .map(|p| {
+                        if metric == 0 {
+                            (p.samples as f64, p.best_mean, p.best_std)
+                        } else {
+                            (p.samples as f64, p.recall_mean, p.recall_std)
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    };
+    vec![
+        (
+            "best".into(),
+            LineChart {
+                title: format!("{short_title} — best configuration"),
+                x_label: "Samples evaluated".into(),
+                y_label: "Best objective".into(),
+                series: series_of(0),
+                reference: Some((report.exhaustive_best, "exhaustive best".into())),
+            }
+            .render_svg(),
+        ),
+        (
+            "recall".into(),
+            LineChart {
+                title: format!("{short_title} — recall"),
+                x_label: "Samples evaluated".into(),
+                y_label: "Recall".into(),
+                series: series_of(1),
+                reference: None,
+            }
+            .render_svg(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "Test & chart".into(),
+            x_label: "Samples".into(),
+            y_label: "Time (s)".into(),
+            series: vec![
+                Series {
+                    label: "Random".into(),
+                    points: vec![(32.0, 10.0, 1.0), (64.0, 9.0, 0.5), (96.0, 8.8, 0.4)],
+                },
+                Series {
+                    label: "HiPerBOt".into(),
+                    points: vec![(32.0, 9.0, 0.8), (64.0, 8.5, 0.3), (96.0, 8.4, 0.1)],
+                },
+            ],
+            reference: Some((8.3, "exhaustive best".into())),
+        }
+    }
+
+    #[test]
+    fn ticks_are_clean_and_cover_the_range() {
+        let t = ticks(0.0, 10.0, 5);
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let t = ticks(8.3, 18.4, 5);
+        assert!(t.len() >= 4, "{t:?}");
+        assert!(t.first().unwrap() >= &6.0 && t.first().unwrap() <= &10.5, "{t:?}");
+        assert!(t.last().unwrap() >= &17.0, "{t:?}");
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn nice_step_follows_the_125_ladder() {
+        assert_eq!(nice_step(0.7), 0.5); // 7.0 - eps of a decade below
+        assert_eq!(nice_step(1.3), 1.0);
+        assert_eq!(nice_step(1.8), 2.0);
+        assert_eq!(nice_step(3.2), 5.0);
+        assert_eq!(nice_step(8.0), 10.0);
+        assert_eq!(nice_step(0.04), 0.05);
+    }
+
+    #[test]
+    fn svg_contains_all_structural_elements() {
+        let svg = chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Test &amp; chart"), "title escaped");
+        assert!(svg.contains("Random"));
+        assert!(svg.contains("HiPerBOt"));
+        assert!(svg.contains("exhaustive best"));
+        // 2 series x 3 markers + 2 legend-ish dots... count circles >= 6
+        assert!(svg.matches("<circle").count() >= 6);
+        // series lines
+        assert!(svg.matches("<path").count() == 2);
+        // error bars present
+        assert!(svg.contains(r#"opacity="0.55""#));
+    }
+
+    #[test]
+    fn svg_tags_are_balanced() {
+        let svg = chart().render_svg();
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+        // all lines/circles/rect/path are self-closing
+        for tag in ["<line", "<circle", "<rect", "<path"] {
+            let n = svg.matches(tag).count();
+            assert!(n > 0, "{tag} missing");
+        }
+    }
+
+    #[test]
+    fn colliding_end_labels_are_skipped() {
+        let mut c = chart();
+        // Force both series to end at the same value → one label must yield.
+        c.series[0].points.last_mut().unwrap().1 = 8.4;
+        c.series[1].points.last_mut().unwrap().1 = 8.4;
+        let svg = c.render_svg();
+        // legend (1) + end label (1) for the first series; the second series'
+        // end label is suppressed, so "Random" appears twice (legend+end)
+        // and "HiPerBOt" once (legend only).
+        assert_eq!(svg.matches("Random").count(), 2);
+        assert_eq!(svg.matches("HiPerBOt").count(), 1);
+    }
+
+    #[test]
+    fn single_series_has_no_legend_row() {
+        let mut c = chart();
+        c.series.truncate(1);
+        let svg = c.render_svg();
+        // y=38 is the legend row; no legend line should be drawn there
+        assert!(!svg.contains(r#"y1="38""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "more series than palette")]
+    fn too_many_series_panics() {
+        let mut c = chart();
+        for i in 0..4 {
+            c.series.push(Series {
+                label: format!("extra{i}"),
+                points: vec![(1.0, 1.0, 0.0)],
+            });
+        }
+        let _ = c.render_svg();
+    }
+
+    #[test]
+    fn flat_data_still_renders() {
+        let c = LineChart {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "only".into(),
+                points: vec![(1.0, 5.0, 0.0), (2.0, 5.0, 0.0)],
+            }],
+            reference: None,
+        };
+        let svg = c.render_svg();
+        assert!(svg.contains("<path"));
+    }
+}

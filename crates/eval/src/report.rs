@@ -1,0 +1,210 @@
+//! Paper-style result rendering.
+//!
+//! Each reproduction binary prints the same rows/series its figure or
+//! table reports: sample-size rows with mean ± std per method for the
+//! figures, JS-ranked parameter lists for Table I. Output is both
+//! human-readable text and JSON (for downstream plotting).
+
+use crate::runner::CheckpointStats;
+use serde::{Deserialize, Serialize};
+
+/// One method's series over the sample-size checkpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodSeries {
+    /// Method display name.
+    pub method: String,
+    /// Per-checkpoint statistics.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// One (checkpoint, metric) row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Sample budget.
+    pub samples: usize,
+    /// Mean best objective at this budget.
+    pub best_mean: f64,
+    /// Std of the best objective.
+    pub best_std: f64,
+    /// Mean recall.
+    pub recall_mean: f64,
+    /// Std of recall.
+    pub recall_std: f64,
+}
+
+impl MethodSeries {
+    /// Converts runner output into a series.
+    pub fn from_stats(method: impl Into<String>, stats: &[CheckpointStats]) -> Self {
+        Self {
+            method: method.into(),
+            points: stats
+                .iter()
+                .map(|s| SeriesPoint {
+                    samples: s.samples,
+                    best_mean: s.best.mean(),
+                    best_std: s.best.sample_std_dev(),
+                    recall_mean: s.recall.mean(),
+                    recall_std: s.recall.sample_std_dev(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A complete figure reproduction: several methods over one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. `"fig2-kripke-exec"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Dataset size (|feasible space|).
+    pub dataset_size: usize,
+    /// The exhaustive-best objective (the paper's dashed line).
+    pub exhaustive_best: f64,
+    /// Number of good configurations under the recall criterion.
+    pub total_good: usize,
+    /// Method series.
+    pub series: Vec<MethodSeries>,
+}
+
+impl FigureReport {
+    /// Renders the paper-style text table: one block per metric, one row
+    /// per checkpoint, one column per method.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        out.push_str(&format!(
+            "dataset: {} configs, exhaustive best = {:.4}, good configs = {}\n\n",
+            self.dataset_size, self.exhaustive_best, self.total_good
+        ));
+        let checkpoints: Vec<usize> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.samples).collect())
+            .unwrap_or_default();
+
+        for (metric, label) in [(0, "Best configuration"), (1, "Recall")] {
+            out.push_str(&format!("### {label}\n"));
+            out.push_str(&format!("{:>10}", "samples"));
+            for s in &self.series {
+                out.push_str(&format!(" | {:>22}", s.method));
+            }
+            out.push('\n');
+            for (ci, &n) in checkpoints.iter().enumerate() {
+                out.push_str(&format!("{n:>10}"));
+                for s in &self.series {
+                    let p = &s.points[ci];
+                    let (m, sd) = if metric == 0 {
+                        (p.best_mean, p.best_std)
+                    } else {
+                        (p.recall_mean, p.recall_std)
+                    };
+                    out.push_str(&format!(" | {m:>13.4} ±{sd:>6.4}"));
+                }
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Writes a report to `results/<id>.txt`, `results/<id>.json`, and a pair
+/// of `results/<id>-{best,recall}.svg` figures under the given root,
+/// returning the text rendering.
+pub fn write_report(root: &std::path::Path, report: &FigureReport) -> std::io::Result<String> {
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let text = report.render_text();
+    std::fs::write(dir.join(format!("{}.txt", report.id)), &text)?;
+    std::fs::write(dir.join(format!("{}.json", report.id)), report.to_json())?;
+    for (suffix, svg) in crate::plot::figure_charts(report) {
+        std::fs::write(dir.join(format!("{}-{suffix}.svg", report.id)), svg)?;
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_stats::Summary;
+
+    fn fake_stats() -> Vec<CheckpointStats> {
+        vec![
+            CheckpointStats {
+                samples: 32,
+                best: Summary::of(&[10.0, 12.0]),
+                recall: Summary::of(&[0.1, 0.2]),
+            },
+            CheckpointStats {
+                samples: 64,
+                best: Summary::of(&[9.0, 9.5]),
+                recall: Summary::of(&[0.3, 0.4]),
+            },
+        ]
+    }
+
+    fn report() -> FigureReport {
+        FigureReport {
+            id: "fig-test".into(),
+            title: "Test figure".into(),
+            dataset_size: 100,
+            exhaustive_best: 8.43,
+            total_good: 12,
+            series: vec![
+                MethodSeries::from_stats("Random", &fake_stats()),
+                MethodSeries::from_stats("HiPerBOt", &fake_stats()),
+            ],
+        }
+    }
+
+    #[test]
+    fn series_conversion_carries_values() {
+        let s = MethodSeries::from_stats("X", &fake_stats());
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].samples, 32);
+        assert!((s.points[0].best_mean - 11.0).abs() < 1e-12);
+        assert!((s.points[1].recall_mean - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_render_contains_all_rows_and_methods() {
+        let text = report().render_text();
+        assert!(text.contains("fig-test"));
+        assert!(text.contains("Random"));
+        assert!(text.contains("HiPerBOt"));
+        assert!(text.contains("Best configuration"));
+        assert!(text.contains("Recall"));
+        assert!(text.contains("8.43"));
+        assert!(text.lines().any(|l| l.trim_start().starts_with("32")));
+        assert!(text.lines().any(|l| l.trim_start().starts_with("64")));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let j = report().to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["id"], "fig-test");
+        assert_eq!(v["series"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn write_report_creates_files() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = write_report(&dir, &report()).unwrap();
+        assert!(!text.is_empty());
+        assert!(dir.join("results/fig-test.txt").exists());
+        assert!(dir.join("results/fig-test.json").exists());
+        assert!(dir.join("results/fig-test-best.svg").exists());
+        assert!(dir.join("results/fig-test-recall.svg").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

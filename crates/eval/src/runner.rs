@@ -1,0 +1,234 @@
+//! The repeated-trial experiment runner (paper §V: "running the model
+//! algorithm 50 times and reporting the mean and standard deviation").
+
+use crate::metrics::{GoodSet, Recall};
+use hiperbot_apps::Dataset;
+use hiperbot_baselines::ConfigSelector;
+use hiperbot_stats::{SeedSequence, Summary};
+use rayon::prelude::*;
+
+/// One experiment's shape.
+#[derive(Debug, Clone)]
+pub struct TrialConfig {
+    /// Sample-size checkpoints at which metrics are recorded (the x-axis
+    /// of the paper's figures).
+    pub checkpoints: Vec<usize>,
+    /// Independent repetitions (paper: 50).
+    pub repetitions: usize,
+    /// Master seed; each repetition derives an independent stream.
+    pub seed: u64,
+    /// Definition of the "good" set for Recall.
+    pub good: GoodSet,
+}
+
+impl TrialConfig {
+    /// The paper's default: 50 repetitions, 20 %-percentile good set.
+    pub fn new(checkpoints: Vec<usize>) -> Self {
+        assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+        Self {
+            checkpoints,
+            repetitions: 50,
+            seed: 0xE0A7_2020,
+            good: GoodSet::Percentile(0.02),
+        }
+    }
+
+    /// Overrides the repetition count (e.g. from `HIPERBOT_REPS`).
+    pub fn with_repetitions(mut self, reps: usize) -> Self {
+        assert!(reps > 0);
+        self.repetitions = reps;
+        self
+    }
+
+    /// Overrides the good-set criterion.
+    pub fn with_good(mut self, good: GoodSet) -> Self {
+        self.good = good;
+        self
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Aggregated metrics at one checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointStats {
+    /// The sample budget this row describes.
+    pub samples: usize,
+    /// Best-configuration metric across repetitions.
+    pub best: Summary,
+    /// Recall metric across repetitions.
+    pub recall: Summary,
+}
+
+/// Runs `method` on `dataset` under the protocol in `config`.
+///
+/// Repetitions run in parallel under rayon; each gets an independent seed
+/// derived from the master seed, so results are identical regardless of
+/// thread count or scheduling.
+pub fn run_trials(
+    dataset: &Dataset,
+    method: &dyn ConfigSelector,
+    config: &TrialConfig,
+) -> Vec<CheckpointStats> {
+    let budget = *config
+        .checkpoints
+        .iter()
+        .max()
+        .expect("non-empty checkpoints");
+    let recall = Recall::new(dataset, config.good);
+
+    // Pre-derive per-repetition seeds (order-independent determinism).
+    let mut seq = SeedSequence::new(config.seed);
+    let seeds: Vec<u64> = (0..config.repetitions).map(|_| seq.next_seed()).collect();
+
+    let per_rep: Vec<Vec<(f64, f64)>> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let run = method.select(
+                dataset.space(),
+                dataset.configs(),
+                &|c| dataset.evaluate(c),
+                budget,
+                seed,
+            );
+            config
+                .checkpoints
+                .iter()
+                .map(|&n| (run.best_within(n), recall.of_prefix(&run.objectives, n)))
+                .collect()
+        })
+        .collect();
+
+    config
+        .checkpoints
+        .iter()
+        .enumerate()
+        .map(|(ci, &n)| {
+            let mut best = Summary::new();
+            let mut rec = Summary::new();
+            for rep in &per_rep {
+                best.push(rep[ci].0);
+                rec.push(rep[ci].1);
+            }
+            CheckpointStats {
+                samples: n,
+                best,
+                recall: rec,
+            }
+        })
+        .collect()
+}
+
+/// Reads the repetition count from `HIPERBOT_REPS` (default: the paper's
+/// 50). The reproduction binaries use this so CI and slow machines can
+/// dial effort down without touching the protocol.
+pub fn repetitions_from_env() -> usize {
+    std::env::var("HIPERBOT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(50)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_baselines::{HiPerBOtSelector, RandomSelector};
+    use hiperbot_space::{Domain, ParamDef, ParameterSpace};
+
+    fn dataset() -> Dataset {
+        let vals: Vec<i64> = (0..12).collect();
+        let space = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+            .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+            .build()
+            .unwrap();
+        Dataset::generate("toy", "time", space, 3, 0.0, |c, _| {
+            let x = c.value(0).index() as f64;
+            let y = c.value(1).index() as f64;
+            (x - 8.0).powi(2) + (y - 4.0).powi(2) + 1.0
+        })
+    }
+
+    #[test]
+    fn stats_have_the_requested_shape() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![10, 20, 40])
+            .with_repetitions(6)
+            .with_good(GoodSet::Percentile(0.05));
+        let stats = run_trials(&d, &RandomSelector, &cfg);
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert_eq!(s.best.count(), 6);
+            assert_eq!(s.recall.count(), 6);
+        }
+    }
+
+    #[test]
+    fn best_metric_improves_with_budget() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![10, 40, 100])
+            .with_repetitions(8)
+            .with_good(GoodSet::Percentile(0.05));
+        let stats = run_trials(&d, &RandomSelector, &cfg);
+        assert!(stats[0].best.mean() >= stats[1].best.mean());
+        assert!(stats[1].best.mean() >= stats[2].best.mean());
+    }
+
+    #[test]
+    fn recall_grows_with_budget() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![20, 60, 120])
+            .with_repetitions(8)
+            .with_good(GoodSet::Percentile(0.1));
+        let stats = run_trials(&d, &HiPerBOtSelector::default(), &cfg);
+        assert!(stats[2].recall.mean() > stats[0].recall.mean());
+    }
+
+    #[test]
+    fn hiperbot_beats_random_on_the_toy_dataset() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![40])
+            .with_repetitions(10)
+            .with_good(GoodSet::Percentile(0.05));
+        let hb = run_trials(&d, &HiPerBOtSelector::default(), &cfg);
+        let rnd = run_trials(&d, &RandomSelector, &cfg);
+        assert!(
+            hb[0].best.mean() <= rnd[0].best.mean(),
+            "HiPerBOt {} vs Random {}",
+            hb[0].best.mean(),
+            rnd[0].best.mean()
+        );
+        assert!(hb[0].recall.mean() >= rnd[0].recall.mean());
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![25]).with_repetitions(4);
+        let a = run_trials(&d, &RandomSelector, &cfg);
+        let b = run_trials(&d, &RandomSelector, &cfg);
+        assert_eq!(a[0].best.mean(), b[0].best.mean());
+        assert_eq!(a[0].recall.mean(), b[0].recall.mean());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = dataset();
+        let a = run_trials(
+            &d,
+            &RandomSelector,
+            &TrialConfig::new(vec![15]).with_repetitions(4).with_seed(1),
+        );
+        let b = run_trials(
+            &d,
+            &RandomSelector,
+            &TrialConfig::new(vec![15]).with_repetitions(4).with_seed(2),
+        );
+        assert_ne!(a[0].best.mean(), b[0].best.mean());
+    }
+}

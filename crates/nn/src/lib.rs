@@ -1,0 +1,18 @@
+//! Minimal neural-network substrate for the PerfNet baseline.
+//!
+//! PerfNet (Marathe et al., SC'17) — the transfer-learning comparator of
+//! paper §VII — is a deep-learning performance model: an MLP regressor is
+//! trained on a cheap source-domain sweep, then fine-tuned on a handful of
+//! expensive target-domain runs with the early layers frozen. Nothing in
+//! the public ecosystem was assumed here: this crate implements dense
+//! layers, ReLU activations, MSE loss, reverse-mode gradients, SGD/Adam,
+//! minibatch training, and layer freezing from scratch — just enough to
+//! reproduce that baseline faithfully.
+
+pub mod mlp;
+pub mod optimizer;
+pub mod train;
+
+pub use mlp::Mlp;
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use train::{train, TrainOptions};

@@ -1,0 +1,176 @@
+//! First-order optimizers: SGD and Adam.
+
+use crate::mlp::{Dense, DenseGrad};
+
+/// A parameter-update rule applied layer by layer.
+pub trait Optimizer {
+    /// Applies one update step to `layer` given its gradient.
+    /// `layer_index` identifies the layer so stateful optimizers (Adam)
+    /// keep per-layer moments.
+    fn step(&mut self, layer_index: usize, layer: &mut Dense, grad: &DenseGrad);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _layer_index: usize, layer: &mut Dense, grad: &DenseGrad) {
+        for (w, g) in layer.w.iter_mut().zip(&grad.w) {
+            *w -= self.lr * g;
+        }
+        for (b, g) in layer.b.iter_mut().zip(&grad.b) {
+            *b -= self.lr * g;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Per-layer (m, v) moments for weights and biases.
+    state: Vec<AdamState>,
+    t: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct AdamState {
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults (β₁ 0.9, β₂ 0.999).
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Marks the start of a new optimizer step (advances the bias-correction
+    /// clock). Call once per minibatch before updating the layers.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layer_index: usize, layer: &mut Dense, grad: &DenseGrad) {
+        if self.t == 0 {
+            // Callers that forget begin_step still get correct behaviour
+            // for a single layer, at the cost of coupling t to calls.
+            self.t = 1;
+        }
+        while self.state.len() <= layer_index {
+            self.state.push(AdamState::default());
+        }
+        let st = &mut self.state[layer_index];
+        if st.mw.len() != layer.w.len() {
+            *st = AdamState {
+                mw: vec![0.0; layer.w.len()],
+                vw: vec![0.0; layer.w.len()],
+                mb: vec![0.0; layer.b.len()],
+                vb: vec![0.0; layer.b.len()],
+            };
+        }
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let update = |p: &mut f64, g: f64, m: &mut f64, v: &mut f64| {
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        };
+        for i in 0..layer.w.len() {
+            update(&mut layer.w[i], grad.w[i], &mut st.mw[i], &mut st.vw[i]);
+        }
+        for i in 0..layer.b.len() {
+            update(&mut layer.b[i], grad.b[i], &mut st.mb[i], &mut st.vb[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Mlp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sgd_moves_against_the_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Mlp::new(&[1, 1], &mut rng);
+        let before = net.loss(&[1.0], &[2.0]);
+        let grads = net.gradients(&[1.0], &[2.0]);
+        let mut opt = Sgd::new(0.05);
+        opt.step(0, &mut net.layers_mut()[0], &grads[0]);
+        let after = net.loss(&[1.0], &[2.0]);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // minimize (w - 3)^2 via the net y = w*x with x=1, t=3
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = Mlp::new(&[1, 1], &mut rng);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            let grads = net.gradients(&[1.0], &[3.0]);
+            opt.begin_step();
+            opt.step(0, &mut net.layers_mut()[0], &grads[0]);
+        }
+        assert!(net.loss(&[1.0], &[3.0]) < 1e-6);
+    }
+
+    #[test]
+    fn adam_handles_multiple_layers_independently() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut net = Mlp::new(&[2, 4, 1], &mut rng);
+        let mut opt = Adam::new(0.01);
+        let before = net.loss(&[0.5, -0.5], &[1.0]);
+        for _ in 0..200 {
+            let grads = net.gradients(&[0.5, -0.5], &[1.0]);
+            opt.begin_step();
+            for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+                opt.step(i, layer, &grads[i]);
+            }
+        }
+        assert!(net.loss(&[0.5, -0.5], &[1.0]) < 0.01 * before.max(1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Minibatch training and fine-tuning with layer freezing.
+
+use crate::mlp::{DenseGrad, Mlp};
+use crate::optimizer::{Adam, Optimizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Layers with index < `frozen_layers` receive no updates — the
+    /// PerfNet fine-tuning mechanism (early layers keep the source-domain
+    /// representation).
+    pub frozen_layers: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            frozen_layers: 0,
+        }
+    }
+}
+
+/// Trains `net` on `(xs, ys)` (row-major features, scalar-or-vector
+/// targets) and returns the final epoch's mean training loss.
+///
+/// # Panics
+/// Panics on empty or mismatched data.
+pub fn train<R: Rng + ?Sized>(
+    net: &mut Mlp,
+    xs: &[Vec<f64>],
+    ys: &[Vec<f64>],
+    options: &TrainOptions,
+    rng: &mut R,
+) -> f64 {
+    assert!(!xs.is_empty(), "no training data");
+    assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
+    assert!(options.batch_size > 0, "batch size must be positive");
+    assert!(
+        options.frozen_layers <= net.layers().len(),
+        "cannot freeze more layers than exist"
+    );
+
+    let mut opt = Adam::new(options.learning_rate);
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    let mut last_epoch_loss = f64::INFINITY;
+
+    for _ in 0..options.epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        for batch in order.chunks(options.batch_size) {
+            // Accumulate averaged gradients over the batch.
+            let mut acc: Option<Vec<DenseGrad>> = None;
+            for &i in batch {
+                let g = net.gradients(&xs[i], &ys[i]);
+                epoch_loss += net.loss(&xs[i], &ys[i]);
+                match &mut acc {
+                    None => acc = Some(g),
+                    Some(a) => {
+                        for (al, gl) in a.iter_mut().zip(&g) {
+                            al.add_assign(gl);
+                        }
+                    }
+                }
+            }
+            let mut grads = acc.expect("non-empty batch");
+            let scale = 1.0 / batch.len() as f64;
+            for g in grads.iter_mut() {
+                g.scale(scale);
+            }
+            opt.begin_step();
+            for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+                if li < options.frozen_layers {
+                    continue;
+                }
+                opt.step(li, layer, &grads[li]);
+            }
+        }
+        last_epoch_loss = epoch_loss / xs.len() as f64;
+    }
+    last_epoch_loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn linear_data(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        // y = 2x0 - x1 + 0.5
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let x0 = (i % 10) as f64 / 10.0;
+            let x1 = ((i / 10) % 10) as f64 / 10.0;
+            xs.push(vec![x0, x1]);
+            ys.push(vec![2.0 * x0 - x1 + 0.5]);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_a_linear_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng);
+        let (xs, ys) = linear_data(100);
+        let opts = TrainOptions {
+            epochs: 200,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            frozen_layers: 0,
+        };
+        let loss = train(&mut net, &xs, &ys, &opts, &mut rng);
+        assert!(loss < 1e-3, "final loss {loss}");
+        let pred = net.predict_scalar(&[0.5, 0.5]);
+        assert!((pred - 1.0).abs() < 0.15, "pred {pred}");
+    }
+
+    #[test]
+    fn fits_a_nonlinear_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = Mlp::new(&[2, 24, 24, 1], &mut rng);
+        // XOR-ish bumps — requires the hidden layers.
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i * 7) % 20) as f64 / 20.0, ((i * 13) % 20) as f64 / 20.0])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![if (x[0] > 0.5) != (x[1] > 0.5) { 1.0 } else { 0.0 }])
+            .collect();
+        let opts = TrainOptions {
+            epochs: 400,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            frozen_layers: 0,
+        };
+        let loss = train(&mut net, &xs, &ys, &opts, &mut rng);
+        assert!(loss < 0.05, "final loss {loss}");
+    }
+
+    #[test]
+    fn frozen_layers_do_not_move() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut net = Mlp::new(&[2, 8, 1], &mut rng);
+        let frozen_before = net.layers()[0].w.clone();
+        let free_before = net.layers()[1].w.clone();
+        let (xs, ys) = linear_data(50);
+        let opts = TrainOptions {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 1e-2,
+            frozen_layers: 1,
+        };
+        train(&mut net, &xs, &ys, &opts, &mut rng);
+        assert_eq!(net.layers()[0].w, frozen_before, "frozen layer moved");
+        assert_ne!(net.layers()[1].w, free_before, "free layer did not move");
+    }
+
+    #[test]
+    fn fine_tuning_adapts_a_shifted_target() {
+        // Pretrain on y = f(x); fine-tune (last layer only) on y = f(x)+2.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng);
+        let (xs, ys) = linear_data(100);
+        train(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainOptions {
+                epochs: 150,
+                learning_rate: 5e-3,
+                ..TrainOptions::default()
+            },
+            &mut rng,
+        );
+        let shifted: Vec<Vec<f64>> = ys.iter().map(|y| vec![y[0] + 2.0]).collect();
+        // Only a few (diverse) target examples, early layer frozen.
+        let few_x: Vec<Vec<f64>> = xs.iter().step_by(11).cloned().collect();
+        let few_y: Vec<Vec<f64>> = shifted.iter().step_by(11).cloned().collect();
+        let loss = train(
+            &mut net,
+            &few_x,
+            &few_y,
+            &TrainOptions {
+                epochs: 800,
+                batch_size: 10,
+                learning_rate: 2e-2,
+                frozen_layers: 1,
+            },
+            &mut rng,
+        );
+        assert!(loss < 0.05, "fine-tune loss {loss}");
+        let pred = net.predict_scalar(&[0.5, 0.5]);
+        assert!((pred - 3.0).abs() < 0.4, "pred {pred}, want ≈ 3.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn empty_data_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut net = Mlp::new(&[2, 1], &mut rng);
+        let _ = train(&mut net, &[], &[], &TrainOptions::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze more layers")]
+    fn overfreezing_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = Mlp::new(&[2, 1], &mut rng);
+        let opts = TrainOptions {
+            frozen_layers: 5,
+            ..TrainOptions::default()
+        };
+        let _ = train(&mut net, &[vec![0.0, 0.0]], &[vec![0.0]], &opts, &mut rng);
+    }
+}

@@ -1,0 +1,71 @@
+//! Serialization of trained networks: a PerfNet model trained on a source
+//! sweep can be stored and re-used later (the realistic deployment of the
+//! paper's §VII workflow).
+
+use hiperbot_nn::{train, Mlp, TrainOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn serialized_network_predicts_identically() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut net = Mlp::new(&[3, 16, 1], &mut rng);
+    let xs: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            vec![
+                (i % 5) as f64 / 5.0,
+                ((i / 5) % 4) as f64 / 4.0,
+                ((i / 20) % 3) as f64 / 3.0,
+            ]
+        })
+        .collect();
+    let ys: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| vec![x[0] * 2.0 - x[1] + 0.5 * x[2]])
+        .collect();
+    train(&mut net, &xs, &ys, &TrainOptions::default(), &mut rng);
+
+    let json = serde_json::to_string(&net).expect("serialize");
+    let back: Mlp = serde_json::from_str(&json).expect("deserialize");
+
+    for x in xs.iter().take(10) {
+        assert_eq!(net.predict_scalar(x), back.predict_scalar(x));
+    }
+}
+
+#[test]
+fn restored_network_can_keep_training() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut net = Mlp::new(&[2, 8, 1], &mut rng);
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|i| vec![(i % 8) as f64 / 8.0, ((i / 8) % 5) as f64 / 5.0])
+        .collect();
+    let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] + x[1]]).collect();
+    let loss_a = train(
+        &mut net,
+        &xs,
+        &ys,
+        &TrainOptions {
+            epochs: 30,
+            ..TrainOptions::default()
+        },
+        &mut rng,
+    );
+
+    let json = serde_json::to_string(&net).expect("serialize");
+    let mut back: Mlp = serde_json::from_str(&json).expect("deserialize");
+    let loss_b = train(
+        &mut back,
+        &xs,
+        &ys,
+        &TrainOptions {
+            epochs: 100,
+            ..TrainOptions::default()
+        },
+        &mut rng,
+    );
+    assert!(
+        loss_b < loss_a,
+        "continued training should improve: {loss_a} -> {loss_b}"
+    );
+}

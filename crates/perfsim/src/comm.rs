@@ -1,0 +1,137 @@
+//! Communication cost models.
+//!
+//! MPI rank count is a tunable in Kripke and HYPRE; decomposition grain in
+//! OpenAtom. Costs follow the Hockney (α–β) model: a message of `b` bytes
+//! costs `α + b/β`. Collectives use standard logarithmic-tree estimates
+//! (Thakur et al., IJHPCA 2005).
+
+use crate::machine::MachineSpec;
+
+/// Point-to-point message time in seconds for `bytes` on `machine`.
+pub fn ptp_time(bytes: f64, machine: &MachineSpec) -> f64 {
+    assert!(bytes >= 0.0);
+    machine.net_latency_us * 1e-6 + bytes / (machine.net_bw_gbs * 1e9)
+}
+
+/// Allreduce of `bytes` across `p` ranks: `⌈log2 p⌉ · (α + b/β)`
+/// (recursive-doubling estimate; exact for power-of-two `p`).
+pub fn allreduce_time(bytes: f64, p: usize, machine: &MachineSpec) -> f64 {
+    assert!(p > 0, "need at least one rank");
+    if p == 1 {
+        return 0.0;
+    }
+    let rounds = (p as f64).log2().ceil();
+    rounds * ptp_time(bytes, machine)
+}
+
+/// One halo (ghost-zone) exchange for a 3-D domain decomposition:
+/// each rank sends 6 faces of `face_bytes` each, overlapping in
+/// `concurrency` directions at once (1 = fully serialized, 6 = fully
+/// overlapped network).
+pub fn halo_exchange_time(face_bytes: f64, concurrency: f64, machine: &MachineSpec) -> f64 {
+    assert!((1.0..=6.0).contains(&concurrency));
+    6.0 / concurrency * ptp_time(face_bytes, machine)
+}
+
+/// Bytes per face for a cube of `n³` cells split across `p` ranks in a
+/// near-cubic decomposition, `bytes_per_cell` each.
+pub fn face_bytes(n_cells_global: f64, p: usize, bytes_per_cell: f64) -> f64 {
+    assert!(p > 0);
+    let cells_per_rank = n_cells_global / p as f64;
+    // A face of a cubic subdomain holds (cells_per_rank)^(2/3) cells.
+    cells_per_rank.powf(2.0 / 3.0) * bytes_per_cell
+}
+
+/// Parallel efficiency of a sweep-style pipeline (Kripke's KBA sweeps):
+/// with `p` ranks in the sweep plane and `stages` pipeline fill stages,
+/// efficiency = stages / (stages + p^(2/3)) — the classic KBA fill cost.
+pub fn sweep_efficiency(p: usize, stages: f64) -> f64 {
+    assert!(p > 0);
+    assert!(stages > 0.0);
+    let fill = (p as f64).powf(2.0 / 3.0);
+    stages / (stages + fill)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m() -> MachineSpec {
+        MachineSpec::quartz_like()
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let t = ptp_time(0.0, &m());
+        assert!((t - 1.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_dominated() {
+        let t = ptp_time(1e9, &m()); // 1 GB
+        let bw_term = 1e9 / (12.5 * 1e9);
+        assert!((t - bw_term).abs() / t < 0.01);
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_free() {
+        assert_eq!(allreduce_time(1024.0, 1, &m()), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let t16 = allreduce_time(1024.0, 16, &m());
+        let t256 = allreduce_time(1024.0, 256, &m());
+        assert!((t256 / t16 - 2.0).abs() < 1e-9); // log2 256 / log2 16 = 8/4
+    }
+
+    #[test]
+    fn halo_overlap_reduces_time() {
+        let serial = halo_exchange_time(1e6, 1.0, &m());
+        let overlapped = halo_exchange_time(1e6, 6.0, &m());
+        assert!((serial / overlapped - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn face_bytes_shrink_with_more_ranks() {
+        let few = face_bytes(1e9, 8, 8.0);
+        let many = face_bytes(1e9, 64, 8.0);
+        assert!(many < few);
+        // Surface scales as (V/p)^(2/3): 8x ranks -> 4x smaller faces
+        assert!((few / many - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_efficiency_degrades_with_ranks() {
+        assert!(sweep_efficiency(1, 32.0) > sweep_efficiency(64, 32.0));
+        assert!(sweep_efficiency(64, 32.0) > sweep_efficiency(4096, 32.0));
+    }
+
+    #[test]
+    fn more_stages_improve_sweep_efficiency() {
+        // More group/direction sets = deeper pipeline = better fill ratio.
+        assert!(sweep_efficiency(64, 64.0) > sweep_efficiency(64, 8.0));
+    }
+
+    proptest! {
+        #[test]
+        fn ptp_time_is_monotone_in_bytes(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(ptp_time(lo, &m()) <= ptp_time(hi, &m()));
+        }
+
+        #[test]
+        fn sweep_efficiency_is_in_unit_interval(p in 1usize..10_000, s in 0.1f64..1000.0) {
+            let e = sweep_efficiency(p, s);
+            prop_assert!(e > 0.0 && e <= 1.0);
+        }
+
+        #[test]
+        fn allreduce_monotone_in_ranks(p in 1usize..512) {
+            let a = allreduce_time(4096.0, p, &m());
+            let b = allreduce_time(4096.0, p + 1, &m());
+            prop_assert!(a <= b + 1e-15);
+        }
+    }
+}

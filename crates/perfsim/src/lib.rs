@@ -1,0 +1,41 @@
+//! Analytic HPC performance-model substrate.
+//!
+//! The paper evaluates HiPerBOt on *measured* datasets — full parameter
+//! sweeps of Kripke, HYPRE, LULESH, and OpenAtom on LLNL clusters. Those
+//! machines and traces are not available, so this crate provides the
+//! substitute substrate: first-principles analytic models of the performance
+//! phenomena that make those parameter spaces interesting to tune —
+//!
+//! - [`machine`] — machine descriptions (cores, memory bandwidth, network,
+//!   power envelope) with an LLNL-Quartz-like preset.
+//! - [`roofline`] — the roofline model bounding kernel throughput by compute
+//!   peak and memory bandwidth.
+//! - [`omp`] — OpenMP thread-scaling: Amdahl's law plus synchronization
+//!   overhead and oversubscription penalties.
+//! - [`comm`] — Hockney (α–β) point-to-point and logarithmic collective
+//!   communication costs.
+//! - [`topology`] — fat-tree/torus/dragonfly hop-count and bisection
+//!   models that scale the α–β parameters with allocation size.
+//! - [`memory`] — data-layout efficiency: how loop-nesting order and stride
+//!   affect achieved memory bandwidth (Kripke's `Nesting` parameter).
+//! - [`power`] — DVFS under package power caps: cap → sustained frequency →
+//!   runtime dilation and energy (Kripke's `PKG_LIMIT` parameter).
+//! - [`noise`] — deterministic, hash-seeded lognormal run-to-run noise so
+//!   generated datasets are exactly reproducible.
+//!
+//! The application simulators in `hiperbot-apps` compose these models into
+//! full configuration → (runtime, energy) maps. See `DESIGN.md` §2 for the
+//! substitution argument: the autotuners under study observe only
+//! `(configuration, objective)` pairs, so what must be faithful is the
+//! *shape* of the objective landscape, which these models control.
+
+pub mod comm;
+pub mod machine;
+pub mod memory;
+pub mod noise;
+pub mod omp;
+pub mod power;
+pub mod roofline;
+pub mod topology;
+
+pub use machine::MachineSpec;

@@ -1,0 +1,122 @@
+//! Machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// A compute-node + interconnect description sufficient for the analytic
+/// models in this crate.
+///
+/// Defaults are modeled loosely on LLNL's Quartz (Intel Xeon E5-2695 v4
+/// "Broadwell", 36 cores/node, Omni-Path), the class of machine the paper's
+/// datasets were collected on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// Peak double-precision GFLOP/s per core at nominal frequency.
+    pub peak_gflops_per_core: f64,
+    /// Sustained memory bandwidth per node, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Network point-to-point latency, microseconds.
+    pub net_latency_us: f64,
+    /// Network point-to-point bandwidth, GB/s.
+    pub net_bw_gbs: f64,
+    /// Nominal (all-core turbo) frequency, GHz.
+    pub nominal_freq_ghz: f64,
+    /// Minimum DVFS frequency, GHz.
+    pub min_freq_ghz: f64,
+    /// Package idle/static power per node, watts.
+    pub static_power_w: f64,
+    /// Package power at full load and nominal frequency, watts (TDP-ish).
+    pub max_power_w: f64,
+}
+
+impl MachineSpec {
+    /// A Quartz-like cluster node (the paper's dataset platform class).
+    pub fn quartz_like() -> Self {
+        Self {
+            cores_per_node: 36,
+            peak_gflops_per_core: 18.4,
+            mem_bw_gbs: 77.0,
+            net_latency_us: 1.5,
+            net_bw_gbs: 12.5,
+            nominal_freq_ghz: 2.1,
+            min_freq_ghz: 1.2,
+            static_power_w: 60.0,
+            max_power_w: 240.0,
+        }
+    }
+
+    /// Peak node GFLOP/s at nominal frequency.
+    pub fn peak_node_gflops(&self) -> f64 {
+        self.peak_gflops_per_core * self.cores_per_node as f64
+    }
+
+    /// Validates internal consistency; used by tests and app constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores_per_node == 0 {
+            return Err("cores_per_node must be positive".into());
+        }
+        for (name, v) in [
+            ("peak_gflops_per_core", self.peak_gflops_per_core),
+            ("mem_bw_gbs", self.mem_bw_gbs),
+            ("net_latency_us", self.net_latency_us),
+            ("net_bw_gbs", self.net_bw_gbs),
+            ("nominal_freq_ghz", self.nominal_freq_ghz),
+            ("min_freq_ghz", self.min_freq_ghz),
+            ("static_power_w", self.static_power_w),
+            ("max_power_w", self.max_power_w),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite"));
+            }
+        }
+        if self.min_freq_ghz > self.nominal_freq_ghz {
+            return Err("min_freq_ghz exceeds nominal_freq_ghz".into());
+        }
+        if self.static_power_w >= self.max_power_w {
+            return Err("static power must be below max power".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        Self::quartz_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartz_like_is_valid() {
+        MachineSpec::quartz_like().validate().unwrap();
+    }
+
+    #[test]
+    fn peak_node_flops_scales_with_cores() {
+        let m = MachineSpec::quartz_like();
+        assert!((m.peak_node_gflops() - 18.4 * 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut m = MachineSpec::quartz_like();
+        m.cores_per_node = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineSpec::quartz_like();
+        m.mem_bw_gbs = -1.0;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineSpec::quartz_like();
+        m.min_freq_ghz = 5.0;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineSpec::quartz_like();
+        m.static_power_w = 500.0;
+        assert!(m.validate().is_err());
+    }
+}

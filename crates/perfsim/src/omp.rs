@@ -1,0 +1,171 @@
+//! OpenMP thread-scaling model.
+//!
+//! Thread count is a tunable in three of the paper's four applications. The
+//! model combines:
+//!
+//! 1. **Amdahl's law** — a serial fraction bounds speedup.
+//! 2. **Synchronization overhead** — barriers/reductions cost grows with
+//!    the thread count (logarithmic tree + linear fork-join component).
+//! 3. **Oversubscription** — more threads than cores forces timeslicing;
+//!    beyond the core count, extra threads only add overhead.
+//! 4. **Bandwidth saturation** — memory-bound regions stop scaling once a
+//!    few threads saturate the node's bandwidth, which is what makes
+//!    "maximum threads" the *wrong* answer often enough to need a tuner.
+
+/// Parameters of the thread-scaling model.
+#[derive(Debug, Clone, Copy)]
+pub struct OmpModel {
+    /// Fraction of the work that parallelizes (0–1).
+    pub parallel_fraction: f64,
+    /// Per-barrier cost coefficient in units of serial-work fraction per
+    /// log2(threads).
+    pub sync_cost: f64,
+    /// Number of threads at which memory bandwidth saturates (scaling of
+    /// the memory-bound portion stops there).
+    pub bw_saturation_threads: f64,
+    /// Fraction of parallel work that is memory-bound (0–1).
+    pub membound_fraction: f64,
+}
+
+impl OmpModel {
+    /// A typical stencil/transport kernel mix.
+    pub fn typical() -> Self {
+        Self {
+            parallel_fraction: 0.97,
+            sync_cost: 0.004,
+            bw_saturation_threads: 12.0,
+            membound_fraction: 0.6,
+        }
+    }
+
+    /// Relative runtime (1.0 = single-thread) when running with `threads`
+    /// threads on `cores` available cores.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or `cores == 0`.
+    pub fn relative_time(&self, threads: usize, cores: usize) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        assert!(cores > 0, "need at least one core");
+        let t = threads as f64;
+        // Effective parallelism is capped by physical cores.
+        let eff = t.min(cores as f64);
+
+        let serial = 1.0 - self.parallel_fraction;
+        // Compute-bound portion scales with effective threads.
+        let compute = self.parallel_fraction * (1.0 - self.membound_fraction) / eff;
+        // Memory-bound portion scales only until bandwidth saturation.
+        let mem_scale = eff.min(self.bw_saturation_threads);
+        let memory = self.parallel_fraction * self.membound_fraction / mem_scale;
+        // Synchronization: log-tree barrier cost, plus a linear term when
+        // oversubscribed (context-switch churn).
+        let oversub = if t > cores as f64 {
+            0.05 * (t / cores as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let sync = self.sync_cost * t.log2().max(0.0) + oversub;
+
+        serial + compute + memory + sync
+    }
+
+    /// Speedup over one thread.
+    pub fn speedup(&self, threads: usize, cores: usize) -> f64 {
+        self.relative_time(1, cores) / self.relative_time(threads, cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_thread_is_baseline() {
+        let m = OmpModel::typical();
+        let t1 = m.relative_time(1, 36);
+        assert!((t1 - 1.0).abs() < 0.01, "t1 = {t1}");
+    }
+
+    #[test]
+    fn scaling_improves_then_saturates() {
+        let m = OmpModel::typical();
+        let t2 = m.relative_time(2, 36);
+        let t8 = m.relative_time(8, 36);
+        let t36 = m.relative_time(36, 36);
+        assert!(t2 < 1.0);
+        assert!(t8 < t2);
+        // diminishing returns: 8→36 gains less than 2→8
+        assert!((t8 - t36) < (t2 - t8));
+    }
+
+    #[test]
+    fn oversubscription_hurts() {
+        let m = OmpModel::typical();
+        let at_cores = m.relative_time(36, 36);
+        let oversub = m.relative_time(144, 36);
+        assert!(oversub > at_cores);
+    }
+
+    #[test]
+    fn speedup_bounded_by_amdahl() {
+        let m = OmpModel::typical();
+        let amdahl_limit = 1.0 / (1.0 - m.parallel_fraction);
+        for threads in [1, 2, 4, 8, 16, 32, 36] {
+            assert!(m.speedup(threads, 36) <= amdahl_limit);
+        }
+    }
+
+    #[test]
+    fn membound_kernels_saturate_earlier() {
+        let mem = OmpModel {
+            membound_fraction: 0.95,
+            ..OmpModel::typical()
+        };
+        let cpu = OmpModel {
+            membound_fraction: 0.05,
+            ..OmpModel::typical()
+        };
+        // Going 12 -> 36 threads helps the compute-bound mix far more.
+        let mem_gain = mem.relative_time(12, 36) / mem.relative_time(36, 36);
+        let cpu_gain = cpu.relative_time(12, 36) / cpu.relative_time(36, 36);
+        assert!(cpu_gain > mem_gain);
+    }
+
+    #[test]
+    fn best_thread_count_is_interior_for_membound_mix() {
+        // The reason thread count needs tuning: max threads is not optimal.
+        let m = OmpModel {
+            membound_fraction: 0.9,
+            sync_cost: 0.01,
+            ..OmpModel::typical()
+        };
+        let candidates = [1usize, 2, 4, 8, 12, 18, 24, 36];
+        let best = candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                m.relative_time(a, 36)
+                    .partial_cmp(&m.relative_time(b, 36))
+                    .unwrap()
+            })
+            .copied()
+            .unwrap();
+        assert!(best > 1, "parallelism should help");
+        assert!(best < 36, "but max threads should not win (best={best})");
+    }
+
+    proptest! {
+        #[test]
+        fn relative_time_is_positive(threads in 1usize..256, cores in 1usize..64) {
+            let m = OmpModel::typical();
+            prop_assert!(m.relative_time(threads, cores) > 0.0);
+        }
+
+        #[test]
+        fn more_cores_never_hurt(threads in 1usize..64, cores in 1usize..63) {
+            let m = OmpModel::typical();
+            let fewer = m.relative_time(threads, cores);
+            let more = m.relative_time(threads, cores + 1);
+            prop_assert!(more <= fewer + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The roofline model.
+//!
+//! Attainable throughput of a kernel is bounded by the machine's compute
+//! peak and by `arithmetic intensity × memory bandwidth` (Williams et al.,
+//! CACM 2009). The application simulators use this to turn "work + data
+//! volume" into time, and to make data-layout choices matter: a layout that
+//! degrades achieved bandwidth moves the memory roof down.
+
+use crate::machine::MachineSpec;
+
+/// Attainable GFLOP/s for a kernel of arithmetic intensity `ai`
+/// (flops/byte) on a machine with the given peak and bandwidth.
+pub fn attainable_gflops(ai: f64, peak_gflops: f64, mem_bw_gbs: f64) -> f64 {
+    assert!(ai > 0.0, "arithmetic intensity must be positive");
+    peak_gflops.min(ai * mem_bw_gbs)
+}
+
+/// The ridge-point intensity where a kernel transitions from memory-bound
+/// to compute-bound.
+pub fn ridge_intensity(peak_gflops: f64, mem_bw_gbs: f64) -> f64 {
+    peak_gflops / mem_bw_gbs
+}
+
+/// Time in seconds to execute `gflops` of work at arithmetic intensity `ai`
+/// on `machine`, with the effective bandwidth scaled by `bw_efficiency`
+/// (0–1, from the data-layout model) and the compute peak scaled by
+/// `freq_scale` (from the DVFS model) and `core_fraction` (threads in use).
+pub fn kernel_time(
+    gflops: f64,
+    ai: f64,
+    machine: &MachineSpec,
+    bw_efficiency: f64,
+    freq_scale: f64,
+    core_fraction: f64,
+) -> f64 {
+    assert!(gflops >= 0.0);
+    assert!((0.0..=1.0).contains(&bw_efficiency) && bw_efficiency > 0.0);
+    assert!(freq_scale > 0.0 && core_fraction > 0.0);
+    let peak = machine.peak_node_gflops() * freq_scale * core_fraction.min(1.0);
+    // Memory bandwidth is only mildly frequency-sensitive; model a square
+    // root dependence (uncore scales slower than core clocks).
+    let bw = machine.mem_bw_gbs * bw_efficiency * freq_scale.sqrt();
+    gflops / attainable_gflops(ai, peak, bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_intensity_is_memory_bound() {
+        // ai small: attainable = ai * bw
+        let g = attainable_gflops(0.1, 600.0, 77.0);
+        assert!((g - 7.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        let g = attainable_gflops(100.0, 600.0, 77.0);
+        assert!((g - 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let (peak, bw) = (600.0, 77.0);
+        let ridge = ridge_intensity(peak, bw);
+        assert!(attainable_gflops(ridge * 0.99, peak, bw) < peak);
+        assert!((attainable_gflops(ridge * 1.01, peak, bw) - peak).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_decreases_with_bandwidth_efficiency() {
+        let m = MachineSpec::quartz_like();
+        let slow = kernel_time(100.0, 0.2, &m, 0.5, 1.0, 1.0);
+        let fast = kernel_time(100.0, 0.2, &m, 1.0, 1.0, 1.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn kernel_time_decreases_with_frequency_when_compute_bound() {
+        let m = MachineSpec::quartz_like();
+        let slow = kernel_time(100.0, 50.0, &m, 1.0, 0.6, 1.0);
+        let fast = kernel_time(100.0, 50.0, &m, 1.0, 1.0, 1.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_less_frequency_sensitive() {
+        let m = MachineSpec::quartz_like();
+        let ratio_membound = kernel_time(100.0, 0.05, &m, 1.0, 0.5, 1.0)
+            / kernel_time(100.0, 0.05, &m, 1.0, 1.0, 1.0);
+        let ratio_computebound = kernel_time(100.0, 50.0, &m, 1.0, 0.5, 1.0)
+            / kernel_time(100.0, 50.0, &m, 1.0, 1.0, 1.0);
+        assert!(
+            ratio_membound < ratio_computebound,
+            "halving frequency should hurt compute-bound kernels more \
+             ({ratio_membound:.3} vs {ratio_computebound:.3})"
+        );
+    }
+
+    #[test]
+    fn fewer_cores_slow_compute_bound_kernels() {
+        let m = MachineSpec::quartz_like();
+        let half = kernel_time(100.0, 50.0, &m, 1.0, 1.0, 0.5);
+        let full = kernel_time(100.0, 50.0, &m, 1.0, 1.0, 1.0);
+        assert!(half > full);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_intensity_panics() {
+        let _ = attainable_gflops(0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Interconnect topology models.
+//!
+//! The α–β model in [`crate::comm`] prices a single link; at scale, the
+//! *number of hops* and the *bisection pressure* of the topology decide how
+//! α and β degrade as jobs grow. This module provides hop-count and
+//! effective-bandwidth estimates for the three topologies HPC systems of
+//! the paper's era used, so application models can derive scale-dependent
+//! latency/bandwidth instead of hard-coding them.
+
+use serde::{Deserialize, Serialize};
+
+/// An interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// A k-ary fat tree with full bisection bandwidth (e.g. Omni-Path /
+    /// InfiniBand clusters like Quartz).
+    FatTree {
+        /// Switch radix.
+        radix: usize,
+    },
+    /// A 3-D torus of the given dimensions (e.g. BG/Q-class machines).
+    Torus3D {
+        /// Nodes per dimension.
+        dims: [usize; 3],
+    },
+    /// A dragonfly with all-to-all groups (e.g. Cray Aries).
+    Dragonfly {
+        /// Nodes per group.
+        group_size: usize,
+    },
+}
+
+impl Topology {
+    /// Expected switch-to-switch hop count between two uniformly random
+    /// nodes among `n` allocated nodes.
+    pub fn expected_hops(&self, n: usize) -> f64 {
+        assert!(n > 0, "need at least one node");
+        if n == 1 {
+            return 0.0;
+        }
+        match *self {
+            Topology::FatTree { radix } => {
+                assert!(radix >= 2, "fat-tree radix must be at least 2");
+                // Nodes within one leaf switch: 2 hops (up, down); within a
+                // pod: 4; across pods: 6. Expected value follows from how
+                // much of the allocation fits each tier.
+                let leaf = radix / 2;
+                let pod = leaf * radix / 2;
+                if n <= leaf {
+                    2.0
+                } else if n <= pod {
+                    let p_leaf = leaf as f64 / n as f64;
+                    2.0 * p_leaf + 4.0 * (1.0 - p_leaf)
+                } else {
+                    let p_leaf = leaf as f64 / n as f64;
+                    let p_pod = (pod as f64 / n as f64).min(1.0) - p_leaf;
+                    2.0 * p_leaf + 4.0 * p_pod + 6.0 * (1.0 - p_leaf - p_pod)
+                }
+            }
+            Topology::Torus3D { dims } => {
+                // Average Manhattan distance on a torus: sum over dims of
+                // d/4 (for even d; close enough for odd).
+                let total: usize = dims.iter().product();
+                assert!(total > 0, "torus dimensions must be positive");
+                // Only the sub-torus covering n nodes matters; approximate
+                // by scaling each dimension by (n/total)^(1/3).
+                let shrink = (n as f64 / total as f64).min(1.0).cbrt();
+                dims.iter()
+                    .map(|&d| (d as f64 * shrink).max(1.0) / 4.0)
+                    .sum()
+            }
+            Topology::Dragonfly { group_size } => {
+                assert!(group_size > 0, "group size must be positive");
+                // Within a group: 1 hop. Across groups: local + global +
+                // local = 3 hops (minimal routing).
+                if n <= group_size {
+                    1.0
+                } else {
+                    let p_local = group_size as f64 / n as f64;
+                    1.0 * p_local + 3.0 * (1.0 - p_local)
+                }
+            }
+        }
+    }
+
+    /// Effective per-node bisection-bandwidth fraction (0–1] when `n`
+    /// nodes communicate all-to-all: fat trees sustain ~1, tori degrade
+    /// with surface-to-volume, dragonflies with global-link contention.
+    pub fn bisection_fraction(&self, n: usize) -> f64 {
+        assert!(n > 0);
+        if n == 1 {
+            return 1.0;
+        }
+        match *self {
+            Topology::FatTree { .. } => 1.0,
+            Topology::Torus3D { .. } => {
+                // Bisection of a torus grows as n^(2/3) while traffic grows
+                // as n ⇒ per-node share shrinks as n^(-1/3).
+                (n as f64).powf(-1.0 / 3.0).max(0.05)
+            }
+            Topology::Dragonfly { group_size } => {
+                if n <= group_size {
+                    1.0
+                } else {
+                    // Global links are tapered ~2:1 on real systems.
+                    0.5
+                }
+            }
+        }
+    }
+
+    /// Scales a base point-to-point latency by the expected hop count
+    /// (relative to the 2-hop fat-tree baseline the machine presets assume).
+    pub fn latency_scale(&self, n: usize) -> f64 {
+        (self.expected_hops(n) / 2.0).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_node_is_free_everywhere() {
+        for t in [
+            Topology::FatTree { radix: 36 },
+            Topology::Torus3D { dims: [8, 8, 8] },
+            Topology::Dragonfly { group_size: 96 },
+        ] {
+            assert_eq!(t.expected_hops(1), 0.0);
+            assert_eq!(t.bisection_fraction(1), 1.0);
+        }
+    }
+
+    #[test]
+    fn fat_tree_tiers_are_ordered() {
+        let t = Topology::FatTree { radix: 36 };
+        let leaf = t.expected_hops(18); // fits one leaf switch
+        let pod = t.expected_hops(300); // within a pod
+        let cross = t.expected_hops(5000); // across pods
+        assert_eq!(leaf, 2.0);
+        assert!(pod > leaf && pod < 4.0 + 1e-9);
+        assert!(cross > pod && cross < 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn torus_hops_grow_with_allocation() {
+        let t = Topology::Torus3D { dims: [16, 16, 16] };
+        assert!(t.expected_hops(64) < t.expected_hops(512));
+        assert!(t.expected_hops(512) < t.expected_hops(4096));
+        // Full machine: 3 * 16/4 = 12 expected hops.
+        assert!((t.expected_hops(4096) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dragonfly_within_group_is_one_hop() {
+        let t = Topology::Dragonfly { group_size: 96 };
+        assert_eq!(t.expected_hops(96), 1.0);
+        let h = t.expected_hops(960);
+        assert!(h > 2.5 && h < 3.0, "{h}");
+    }
+
+    #[test]
+    fn fat_tree_keeps_full_bisection_torus_does_not() {
+        let ft = Topology::FatTree { radix: 36 };
+        let torus = Topology::Torus3D { dims: [16, 16, 16] };
+        assert_eq!(ft.bisection_fraction(4096), 1.0);
+        assert!(torus.bisection_fraction(4096) < 0.1);
+    }
+
+    #[test]
+    fn dragonfly_bisection_halves_across_groups() {
+        let t = Topology::Dragonfly { group_size: 96 };
+        assert_eq!(t.bisection_fraction(96), 1.0);
+        assert_eq!(t.bisection_fraction(97), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn hops_are_monotone_in_allocation(
+            n in 1usize..10_000,
+            m in 1usize..10_000,
+        ) {
+            let (lo, hi) = if n <= m { (n, m) } else { (m, n) };
+            for t in [
+                Topology::FatTree { radix: 36 },
+                Topology::Torus3D { dims: [16, 16, 16] },
+                Topology::Dragonfly { group_size: 96 },
+            ] {
+                prop_assert!(t.expected_hops(lo) <= t.expected_hops(hi) + 1e-9);
+            }
+        }
+
+        #[test]
+        fn bisection_fraction_is_in_unit_interval(n in 1usize..100_000) {
+            for t in [
+                Topology::FatTree { radix: 36 },
+                Topology::Torus3D { dims: [32, 32, 32] },
+                Topology::Dragonfly { group_size: 96 },
+            ] {
+                let f = t.bisection_fraction(n);
+                prop_assert!(f > 0.0 && f <= 1.0);
+            }
+        }
+
+        #[test]
+        fn latency_scale_is_positive(n in 1usize..100_000) {
+            let t = Topology::FatTree { radix: 36 };
+            prop_assert!(t.latency_scale(n) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-module physical-consistency checks: the perfsim models must not
+//! contradict each other when composed the way the application simulators
+//! compose them.
+
+use hiperbot_perfsim::machine::MachineSpec;
+use hiperbot_perfsim::memory::{layout_efficiency, LayoutDims, Nesting};
+use hiperbot_perfsim::omp::OmpModel;
+use hiperbot_perfsim::power::{freq_scale_at_cap, time_energy_under_cap};
+use hiperbot_perfsim::roofline::kernel_time;
+use hiperbot_perfsim::topology::Topology;
+use hiperbot_perfsim::{comm, noise};
+
+#[test]
+fn roofline_and_layout_compose_monotonically() {
+    // Better layout efficiency can only reduce kernel time, at any
+    // frequency and core count.
+    let m = MachineSpec::quartz_like();
+    let dims = LayoutDims {
+        directions: 12,
+        groups: 4,
+        zones: 4096,
+    };
+    for nesting in Nesting::ALL {
+        let eff = layout_efficiency(nesting, dims, 8);
+        for fs in [0.6, 0.8, 1.0] {
+            for cf in [0.25, 0.5, 1.0] {
+                let t_good = kernel_time(50.0, 0.2, &m, eff, fs, cf);
+                let t_perfect = kernel_time(50.0, 0.2, &m, 1.0, fs, cf);
+                assert!(t_perfect <= t_good + 1e-12, "{}: {t_perfect} vs {t_good}", nesting.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn power_capping_never_speeds_anything_up() {
+    let m = MachineSpec::quartz_like();
+    for cap in [70.0, 100.0, 150.0, 200.0, 240.0] {
+        for cf in [0.2, 0.5, 0.9] {
+            let (t, e) = time_energy_under_cap(5.0, cf, cap, 0.8, &m);
+            assert!(t >= 5.0 - 1e-12, "cap {cap}: time {t}");
+            assert!(e > 0.0);
+        }
+    }
+    // The frequency scale is consistent with the time dilation: a fully
+    // compute-bound job dilates by exactly 1/freq_scale.
+    let fs = freq_scale_at_cap(120.0, &m);
+    let (t, _) = time_energy_under_cap(5.0, 1.0, 120.0, 0.8, &m);
+    assert!((t - 5.0 / fs).abs() < 1e-9);
+}
+
+#[test]
+fn omp_and_roofline_agree_on_core_scaling_direction() {
+    // Adding threads (within the core count) should not slow either model.
+    let m = MachineSpec::quartz_like();
+    let omp = OmpModel::typical();
+    for t in 1..m.cores_per_node {
+        assert!(
+            omp.relative_time(t + 1, m.cores_per_node)
+                <= omp.relative_time(t, m.cores_per_node) + 1e-12
+        );
+        let frac_t = t as f64 / m.cores_per_node as f64;
+        let frac_t1 = (t + 1) as f64 / m.cores_per_node as f64;
+        assert!(
+            kernel_time(10.0, 8.0, &m, 1.0, 1.0, frac_t1)
+                <= kernel_time(10.0, 8.0, &m, 1.0, 1.0, frac_t) + 1e-12
+        );
+    }
+}
+
+#[test]
+fn topology_scaled_allreduce_stays_ordered() {
+    // For any allocation, a topology with more hops and less bisection
+    // cannot beat the fat tree.
+    let base = MachineSpec::quartz_like();
+    for nodes in [16usize, 128, 1024, 8192] {
+        let cost = |topo: Topology| {
+            let mut m = base.clone();
+            m.net_latency_us *= topo.latency_scale(nodes);
+            m.net_bw_gbs *= topo.bisection_fraction(nodes);
+            comm::allreduce_time(65_536.0, nodes, &m)
+        };
+        let ft = cost(Topology::FatTree { radix: 36 });
+        let torus = cost(Topology::Torus3D { dims: [32, 32, 32] });
+        assert!(ft <= torus + 1e-12, "{nodes} nodes: fat-tree {ft} vs torus {torus}");
+    }
+}
+
+#[test]
+fn noise_does_not_change_the_ordering_of_well_separated_values() {
+    // 1.5% lognormal noise must preserve orderings separated by >10%.
+    for i in 0..500u64 {
+        let fast = 10.0 * noise::lognormal_factor(&[1, i], 0.015);
+        let slow = 11.5 * noise::lognormal_factor(&[2, i], 0.015);
+        assert!(fast < slow, "row {i}: {fast} !< {slow}");
+    }
+}
+
+#[test]
+fn machine_presets_satisfy_their_own_invariants() {
+    let m = MachineSpec::quartz_like();
+    m.validate().unwrap();
+    // Frequency band ordering and power band ordering.
+    assert!(m.min_freq_ghz < m.nominal_freq_ghz);
+    assert!(m.static_power_w < m.max_power_w);
+    // Ridge point should be in a physically sensible band for a CPU node
+    // (a few flops per byte).
+    let ridge = m.peak_node_gflops() / m.mem_bw_gbs;
+    assert!((1.0..50.0).contains(&ridge), "ridge {ridge}");
+}

@@ -1,0 +1,236 @@
+//! Numeric feature encodings of configurations.
+//!
+//! The PerfNet baseline feeds configurations into a neural network and the
+//! Gaussian-process comparator needs a metric space; both require fixed-width
+//! numeric vectors. Two encodings are provided:
+//!
+//! - [`EncodingKind::OneHot`] — each discrete parameter expands to one
+//!   indicator column per domain value (the standard encoding for
+//!   categorical inputs to neural networks); continuous parameters become a
+//!   single min–max-normalized column.
+//! - [`EncodingKind::Normalized`] — every parameter becomes one column in
+//!   `[0, 1]`: discrete parameters by index position, continuous by min–max.
+//!   Suitable for kernel methods where one column per parameter keeps
+//!   length-scales interpretable.
+
+use crate::config::{Configuration, ParamValue};
+use crate::param::Domain;
+use crate::space::ParameterSpace;
+use serde::{Deserialize, Serialize};
+
+/// Which encoding an [`Encoder`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncodingKind {
+    /// One indicator column per discrete value; normalized continuous.
+    OneHot,
+    /// One `[0,1]` column per parameter.
+    Normalized,
+}
+
+/// Encodes configurations of one space into numeric feature vectors.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    kind: EncodingKind,
+    /// Per-parameter (offset, width) into the output vector.
+    layout: Vec<(usize, usize)>,
+    /// Per-parameter domain snapshot needed for encoding.
+    domains: Vec<Domain>,
+    width: usize,
+}
+
+impl Encoder {
+    /// Builds an encoder for `space`.
+    pub fn new(space: &ParameterSpace, kind: EncodingKind) -> Self {
+        let mut layout = Vec::with_capacity(space.n_params());
+        let mut domains = Vec::with_capacity(space.n_params());
+        let mut offset = 0usize;
+        for p in space.params() {
+            let w = match (kind, p.domain()) {
+                (EncodingKind::OneHot, Domain::Discrete(v)) => v.len(),
+                _ => 1,
+            };
+            layout.push((offset, w));
+            domains.push(p.domain().clone());
+            offset += w;
+        }
+        Self {
+            kind,
+            layout,
+            domains,
+            width: offset,
+        }
+    }
+
+    /// Width of the produced feature vectors.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The encoding kind.
+    pub fn kind(&self) -> EncodingKind {
+        self.kind
+    }
+
+    /// Encodes a configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg` does not match the space the encoder was built for.
+    pub fn encode(&self, cfg: &Configuration) -> Vec<f64> {
+        assert_eq!(cfg.len(), self.layout.len(), "configuration/space mismatch");
+        let mut out = vec![0.0; self.width];
+        self.encode_into(cfg, &mut out);
+        out
+    }
+
+    /// Encodes into a caller-provided buffer (hot path for batch training).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.width()`.
+    pub fn encode_into(&self, cfg: &Configuration, out: &mut [f64]) {
+        assert_eq!(out.len(), self.width, "output buffer width mismatch");
+        for (i, ((offset, w), domain)) in self.layout.iter().zip(&self.domains).enumerate() {
+            match (self.kind, domain, cfg.value(i)) {
+                (EncodingKind::OneHot, Domain::Discrete(vals), ParamValue::Index(idx)) => {
+                    assert!(idx < vals.len(), "value index out of domain");
+                    for slot in out[*offset..offset + w].iter_mut() {
+                        *slot = 0.0;
+                    }
+                    out[offset + idx] = 1.0;
+                }
+                (EncodingKind::Normalized, Domain::Discrete(vals), ParamValue::Index(idx)) => {
+                    assert!(idx < vals.len(), "value index out of domain");
+                    out[*offset] = if vals.len() == 1 {
+                        0.0
+                    } else {
+                        idx as f64 / (vals.len() - 1) as f64
+                    };
+                }
+                (_, Domain::Continuous { lo, hi }, ParamValue::Real(x)) => {
+                    out[*offset] = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+                }
+                (_, Domain::Discrete(_), ParamValue::Real(_)) => {
+                    panic!("continuous value supplied for discrete parameter {i}")
+                }
+                (_, Domain::Continuous { .. }, ParamValue::Index(_)) => {
+                    panic!("index value supplied for continuous parameter {i}")
+                }
+            }
+        }
+    }
+
+    /// Encodes a batch of configurations into a row-major matrix
+    /// (`configs.len()` rows × `self.width()` columns).
+    pub fn encode_batch(&self, configs: &[Configuration]) -> Vec<f64> {
+        let mut out = vec![0.0; configs.len() * self.width];
+        for (row, cfg) in configs.iter().enumerate() {
+            self.encode_into(cfg, &mut out[row * self.width..(row + 1) * self.width]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamDef;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::new("layout", Domain::categorical(&["DGZ", "DZG", "GDZ"])))
+            .param(ParamDef::new("omp", Domain::discrete_ints(&[1, 2, 4, 8])))
+            .param(ParamDef::new("cap", Domain::continuous(50.0, 100.0)))
+            .build()
+            .unwrap()
+    }
+
+    fn cfg() -> Configuration {
+        Configuration::new(vec![
+            ParamValue::Index(1),
+            ParamValue::Index(3),
+            ParamValue::Real(75.0),
+        ])
+    }
+
+    #[test]
+    fn one_hot_width_and_layout() {
+        let e = Encoder::new(&space(), EncodingKind::OneHot);
+        assert_eq!(e.width(), 3 + 4 + 1);
+        let v = e.encode(&cfg());
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalized_width_and_values() {
+        let e = Encoder::new(&space(), EncodingKind::Normalized);
+        assert_eq!(e.width(), 3);
+        let v = e.encode(&cfg());
+        assert!((v[0] - 0.5).abs() < 1e-12); // index 1 of 3 -> 1/2
+        assert!((v[1] - 1.0).abs() < 1e-12); // index 3 of 4 -> 3/3
+        assert!((v[2] - 0.5).abs() < 1e-12); // 75 in [50,100]
+    }
+
+    #[test]
+    fn single_value_domain_normalizes_to_zero() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("only", Domain::discrete_ints(&[42])))
+            .build()
+            .unwrap();
+        let e = Encoder::new(&s, EncodingKind::Normalized);
+        assert_eq!(e.encode(&Configuration::from_indices(&[0])), vec![0.0]);
+    }
+
+    #[test]
+    fn continuous_values_clamp_to_bounds() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::continuous(0.0, 1.0)))
+            .build()
+            .unwrap();
+        let e = Encoder::new(&s, EncodingKind::OneHot);
+        let over = Configuration::new(vec![ParamValue::Real(2.0)]);
+        assert_eq!(e.encode(&over), vec![1.0]);
+    }
+
+    #[test]
+    fn batch_encoding_matches_single() {
+        let s = space();
+        let e = Encoder::new(&s, EncodingKind::OneHot);
+        let a = cfg();
+        let b = Configuration::new(vec![
+            ParamValue::Index(0),
+            ParamValue::Index(0),
+            ParamValue::Real(50.0),
+        ]);
+        let batch = e.encode_batch(&[a.clone(), b.clone()]);
+        assert_eq!(&batch[..e.width()], e.encode(&a).as_slice());
+        assert_eq!(&batch[e.width()..], e.encode(&b).as_slice());
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_param_count_plus_continuous() {
+        let s = space();
+        let e = Encoder::new(&s, EncodingKind::OneHot);
+        let v = e.encode(&cfg());
+        // two one-hot groups sum to 1 each; continuous contributes its value
+        let sum: f64 = v[..7].iter().sum();
+        assert!((sum - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_arity_panics() {
+        let e = Encoder::new(&space(), EncodingKind::OneHot);
+        let _ = e.encode(&Configuration::from_indices(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous value supplied")]
+    fn real_for_discrete_panics() {
+        let e = Encoder::new(&space(), EncodingKind::OneHot);
+        let bad = Configuration::new(vec![
+            ParamValue::Real(0.0),
+            ParamValue::Index(0),
+            ParamValue::Real(50.0),
+        ]);
+        let _ = e.encode(&bad);
+    }
+}

@@ -1,0 +1,190 @@
+//! Parameter definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// One value of a discrete parameter's domain.
+///
+/// HPC parameters mix kinds: a data-layout choice is a pure category
+/// (`"DGZ"`), a thread count is an ordinal integer (`1, 2, 4, …`), a power
+/// cap may be a discretized float. The surrogate model treats all of them as
+/// categories (histogram bins), but baselines and encodings need the numeric
+/// value when one exists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DiscreteValue {
+    /// An integer-valued level (thread count, set count, cap in watts…).
+    Int(i64),
+    /// A float-valued level.
+    Float(f64),
+    /// A pure category (solver name, layout nesting…).
+    Name(String),
+}
+
+impl DiscreteValue {
+    /// Numeric view: `Int`/`Float` map to their value, `Name` to `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            DiscreteValue::Int(i) => Some(*i as f64),
+            DiscreteValue::Float(f) => Some(*f),
+            DiscreteValue::Name(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DiscreteValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscreteValue::Int(i) => write!(f, "{i}"),
+            DiscreteValue::Float(x) => write!(f, "{x}"),
+            DiscreteValue::Name(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for DiscreteValue {
+    fn from(v: i64) -> Self {
+        DiscreteValue::Int(v)
+    }
+}
+
+impl From<f64> for DiscreteValue {
+    fn from(v: f64) -> Self {
+        DiscreteValue::Float(v)
+    }
+}
+
+impl From<&str> for DiscreteValue {
+    fn from(v: &str) -> Self {
+        DiscreteValue::Name(v.to_string())
+    }
+}
+
+/// The domain a parameter ranges over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// A finite ordered list of values. Configuration values for a discrete
+    /// parameter are stored as indices into this list.
+    Discrete(Vec<DiscreteValue>),
+    /// A bounded real interval `[lo, hi]`.
+    Continuous {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl Domain {
+    /// Convenience constructor for an integer-valued discrete domain.
+    pub fn discrete_ints(values: &[i64]) -> Domain {
+        Domain::Discrete(values.iter().map(|&v| DiscreteValue::Int(v)).collect())
+    }
+
+    /// Convenience constructor for a float-valued discrete domain.
+    pub fn discrete_floats(values: &[f64]) -> Domain {
+        Domain::Discrete(values.iter().map(|&v| DiscreteValue::Float(v)).collect())
+    }
+
+    /// Convenience constructor for a categorical (named) domain.
+    pub fn categorical(values: &[&str]) -> Domain {
+        Domain::Discrete(values.iter().map(|&v| DiscreteValue::from(v)).collect())
+    }
+
+    /// Convenience constructor for a continuous domain.
+    pub fn continuous(lo: f64, hi: f64) -> Domain {
+        Domain::Continuous { lo, hi }
+    }
+
+    /// Number of values in a discrete domain; `None` when continuous.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Discrete(v) => Some(v.len()),
+            Domain::Continuous { .. } => None,
+        }
+    }
+
+    /// Whether the domain is discrete.
+    pub fn is_discrete(&self) -> bool {
+        matches!(self, Domain::Discrete(_))
+    }
+}
+
+/// A named tunable parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    name: String,
+    domain: Domain,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The values of a discrete domain.
+    ///
+    /// # Panics
+    /// Panics for a continuous parameter.
+    pub fn values(&self) -> &[DiscreteValue] {
+        match &self.domain {
+            Domain::Discrete(v) => v,
+            Domain::Continuous { .. } => {
+                panic!("parameter '{}' is continuous and has no value list", self.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_value_numeric_views() {
+        assert_eq!(DiscreteValue::Int(4).as_f64(), Some(4.0));
+        assert_eq!(DiscreteValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(DiscreteValue::from("DGZ").as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DiscreteValue::Int(8).to_string(), "8");
+        assert_eq!(DiscreteValue::from("pmis").to_string(), "pmis");
+    }
+
+    #[test]
+    fn domain_constructors_and_cardinality() {
+        assert_eq!(Domain::discrete_ints(&[1, 2, 4]).cardinality(), Some(3));
+        assert_eq!(Domain::categorical(&["a", "b"]).cardinality(), Some(2));
+        assert_eq!(Domain::continuous(0.0, 1.0).cardinality(), None);
+        assert!(Domain::discrete_floats(&[0.5]).is_discrete());
+        assert!(!Domain::continuous(0.0, 1.0).is_discrete());
+    }
+
+    #[test]
+    fn param_def_accessors() {
+        let p = ParamDef::new("omp", Domain::discrete_ints(&[1, 2, 4, 8]));
+        assert_eq!(p.name(), "omp");
+        assert_eq!(p.values().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous")]
+    fn values_of_continuous_panics() {
+        let p = ParamDef::new("cap", Domain::continuous(50.0, 100.0));
+        let _ = p.values();
+    }
+}

@@ -1,0 +1,446 @@
+//! The [`ParameterSpace`]: definitions + feasibility constraints.
+
+use crate::config::{Configuration, ParamValue};
+use crate::param::{Domain, ParamDef};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named feasibility predicate over configurations.
+///
+/// The measured datasets the paper uses were collected on real machines
+/// where some parameter combinations are invalid (e.g. `ranks × threads`
+/// exceeding a node's cores, or a group-set count that does not divide the
+/// number of energy groups); those runs are simply absent, which is why the
+/// datasets have non-product cardinalities. Constraints reproduce that.
+#[derive(Clone)]
+pub struct Constraint {
+    name: String,
+    predicate: Arc<dyn Fn(&Configuration, &[ParamDef]) -> bool + Send + Sync>,
+}
+
+impl Constraint {
+    /// Creates a named constraint.
+    pub fn new(
+        name: impl Into<String>,
+        predicate: impl Fn(&Configuration, &[ParamDef]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            predicate: Arc::new(predicate),
+        }
+    }
+
+    /// The constraint's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the predicate.
+    pub fn is_satisfied(&self, cfg: &Configuration, defs: &[ParamDef]) -> bool {
+        (self.predicate)(cfg, defs)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Constraint").field("name", &self.name).finish()
+    }
+}
+
+/// Errors from [`SpaceBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The space has no parameters.
+    NoParameters,
+    /// Two parameters share a name.
+    DuplicateName(String),
+    /// A discrete domain has no values.
+    EmptyDomain(String),
+    /// A continuous domain has `lo >= hi` or non-finite bounds.
+    InvalidRange(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::NoParameters => write!(f, "parameter space has no parameters"),
+            SpaceError::DuplicateName(n) => write!(f, "duplicate parameter name '{n}'"),
+            SpaceError::EmptyDomain(n) => write!(f, "parameter '{n}' has an empty domain"),
+            SpaceError::InvalidRange(n) => {
+                write!(f, "parameter '{n}' has an invalid continuous range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// Builder for [`ParameterSpace`].
+#[derive(Default)]
+pub struct SpaceBuilder {
+    params: Vec<ParamDef>,
+    constraints: Vec<Constraint>,
+}
+
+impl SpaceBuilder {
+    /// Adds a parameter.
+    pub fn param(mut self, def: ParamDef) -> Self {
+        self.params.push(def);
+        self
+    }
+
+    /// Adds a feasibility constraint.
+    pub fn constraint(
+        mut self,
+        name: impl Into<String>,
+        predicate: impl Fn(&Configuration, &[ParamDef]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.constraints.push(Constraint::new(name, predicate));
+        self
+    }
+
+    /// Validates and builds the space.
+    pub fn build(self) -> Result<ParameterSpace, SpaceError> {
+        if self.params.is_empty() {
+            return Err(SpaceError::NoParameters);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.params {
+            if !seen.insert(p.name().to_string()) {
+                return Err(SpaceError::DuplicateName(p.name().to_string()));
+            }
+            match p.domain() {
+                Domain::Discrete(v) if v.is_empty() => {
+                    return Err(SpaceError::EmptyDomain(p.name().to_string()))
+                }
+                Domain::Continuous { lo, hi }
+                    if !(lo.is_finite() && hi.is_finite() && lo < hi) =>
+                {
+                    return Err(SpaceError::InvalidRange(p.name().to_string()))
+                }
+                _ => {}
+            }
+        }
+        Ok(ParameterSpace {
+            params: self.params,
+            constraints: self.constraints,
+        })
+    }
+}
+
+/// An application's tunable parameter space (paper §III: `x = [x_1…x_n]`).
+#[derive(Debug, Clone)]
+pub struct ParameterSpace {
+    params: Vec<ParamDef>,
+    constraints: Vec<Constraint>,
+}
+
+impl ParameterSpace {
+    /// Starts building a space.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder::default()
+    }
+
+    /// The parameter definitions, in configuration order.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Number of parameters `n`.
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Looks up a parameter's position by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// Whether every parameter is discrete (required for enumeration and
+    /// for the Ranking selection strategy).
+    pub fn is_fully_discrete(&self) -> bool {
+        self.params.iter().all(|p| p.domain().is_discrete())
+    }
+
+    /// Whether `cfg` satisfies all feasibility constraints.
+    pub fn is_feasible(&self, cfg: &Configuration) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| c.is_satisfied(cfg, &self.params))
+    }
+
+    /// Cardinality of the *unconstrained* cross product; `None` if any
+    /// parameter is continuous.
+    pub fn product_cardinality(&self) -> Option<usize> {
+        self.params
+            .iter()
+            .map(|p| p.domain().cardinality())
+            .try_fold(1usize, |acc, c| c.map(|c| acc * c))
+    }
+
+    /// Converts a mixed-radix index into the unconstrained product to a
+    /// configuration. Index 0 is all-first-values; the **last** parameter
+    /// varies fastest.
+    ///
+    /// # Panics
+    /// Panics if the space has continuous parameters or `index` is out of
+    /// range.
+    pub fn config_at(&self, index: usize) -> Configuration {
+        let total = self
+            .product_cardinality()
+            .expect("config_at requires a fully discrete space");
+        assert!(index < total, "configuration index {index} out of {total}");
+        let mut rem = index;
+        let mut indices = vec![0usize; self.params.len()];
+        for (i, p) in self.params.iter().enumerate().rev() {
+            let card = p.domain().cardinality().expect("discrete");
+            indices[i] = rem % card;
+            rem /= card;
+        }
+        Configuration::from_indices(&indices)
+    }
+
+    /// Inverse of [`config_at`](Self::config_at).
+    ///
+    /// # Panics
+    /// Panics if the space has continuous parameters or `cfg` holds a
+    /// continuous value.
+    pub fn index_of(&self, cfg: &Configuration) -> usize {
+        assert_eq!(cfg.len(), self.params.len());
+        let mut index = 0usize;
+        for (i, p) in self.params.iter().enumerate() {
+            let card = p.domain().cardinality().expect("discrete space");
+            let v = cfg.value(i).index();
+            debug_assert!(v < card);
+            index = index * card + v;
+        }
+        index
+    }
+
+    /// Enumerates every **feasible** configuration in mixed-radix order.
+    ///
+    /// # Panics
+    /// Panics if the space has continuous parameters.
+    pub fn enumerate(&self) -> Vec<Configuration> {
+        let total = self
+            .product_cardinality()
+            .expect("enumerate requires a fully discrete space");
+        (0..total)
+            .map(|i| self.config_at(i))
+            .filter(|c| self.is_feasible(c))
+            .collect()
+    }
+
+    /// All feasible configurations at Hamming distance exactly 1 from `cfg`
+    /// (one parameter changed to a different domain value). This is the
+    /// edge relation of the configuration graph that the GEIST baseline
+    /// propagates labels over.
+    ///
+    /// # Panics
+    /// Panics if the space has continuous parameters.
+    pub fn neighbors(&self, cfg: &Configuration) -> Vec<Configuration> {
+        assert!(self.is_fully_discrete(), "neighbors require a discrete space");
+        let mut out = Vec::new();
+        for (i, p) in self.params.iter().enumerate() {
+            let card = p.domain().cardinality().expect("discrete");
+            let current = cfg.value(i).index();
+            for v in 0..card {
+                if v == current {
+                    continue;
+                }
+                let mut n = cfg.clone();
+                n.set_value(i, ParamValue::Index(v));
+                if self.is_feasible(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1])))
+            .param(ParamDef::new("b", Domain::categorical(&["x", "y", "z"])))
+            .param(ParamDef::new("c", Domain::discrete_ints(&[10, 20])))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_space() {
+        assert_eq!(
+            ParameterSpace::builder().build().unwrap_err(),
+            SpaceError::NoParameters
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let err = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[1])))
+            .param(ParamDef::new("a", Domain::discrete_ints(&[2])))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn builder_rejects_empty_domain() {
+        let err = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::Discrete(vec![])))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::EmptyDomain("a".into()));
+    }
+
+    #[test]
+    fn builder_rejects_bad_range() {
+        let err = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::continuous(1.0, 1.0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::InvalidRange("a".into()));
+        let err = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::continuous(0.0, f64::NAN)))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::InvalidRange("a".into()));
+    }
+
+    #[test]
+    fn product_cardinality_multiplies() {
+        assert_eq!(small_space().product_cardinality(), Some(12));
+        let mixed = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[1])))
+            .param(ParamDef::new("b", Domain::continuous(0.0, 1.0)))
+            .build()
+            .unwrap();
+        assert_eq!(mixed.product_cardinality(), None);
+        assert!(!mixed.is_fully_discrete());
+    }
+
+    #[test]
+    fn enumerate_covers_product_without_constraints() {
+        let s = small_space();
+        let all = s.enumerate();
+        assert_eq!(all.len(), 12);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn enumerate_respects_constraints() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("ranks", Domain::discrete_ints(&[1, 2, 4])))
+            .param(ParamDef::new("omp", Domain::discrete_ints(&[1, 2, 4])))
+            .constraint("ranks*omp <= 4", |cfg, defs| {
+                cfg.numeric_value(0, &defs[0]) * cfg.numeric_value(1, &defs[1]) <= 4.0
+            })
+            .build()
+            .unwrap();
+        let all = s.enumerate();
+        // (1,1) (1,2) (1,4) (2,1) (2,2) (4,1) = 6 feasible
+        assert_eq!(all.len(), 6);
+        for c in &all {
+            assert!(s.is_feasible(c));
+        }
+    }
+
+    #[test]
+    fn config_at_uses_last_param_fastest() {
+        let s = small_space();
+        assert_eq!(s.config_at(0), Configuration::from_indices(&[0, 0, 0]));
+        assert_eq!(s.config_at(1), Configuration::from_indices(&[0, 0, 1]));
+        assert_eq!(s.config_at(2), Configuration::from_indices(&[0, 1, 0]));
+        assert_eq!(s.config_at(11), Configuration::from_indices(&[1, 2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn config_at_out_of_range_panics() {
+        let _ = small_space().config_at(12);
+    }
+
+    #[test]
+    fn neighbors_change_exactly_one_param() {
+        let s = small_space();
+        let c = Configuration::from_indices(&[0, 1, 0]);
+        let ns = s.neighbors(&c);
+        // (2-1) + (3-1) + (2-1) = 4 neighbors
+        assert_eq!(ns.len(), 4);
+        for n in &ns {
+            let diff = (0..3).filter(|&i| n.value(i) != c.value(i)).count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn neighbors_exclude_infeasible() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .constraint("a != 1", |cfg, _| cfg.value(0).index() != 1)
+            .build()
+            .unwrap();
+        let ns = s.neighbors(&Configuration::from_indices(&[0]));
+        assert_eq!(ns, vec![Configuration::from_indices(&[2])]);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let s = small_space();
+        for c in s.enumerate() {
+            for n in s.neighbors(&c) {
+                assert!(s.neighbors(&n).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn param_index_lookup() {
+        let s = small_space();
+        assert_eq!(s.param_index("b"), Some(1));
+        assert_eq!(s.param_index("missing"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn index_config_roundtrip(
+            cards in proptest::collection::vec(1usize..5, 1..5),
+            seed in 0usize..1000,
+        ) {
+            let mut b = ParameterSpace::builder();
+            for (i, &c) in cards.iter().enumerate() {
+                let vals: Vec<i64> = (0..c as i64).collect();
+                b = b.param(ParamDef::new(format!("p{i}"), Domain::discrete_ints(&vals)));
+            }
+            let s = b.build().unwrap();
+            let total = s.product_cardinality().unwrap();
+            let idx = seed % total;
+            prop_assert_eq!(s.index_of(&s.config_at(idx)), idx);
+        }
+
+        #[test]
+        fn enumeration_is_sorted_by_index(
+            cards in proptest::collection::vec(1usize..4, 1..4),
+        ) {
+            let mut b = ParameterSpace::builder();
+            for (i, &c) in cards.iter().enumerate() {
+                let vals: Vec<i64> = (0..c as i64).collect();
+                b = b.param(ParamDef::new(format!("p{i}"), Domain::discrete_ints(&vals)));
+            }
+            let s = b.build().unwrap();
+            let all = s.enumerate();
+            let idxs: Vec<usize> = all.iter().map(|c| s.index_of(c)).collect();
+            let mut sorted = idxs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(idxs, sorted);
+        }
+    }
+}

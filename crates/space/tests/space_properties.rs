@@ -1,0 +1,119 @@
+//! Property-based invariants tying the space substrate's pieces together:
+//! enumeration, indexing, neighborhoods, sampling, and encodings must agree
+//! on randomized spaces.
+
+use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
+use hiperbot_space::{Configuration, Domain, Encoder, EncodingKind, ParamDef, ParameterSpace};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_discrete_space() -> impl Strategy<Value = ParameterSpace> {
+    proptest::collection::vec(2usize..=5, 1..=4).prop_map(|cards| {
+        let mut b = ParameterSpace::builder();
+        for (i, c) in cards.into_iter().enumerate() {
+            let vals: Vec<i64> = (0..c as i64).collect();
+            b = b.param(ParamDef::new(format!("p{i}"), Domain::discrete_ints(&vals)));
+        }
+        b.build().expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn enumeration_indexing_roundtrip(space in arb_discrete_space()) {
+        let all = space.enumerate();
+        prop_assert_eq!(all.len(), space.product_cardinality().unwrap());
+        for (i, cfg) in all.iter().enumerate() {
+            prop_assert_eq!(space.index_of(cfg), i);
+            prop_assert_eq!(&space.config_at(i), cfg);
+        }
+    }
+
+    #[test]
+    fn neighbor_counts_match_domain_sizes(space in arb_discrete_space()) {
+        // Without constraints, |N(v)| = Σ (card_i - 1) for every node.
+        let expected: usize = space
+            .params()
+            .iter()
+            .map(|p| p.domain().cardinality().unwrap() - 1)
+            .sum();
+        for cfg in space.enumerate().iter().take(16) {
+            prop_assert_eq!(space.neighbors(cfg).len(), expected);
+        }
+    }
+
+    #[test]
+    fn one_hot_rows_always_sum_to_n_params(space in arb_discrete_space(), seed in 0u64..100) {
+        let encoder = Encoder::new(&space, EncodingKind::OneHot);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for cfg in sample_distinct(&space, 4.min(space.product_cardinality().unwrap()), &mut rng) {
+            let v = encoder.encode(&cfg);
+            let sum: f64 = v.iter().sum();
+            prop_assert!((sum - space.n_params() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_encoding_distinguishes_distinct_configs(
+        space in arb_discrete_space(),
+    ) {
+        let encoder = Encoder::new(&space, EncodingKind::Normalized);
+        let all = space.enumerate();
+        // Any two distinct configurations must encode differently.
+        for (i, a) in all.iter().enumerate().step_by(7) {
+            for b in all.iter().skip(i + 1).step_by(11) {
+                let (ea, eb) = (encoder.encode(a), encoder.encode(b));
+                prop_assert_ne!(ea, eb, "{:?} vs {:?}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_and_uniform_agree_on_feasibility_and_count(
+        space in arb_discrete_space(),
+        seed in 0u64..100,
+    ) {
+        let n = 4.min(space.product_cardinality().unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for samples in [
+            sample_distinct(&space, n, &mut rng),
+            latin_hypercube(&space, n, &mut rng),
+        ] {
+            prop_assert_eq!(samples.len(), n);
+            for c in &samples {
+                prop_assert!(space.is_feasible(c));
+                prop_assert_eq!(c.len(), space.n_params());
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_shrink_but_never_corrupt_enumeration(
+        cards in proptest::collection::vec(2usize..=4, 2..=3),
+        threshold in 1usize..6,
+    ) {
+        let mut b = ParameterSpace::builder();
+        for (i, c) in cards.iter().enumerate() {
+            let vals: Vec<i64> = (0..*c as i64).collect();
+            b = b.param(ParamDef::new(format!("p{i}"), Domain::discrete_ints(&vals)));
+        }
+        let constrained = b
+            .constraint("sum <= threshold", move |c: &Configuration, _d: &[ParamDef]| {
+                (0..c.len()).map(|i| c.value(i).index()).sum::<usize>() <= threshold
+            })
+            .build()
+            .unwrap();
+        let feasible = constrained.enumerate();
+        for c in &feasible {
+            let sum: usize = (0..c.len()).map(|i| c.value(i).index()).sum();
+            prop_assert!(sum <= threshold);
+        }
+        // the unconstrained count bounds the feasible count
+        prop_assert!(feasible.len() <= constrained.product_cardinality().unwrap());
+        // all-zeros is always feasible under this constraint
+        prop_assert!(!feasible.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Rank and linear correlation coefficients.
+//!
+//! Used by the evaluation harness to quantify agreement between parameter-
+//! importance rankings (Table I: does the 10 %-sample surrogate's ranking
+//! match the full-data ranking?) and between source- and target-scale
+//! objectives (the premise of transfer learning, §VII).
+
+/// Pearson linear correlation of two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    assert!(!x.is_empty(), "empty samples");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Fractional ranks (average ranks for ties), 1-based.
+pub fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // find the tie group [i, j)
+        let mut j = i + 1;
+        while j < idx.len() && x[idx[j]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // average of ranks i+1..=j
+        for &k in &idx[i..j] {
+            out[k] = avg_rank;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors
+/// (tie-aware).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Kendall's τ-a rank correlation (concordant minus discordant pairs over
+/// all pairs; ties count as neither). O(n²) — fine for ranking lists.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let n = x.len();
+    assert!(n >= 2, "need at least two observations");
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            let s = dx * dy;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_of_identical_is_one() {
+        let x = [1.0, 2.0, 5.0, 3.0];
+        assert!((pearson(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_negated_is_minus_one() {
+        let x = [1.0, 2.0, 5.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_sample_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties_by_averaging() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_of_sorted_input_are_identity() {
+        let r = ranks(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn spearman_sees_monotone_nonlinear_relations() {
+        let x = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Pearson would be < 1 here.
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        // x = 1,2,3; y = 1,3,2 → pairs: (1,2)c, (1,3)c, (2,3)d → (2-1)/3
+        let t = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 3.0, 2.0]);
+        assert!((t - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_of_reversed_is_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn correlations_are_bounded(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            for c in [pearson(&x, &y), spearman(&x, &y), kendall_tau(&x, &y)] {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "{c}");
+            }
+        }
+
+        #[test]
+        fn correlations_are_symmetric(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..30)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&x, &y) - pearson(&y, &x)).abs() < 1e-12);
+            prop_assert!((spearman(&x, &y) - spearman(&y, &x)).abs() < 1e-12);
+            prop_assert!((kendall_tau(&x, &y) - kendall_tau(&y, &x)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn ranks_are_a_permutation_of_1_to_n_without_ties(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..40)
+        ) {
+            xs.dedup_by(|a, b| a == b);
+            let r = ranks(&xs);
+            let mut sorted = r.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (i, v) in sorted.iter().enumerate() {
+                prop_assert!((v - (i + 1) as f64).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Kullback–Leibler and Jensen–Shannon divergences.
+//!
+//! The parameter-importance analysis (paper §VI, eqs. 13–14) scores each
+//! tunable parameter by the JS divergence between its good-configuration
+//! density `p_g(x_i)` and bad-configuration density `p_b(x_i)`: parameters
+//! whose good and bad value distributions differ strongly matter most. JS
+//! divergence is chosen over KL for its symmetry; with natural logarithms it
+//! is bounded by `ln 2`.
+
+/// KL divergence `D_KL(P ‖ Q) = Σ p · ln(p/q)` for discrete distributions.
+///
+/// Terms with `p = 0` contribute zero (the `0·ln 0 = 0` convention). Terms
+/// with `p > 0, q = 0` would be infinite; callers should smooth their
+/// distributions first (see [`crate::histogram::SmoothedHistogram`]), but we
+/// return `f64::INFINITY` rather than panic so importance analysis on raw
+/// histograms degrades gracefully.
+///
+/// # Panics
+/// Panics if the slices have different lengths or contain negative values.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        assert!(pi >= 0.0 && qi >= 0.0, "probabilities must be non-negative");
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    acc
+}
+
+/// JS divergence `½ D_KL(P‖M) + ½ D_KL(Q‖M)` with `M = (P+Q)/2` (paper
+/// eq. 13). Symmetric, non-negative, and bounded by `ln 2 ≈ 0.6931` in nats.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// JS divergence between two continuous densities, approximated by
+/// discretizing both pdfs onto a uniform grid of `bins` cells over
+/// `[lo, hi]` and renormalizing.
+///
+/// This is how the importance analysis handles continuous parameters (e.g.
+/// a power cap treated as continuous): both KDEs are evaluated on the same
+/// grid and compared as discrete distributions.
+pub fn js_divergence_continuous(
+    pdf_p: impl Fn(f64) -> f64,
+    pdf_q: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "empty interval");
+    let dx = (hi - lo) / bins as f64;
+    let mut p = Vec::with_capacity(bins);
+    let mut q = Vec::with_capacity(bins);
+    for i in 0..bins {
+        let x = lo + (i as f64 + 0.5) * dx;
+        p.push(pdf_p(x).max(0.0));
+        q.push(pdf_q(x).max(0.0));
+    }
+    normalize(&mut p);
+    normalize(&mut q);
+    js_divergence(&p, &q)
+}
+
+/// Hellinger distance `H(P,Q) = (1/√2)·‖√P − √Q‖₂` — an alternative
+/// importance measure (§VI notes "a variety of choices" exist; the
+/// ablation bench compares them). Bounded in [0, 1].
+pub fn hellinger(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    let s: f64 = p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            assert!(a >= 0.0 && b >= 0.0, "probabilities must be non-negative");
+            (a.sqrt() - b.sqrt()).powi(2)
+        })
+        .sum();
+    (0.5 * s).sqrt()
+}
+
+/// Total-variation distance `½·Σ|p − q|`. Bounded in [0, 1].
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    } else {
+        // Zero density everywhere on the grid: treat as uniform so the
+        // divergence is defined (and will be 0 against another zero pdf).
+        let u = 1.0 / v.len() as f64;
+        for x in v.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // D_KL([1,0] || [0.5,0.5]) = ln 2
+        assert!((kl_divergence(&[1.0, 0.0], &[0.5, 0.5]) - LN2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_infinite_when_support_mismatch() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn kl_zero_p_terms_are_skipped() {
+        assert!((kl_divergence(&[0.0, 1.0], &[0.0, 1.0])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn js_of_identical_is_zero() {
+        let p = [0.1, 0.2, 0.7];
+        assert!(js_divergence(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn js_of_disjoint_is_ln2() {
+        assert!((js_divergence(&[1.0, 0.0], &[0.0, 1.0]) - LN2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        assert!((js_divergence(&p, &q) - js_divergence(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn js_orders_by_distribution_difference() {
+        let base = [0.5, 0.5];
+        let near = [0.55, 0.45];
+        let far = [0.95, 0.05];
+        assert!(js_divergence(&base, &far) > js_divergence(&base, &near));
+    }
+
+    #[test]
+    fn continuous_js_of_identical_gaussians_is_zero() {
+        let pdf = |x: f64| (-0.5 * x * x).exp();
+        let d = js_divergence_continuous(pdf, pdf, -5.0, 5.0, 200);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_js_of_separated_gaussians_approaches_ln2() {
+        let p = |x: f64| (-0.5 * (x - 10.0) * (x - 10.0)).exp();
+        let q = |x: f64| (-0.5 * (x + 10.0) * (x + 10.0)).exp();
+        let d = js_divergence_continuous(p, q, -20.0, 20.0, 1000);
+        assert!((d - LN2).abs() < 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn continuous_js_handles_zero_density() {
+        let zero = |_x: f64| 0.0;
+        let d = js_divergence_continuous(zero, zero, 0.0, 1.0, 10);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal support")]
+    fn mismatched_lengths_panic() {
+        let _ = js_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn hellinger_of_identical_is_zero() {
+        let p = [0.3, 0.3, 0.4];
+        assert!(hellinger(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hellinger_of_disjoint_is_one() {
+        assert!((hellinger(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_known_values() {
+        assert!(total_variation(&[0.5, 0.5], &[0.5, 0.5]).abs() < 1e-15);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-15);
+        assert!((total_variation(&[0.7, 0.3], &[0.3, 0.7]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_agree_on_ordering() {
+        // All three should rank "far" above "near" relative to the base.
+        let base = [0.5, 0.5];
+        let near = [0.55, 0.45];
+        let far = [0.9, 0.1];
+        for f in [
+            js_divergence as fn(&[f64], &[f64]) -> f64,
+            hellinger,
+            total_variation,
+        ] {
+            assert!(f(&base, &far) > f(&base, &near));
+        }
+    }
+
+    fn arb_dist(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.01f64..1.0, n).prop_map(|mut v| {
+            let s: f64 = v.iter().sum();
+            for x in v.iter_mut() {
+                *x /= s;
+            }
+            v
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn js_bounded_by_ln2((p, q) in (2usize..12).prop_flat_map(|n| (arb_dist(n), arb_dist(n)))) {
+            let d = js_divergence(&p, &q);
+            prop_assert!(d >= -1e-12);
+            prop_assert!(d <= LN2 + 1e-9);
+        }
+
+        #[test]
+        fn kl_nonnegative_on_shared_support(
+            (p, q) in (2usize..12).prop_flat_map(|n| (arb_dist(n), arb_dist(n)))
+        ) {
+            prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        }
+
+        #[test]
+        fn js_symmetry_property(
+            (p, q) in (2usize..12).prop_flat_map(|n| (arb_dist(n), arb_dist(n)))
+        ) {
+            prop_assert!((js_divergence(&p, &q) - js_divergence(&q, &p)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn hellinger_and_tv_are_bounded_metrics(
+            (p, q) in (2usize..12).prop_flat_map(|n| (arb_dist(n), arb_dist(n)))
+        ) {
+            for f in [hellinger as fn(&[f64], &[f64]) -> f64, total_variation] {
+                let d = f(&p, &q);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+                prop_assert!((f(&p, &q) - f(&q, &p)).abs() < 1e-12); // symmetry
+                prop_assert!(f(&p, &p).abs() < 1e-12); // identity
+            }
+        }
+
+        #[test]
+        fn hellinger_squared_bounds_tv_from_below(
+            (p, q) in (2usize..12).prop_flat_map(|n| (arb_dist(n), arb_dist(n)))
+        ) {
+            // Standard inequality: H² ≤ TV ≤ H·√2.
+            let h = hellinger(&p, &q);
+            let tv = total_variation(&p, &q);
+            prop_assert!(h * h <= tv + 1e-9);
+            prop_assert!(tv <= h * std::f64::consts::SQRT_2 + 1e-9);
+        }
+    }
+}

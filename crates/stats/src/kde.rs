@@ -1,0 +1,276 @@
+//! Gaussian kernel density estimation.
+//!
+//! For **continuous** tunable parameters the paper estimates the good/bad
+//! densities with KDE using "gaussian kernels with a fixed bandwidth"
+//! (§III-B.2). [`GaussianKde`] implements exactly that, plus Silverman's
+//! rule-of-thumb bandwidth for callers that do not want to pick one, and
+//! sampling from the estimated density — required by the *Proposal*
+//! selection strategy (§III-D), which draws candidate configurations from
+//! `p_g(x)`.
+
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Bandwidth selection policy for [`GaussianKde`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bandwidth {
+    /// A fixed bandwidth, as used in the paper's implementation.
+    Fixed(f64),
+    /// Silverman's rule of thumb: `0.9 · min(σ, IQR/1.34) · n^(-1/5)`,
+    /// clamped below by a small floor so degenerate samples stay usable.
+    Silverman,
+}
+
+/// A one-dimensional Gaussian kernel density estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianKde {
+    points: Vec<f64>,
+    weights: Vec<f64>,
+    total_weight: f64,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Fits a KDE to `points` with equal weights.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, or `Bandwidth::Fixed` is non-positive.
+    pub fn fit(points: &[f64], bandwidth: Bandwidth) -> Self {
+        Self::fit_weighted(points, &vec![1.0; points.len()], bandwidth)
+    }
+
+    /// Fits a KDE with per-point weights. Weights let the transfer-learning
+    /// mixture (paper eqs. 9–10) down-weight source-domain observations.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, lengths differ, any weight is negative,
+    /// or all weights are zero.
+    pub fn fit_weighted(points: &[f64], weights: &[f64], bandwidth: Bandwidth) -> Self {
+        assert!(!points.is_empty(), "KDE requires at least one point");
+        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "KDE weights must be non-negative"
+        );
+        let total_weight: f64 = weights.iter().sum();
+        assert!(total_weight > 0.0, "KDE needs positive total weight");
+
+        let bw = match bandwidth {
+            Bandwidth::Fixed(h) => {
+                assert!(h > 0.0, "fixed bandwidth must be positive");
+                h
+            }
+            Bandwidth::Silverman => silverman_bandwidth(points),
+        };
+        Self {
+            points: points.to_vec(),
+            weights: weights.to_vec(),
+            total_weight,
+            bandwidth: bw,
+        }
+    }
+
+    /// Evaluates the density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let mut acc = 0.0;
+        for (&p, &w) in self.points.iter().zip(&self.weights) {
+            let z = (x - p) / h;
+            acc += w * (-0.5 * z * z).exp();
+        }
+        acc * INV_SQRT_2PI / (self.total_weight * h)
+    }
+
+    /// Evaluates the log-density at `x` (useful for products over many
+    /// parameters without underflow).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Draws one sample: pick a kernel center proportionally to its weight,
+    /// then add Gaussian noise of the bandwidth scale.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut u: f64 = rng.gen_range(0.0..self.total_weight);
+        let mut center = *self.points.last().expect("non-empty");
+        for (&p, &w) in self.points.iter().zip(&self.weights) {
+            if u < w {
+                center = p;
+                break;
+            }
+            u -= w;
+        }
+        let normal = Normal::new(center, self.bandwidth).expect("positive bandwidth");
+        normal.sample(rng)
+    }
+
+    /// The bandwidth in use (after rule-of-thumb resolution).
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of kernel centers.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the KDE has no kernel centers (never true for a constructed
+    /// instance; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth with an IQR correction and a floor.
+pub fn silverman_bandwidth(points: &[f64]) -> f64 {
+    assert!(!points.is_empty());
+    let n = points.len() as f64;
+    let mean = points.iter().sum::<f64>() / n;
+    let var = points.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt();
+
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KDE input"));
+    let iqr = crate::quantile::quantile_sorted(&sorted, 0.75)
+        - crate::quantile::quantile_sorted(&sorted, 0.25);
+
+    let spread = if iqr > 0.0 {
+        std.min(iqr / 1.34)
+    } else {
+        std
+    };
+    let h = 0.9 * spread * n.powf(-0.2);
+    // Floor: degenerate samples (all identical) still need a usable kernel.
+    let scale = sorted.last().unwrap().abs().max(1.0);
+    h.max(1e-3 * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panics() {
+        let _ = GaussianKde::fit(&[], Bandwidth::Fixed(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed bandwidth must be positive")]
+    fn non_positive_bandwidth_panics() {
+        let _ = GaussianKde::fit(&[1.0], Bandwidth::Fixed(0.0));
+    }
+
+    #[test]
+    fn single_point_is_a_gaussian() {
+        let kde = GaussianKde::fit(&[0.0], Bandwidth::Fixed(1.0));
+        // peak density of N(0,1) is 1/sqrt(2*pi)
+        assert!((kde.pdf(0.0) - INV_SQRT_2PI).abs() < 1e-12);
+        assert!(kde.pdf(1.0) < kde.pdf(0.0));
+        assert!((kde.pdf(1.0) - kde.pdf(-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let kde = GaussianKde::fit(&[0.0, 1.0, 5.0, 5.5], Bandwidth::Fixed(0.5));
+        // trapezoid rule over a wide interval
+        let (lo, hi, n) = (-10.0, 16.0, 20_000);
+        let dx = (hi - lo) / n as f64;
+        let mut integral = 0.0;
+        for i in 0..=n {
+            let x = lo + i as f64 * dx;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            integral += w * kde.pdf(x) * dx;
+        }
+        assert!((integral - 1.0).abs() < 1e-4, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_is_higher_near_data() {
+        let kde = GaussianKde::fit(&[2.0, 2.1, 1.9, 2.05], Bandwidth::Fixed(0.2));
+        assert!(kde.pdf(2.0) > kde.pdf(0.0));
+        assert!(kde.pdf(2.0) > kde.pdf(4.0));
+    }
+
+    #[test]
+    fn weights_shift_the_density() {
+        let kde = GaussianKde::fit_weighted(&[0.0, 10.0], &[9.0, 1.0], Bandwidth::Fixed(1.0));
+        assert!(kde.pdf(0.0) > 5.0 * kde.pdf(10.0));
+    }
+
+    #[test]
+    fn silverman_handles_identical_points() {
+        let kde = GaussianKde::fit(&[3.0, 3.0, 3.0], Bandwidth::Silverman);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.pdf(3.0).is_finite());
+    }
+
+    #[test]
+    fn silverman_scales_down_with_n() {
+        let few: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(silverman_bandwidth(&many) < silverman_bandwidth(&few));
+    }
+
+    #[test]
+    fn samples_concentrate_near_kernels() {
+        let kde = GaussianKde::fit(&[5.0], Bandwidth::Fixed(0.1));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..1000).map(|_| kde.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_kernels() {
+        let kde = GaussianKde::fit_weighted(&[0.0, 100.0], &[99.0, 1.0], Bandwidth::Fixed(0.1));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let near_zero = (0..1000)
+            .map(|_| kde.sample(&mut rng))
+            .filter(|&s| s < 50.0)
+            .count();
+        assert!(near_zero > 950, "{near_zero} / 1000 near the heavy kernel");
+    }
+
+    #[test]
+    fn log_pdf_is_finite_far_from_data() {
+        let kde = GaussianKde::fit(&[0.0], Bandwidth::Fixed(0.01));
+        assert!(kde.log_pdf(1e6).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn pdf_is_nonnegative_and_finite(
+            pts in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            x in -200.0f64..200.0,
+            h in 0.01f64..10.0,
+        ) {
+            let kde = GaussianKde::fit(&pts, Bandwidth::Fixed(h));
+            let d = kde.pdf(x);
+            prop_assert!(d >= 0.0);
+            prop_assert!(d.is_finite());
+        }
+
+        #[test]
+        fn pdf_is_translation_equivariant(
+            pts in proptest::collection::vec(-50.0f64..50.0, 1..20),
+            x in -50.0f64..50.0,
+            shift in -10.0f64..10.0,
+        ) {
+            let kde = GaussianKde::fit(&pts, Bandwidth::Fixed(1.0));
+            let shifted: Vec<f64> = pts.iter().map(|p| p + shift).collect();
+            let kde2 = GaussianKde::fit(&shifted, Bandwidth::Fixed(1.0));
+            prop_assert!((kde.pdf(x) - kde2.pdf(x + shift)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn silverman_is_positive(
+            pts in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            prop_assert!(silverman_bandwidth(&pts) > 0.0);
+        }
+    }
+}

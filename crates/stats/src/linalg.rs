@@ -1,0 +1,440 @@
+//! Minimal dense linear algebra.
+//!
+//! Two consumers need matrices: the Gaussian-process comparator (kernel
+//! matrices, Cholesky solves) and the PerfNet neural-network substrate
+//! (dense layers). Neither needs more than row-major [`Matrix`] with
+//! multiplication, transpose, and a Cholesky factorization — so that is all
+//! this module provides, implemented with cache-friendly ikj loop order per
+//! the HPC guides rather than pulling in an external BLAS.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned by [`Matrix::cholesky`] when the input is not (numerically)
+/// symmetric positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// The pivot column where factorization broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (non-positive pivot at column {})",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs` using the cache-friendly ikj ordering.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let o_row = out.row_mut(i);
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Returns `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Returns `self * s` (scalar scaling).
+    pub fn scale(&self, s: f64) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower-triangular `L`.
+    ///
+    /// Only the lower triangle of `self` is read, so near-symmetric inputs
+    /// (kernel matrices with rounding noise) are accepted.
+    pub fn cholesky(&self) -> Result<Matrix, NotPositiveDefinite> {
+        assert_eq!(self.rows, self.cols, "Cholesky requires a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = self[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `L·x = b` for lower-triangular `L` (forward substitution).
+    pub fn solve_lower_triangular(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self[(i, j)] * xj;
+            }
+            x[i] = s / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `Lᵀ·x = b` where `self` is lower-triangular `L` (backward
+    /// substitution, without materializing the transpose).
+    pub fn solve_lower_transposed(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self[(j, i)] * xj;
+            }
+            x[i] = s / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A·x = b` given `self = L` from [`Matrix::cholesky`], via the
+    /// two triangular solves `L·y = b`, `Lᵀ·x = y`.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower_triangular(b);
+        self.solve_lower_transposed(&y)
+    }
+
+    /// log-determinant of `A` given `self = L`: `2·Σ ln L_ii`.
+    pub fn cholesky_log_det(&self) -> f64 {
+        (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_matmul_is_identity_op() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(i.matmul(&a), a);
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3), a);
+    }
+
+    #[test]
+    fn known_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 3.0]);
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&v), vec![-2.0, 13.0]);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has L = [[2,0,0],[6,1,0],[-8,5,3]]
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        );
+        let l = a.cholesky().unwrap();
+        let expected = [2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0];
+        for (got, want) in l.as_slice().iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-12, "L = {:?}", l.as_slice());
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        let err = a.cholesky().unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let a = Matrix::from_vec(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let l = a.cholesky().unwrap();
+        let x = l.cholesky_solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 0.0, 0.0, 9.0]);
+        let l = a.cholesky().unwrap();
+        assert!((l.cholesky_log_det() - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    fn arb_spd(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
+            let b = Matrix::from_vec(n, n, v);
+            // B·Bᵀ + n·I is symmetric positive definite
+            let mut a = b.matmul(&b.transpose());
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            a
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_reconstructs(a in (1usize..8).prop_flat_map(arb_spd)) {
+            let l = a.cholesky().unwrap();
+            let recon = l.matmul(&l.transpose());
+            let diff: f64 = a
+                .as_slice()
+                .iter()
+                .zip(recon.as_slice())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+            prop_assert!(diff < 1e-9, "max abs diff = {diff}");
+        }
+
+        #[test]
+        fn cholesky_solve_satisfies_system(
+            a in (1usize..8).prop_flat_map(arb_spd),
+            bv in proptest::collection::vec(-10.0f64..10.0, 1..8),
+        ) {
+            let n = a.rows().min(bv.len());
+            // regenerate consistent sizes
+            let a = Matrix::from_fn(n, n, |i, j| a[(i.min(a.rows()-1), j.min(a.cols()-1))]);
+            let a = {
+                // re-SPD-ify after truncation
+                let mut m = a.matmul(&a.transpose());
+                for i in 0..n { m[(i, i)] += n as f64 + 1.0; }
+                m
+            };
+            let b = &bv[..n];
+            let l = a.cholesky().unwrap();
+            let x = l.cholesky_solve(b);
+            let ax = a.matvec(&x);
+            for (got, want) in ax.iter().zip(b) {
+                prop_assert!((got - want).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn matmul_is_associative(
+            a in proptest::collection::vec(-2.0f64..2.0, 9),
+            b in proptest::collection::vec(-2.0f64..2.0, 9),
+            c in proptest::collection::vec(-2.0f64..2.0, 9),
+        ) {
+            let a = Matrix::from_vec(3, 3, a);
+            let b = Matrix::from_vec(3, 3, b);
+            let c = Matrix::from_vec(3, 3, c);
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            let diff: f64 = left
+                .as_slice()
+                .iter()
+                .zip(right.as_slice())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+            prop_assert!(diff < 1e-9);
+        }
+
+        #[test]
+        fn transpose_reverses_matmul(
+            a in proptest::collection::vec(-2.0f64..2.0, 6),
+            b in proptest::collection::vec(-2.0f64..2.0, 6),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            let diff: f64 = lhs
+                .as_slice()
+                .iter()
+                .zip(rhs.as_slice())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+            prop_assert!(diff < 1e-9);
+        }
+    }
+}

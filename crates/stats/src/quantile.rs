@@ -1,0 +1,192 @@
+//! Quantile estimation.
+//!
+//! HiPerBOt splits its observation history into *good* and *bad*
+//! configurations at the α-quantile of the observed objective values
+//! (the paper uses α = 0.20, §III-C step 2). The quantile definition used
+//! here is the linear-interpolation estimator (type 7 in the Hyndman–Fan
+//! taxonomy, the default of NumPy and R), which is what the reference TPE
+//! implementations use.
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` by linear interpolation.
+///
+/// The input does not need to be sorted. Returns `None` when `values` is
+/// empty or `q` is outside `[0, 1]` or NaN.
+///
+/// # Examples
+/// ```
+/// use hiperbot_stats::quantile::quantile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&v, 0.0), Some(1.0));
+/// assert_eq!(quantile(&v, 1.0), Some(4.0));
+/// assert_eq!(quantile(&v, 0.5), Some(2.5));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN objective value"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Same as [`quantile`] but assumes `sorted` is already ascending and
+/// non-empty. This is the hot-path variant used by the surrogate, which
+/// keeps its history sorted incrementally.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Splits `values` into (good, bad) index sets at the `alpha`-quantile.
+///
+/// An index `i` is *good* when `values[i] < threshold`, where the threshold
+/// is the `alpha`-quantile — except that at least one observation is always
+/// classified good (the best one), since the surrogate model needs a
+/// non-empty good density. Returns `(good_indices, bad_indices, threshold)`.
+pub fn split_by_quantile(values: &[f64], alpha: f64) -> (Vec<usize>, Vec<usize>, f64) {
+    assert!(!values.is_empty(), "cannot split an empty observation set");
+    let threshold = quantile(values, alpha).expect("valid alpha");
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        if v < threshold {
+            good.push(i);
+        } else {
+            bad.push(i);
+        }
+    }
+    if good.is_empty() {
+        // Degenerate case (e.g. all values equal, or alpha = 0): promote the
+        // single best observation so p_g is always defined.
+        let best = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective value"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        good.push(best);
+        bad.retain(|&i| i != best);
+    }
+    (good, bad, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn out_of_range_q_returns_none() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+        assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.5), Some(7.0));
+        assert_eq!(quantile(&[7.0], 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+        assert_eq!(quantile(&[4.0, 1.0, 3.0, 2.0], 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        // numpy.quantile([1,2,3,4,5], 0.2) == 1.8
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((quantile(&v, 0.2).unwrap() - 1.8).abs() < 1e-12);
+        // numpy.quantile([10, 20], 0.25) == 12.5
+        assert!((quantile(&[10.0, 20.0], 0.25).unwrap() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_classifies_below_threshold_as_good() {
+        let values = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let (good, bad, thr) = split_by_quantile(&values, 0.4);
+        // threshold = quantile(0.4) = 2.6; good = {1.0, 2.0} at indices 1, 3
+        assert!((thr - 2.6).abs() < 1e-12);
+        assert_eq!(good, vec![1, 3]);
+        assert_eq!(bad, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn split_always_has_at_least_one_good() {
+        let values = [3.0, 3.0, 3.0];
+        let (good, bad, _) = split_by_quantile(&values, 0.2);
+        assert_eq!(good.len(), 1);
+        assert_eq!(bad.len(), 2);
+
+        let values = [9.0, 5.0, 7.0];
+        let (good, _, _) = split_by_quantile(&values, 0.0);
+        assert_eq!(good, vec![1]); // index of the best value
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone_in_q(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn quantile_is_within_data_range(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            let v = quantile(&xs, q).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+
+        #[test]
+        fn split_partitions_all_indices(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            alpha in 0.01f64..0.99,
+        ) {
+            let (good, bad, _) = split_by_quantile(&xs, alpha);
+            prop_assert_eq!(good.len() + bad.len(), xs.len());
+            let mut all: Vec<usize> = good.iter().chain(bad.iter()).cloned().collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), xs.len());
+        }
+
+        #[test]
+        fn every_good_is_no_worse_than_every_bad(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            alpha in 0.01f64..0.99,
+        ) {
+            let (good, bad, _) = split_by_quantile(&xs, alpha);
+            let worst_good = good.iter().map(|&i| xs[i]).fold(f64::NEG_INFINITY, f64::max);
+            let best_bad = bad.iter().map(|&i| xs[i]).fold(f64::INFINITY, f64::min);
+            prop_assert!(worst_good <= best_bad + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic random-number utilities.
+//!
+//! Every experiment in the paper reproduction must be exactly repeatable, so
+//! all stochastic components (initial sampling, noise models, repeated
+//! trials) derive their randomness from explicit seeds. [`SeedSequence`]
+//! provides a cheap, collision-resistant way to split one master seed into
+//! independent streams — one per repetition, per method, per dataset —
+//! without any stream observing another's draws.
+
+/// SplitMix64 step: advances `state` and returns a well-mixed 64-bit output.
+///
+/// This is the finalizer from Vigna's SplitMix64 generator; it passes
+/// BigCrush and is the standard tool for turning correlated integer inputs
+/// (seed counters, hashes) into independent-looking seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes an arbitrary list of 64-bit words into a single seed.
+///
+/// Used by the application simulators to derive a deterministic noise value
+/// for each `(dataset seed, configuration index)` pair.
+#[inline]
+pub fn mix_words(words: &[u64]) -> u64 {
+    let mut state = 0x243F_6A88_85A3_08D3; // pi digits: domain separation
+    let mut acc = 0u64;
+    for &w in words {
+        state ^= w;
+        acc ^= splitmix64(&mut state);
+    }
+    // One more round so that trailing zero words still change the output.
+    state ^= acc;
+    splitmix64(&mut state)
+}
+
+/// A splittable source of seeds.
+///
+/// `SeedSequence` hands out an unbounded stream of 64-bit seeds derived from
+/// a master seed. Child sequences created with [`SeedSequence::split`] are
+/// independent of the parent's subsequent draws, which lets the evaluation
+/// harness give each of the 50 repetitions of an experiment its own stream
+/// while remaining reproducible regardless of execution order (the
+/// repetitions run in parallel under rayon).
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    state: u64,
+    counter: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence from a master seed.
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        // Burn one step so that `new(0)` and `new(0x9E3779B97F4A7C15)` differ
+        // in internal state, not just in phase.
+        let _ = splitmix64(&mut state);
+        Self { state, counter: 0 }
+    }
+
+    /// Returns the next seed in the stream.
+    pub fn next_seed(&mut self) -> u64 {
+        let c = self.counter;
+        self.counter += 1;
+        mix_words(&[self.state, c])
+    }
+
+    /// Creates an independent child sequence.
+    ///
+    /// The child is keyed on the parent's state and the position at which it
+    /// was split, so splitting twice yields two different children.
+    pub fn split(&mut self) -> SeedSequence {
+        let tag = self.next_seed();
+        SeedSequence::new(mix_words(&[tag, 0x5EED_5EED_5EED_5EED]))
+    }
+
+    /// Derives the seed for a labeled subsystem, e.g. `derive(b"init")`.
+    ///
+    /// Unlike [`next_seed`](Self::next_seed) this does not advance the
+    /// sequence: the same label always maps to the same seed, which keeps
+    /// experiment components decoupled from the order in which they
+    /// initialize.
+    pub fn derive(&self, label: &[u8]) -> u64 {
+        let mut words = vec![self.state, self.counter];
+        for chunk in label.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(w));
+        }
+        words.push(label.len() as u64);
+        mix_words(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_known_values_are_stable() {
+        let mut s = 0u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        // Regression pin: these must never change or every dataset changes.
+        assert_ne!(a, b);
+        let mut s2 = 0u64;
+        assert_eq!(a, splitmix64(&mut s2));
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let mut a = SeedSequence::new(42);
+        let mut b = SeedSequence::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_diverge() {
+        let mut a = SeedSequence::new(1);
+        let mut b = SeedSequence::new(2);
+        assert_ne!(a.next_seed(), b.next_seed());
+    }
+
+    #[test]
+    fn seeds_do_not_collide_in_long_streams() {
+        let mut seq = SeedSequence::new(7);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(seq.next_seed()), "collision in seed stream");
+        }
+    }
+
+    #[test]
+    fn splits_are_independent_of_parent_continuation() {
+        let mut parent1 = SeedSequence::new(99);
+        let mut child1 = parent1.split();
+        let _ = parent1.next_seed(); // parent keeps drawing
+
+        let mut parent2 = SeedSequence::new(99);
+        let mut child2 = parent2.split();
+        // child streams must be identical regardless of parent activity
+        for _ in 0..10 {
+            assert_eq!(child1.next_seed(), child2.next_seed());
+        }
+    }
+
+    #[test]
+    fn successive_splits_differ() {
+        let mut parent = SeedSequence::new(5);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_seed(), c2.next_seed());
+    }
+
+    #[test]
+    fn derive_is_stable_and_label_sensitive() {
+        let seq = SeedSequence::new(3);
+        assert_eq!(seq.derive(b"init"), seq.derive(b"init"));
+        assert_ne!(seq.derive(b"init"), seq.derive(b"noise"));
+        // Labels that are prefixes of each other must not collide.
+        assert_ne!(seq.derive(b"a"), seq.derive(b"a\0"));
+    }
+
+    #[test]
+    fn mix_words_distinguishes_permutations() {
+        assert_ne!(mix_words(&[1, 2]), mix_words(&[2, 1]));
+        assert_ne!(mix_words(&[0]), mix_words(&[0, 0]));
+    }
+}

@@ -1,0 +1,241 @@
+//! Streaming summary statistics.
+//!
+//! The evaluation protocol of the paper (§V) runs every method 50 times and
+//! reports the mean and standard deviation of each metric at each sample-size
+//! checkpoint. [`Summary`] accumulates those trials with Welford's
+//! numerically stable online algorithm, avoiding the catastrophic
+//! cancellation of the naive sum-of-squares formula.
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary into this one (parallel reduction).
+    ///
+    /// Uses Chan et al.'s pairwise combination formula, so the result is
+    /// identical (up to rounding) to pushing all observations into a single
+    /// accumulator. This is what makes the rayon-parallel trial runner give
+    /// the same statistics as a sequential run.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0 when fewer than 2 observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; 0 when fewer than 2 observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation (what the paper's error bars show).
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean,
+    /// `t(0.975, n−1) · s / √n`, using a small lookup of Student-t
+    /// quantiles (the evaluation harness reports 50-repetition means, so
+    /// the normal approximation alone would be slightly anti-conservative).
+    /// Returns 0 with fewer than 2 observations.
+    pub fn confidence95(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let df = (self.count - 1) as usize;
+        // t-quantiles for 0.975 at df = 1..30, then the asymptote.
+        const T: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let t = if df <= 30 { T[df - 1] } else { 1.96 + 2.4 / df as f64 };
+        t * self.sample_std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Smallest observation; +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_neutral() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_variance() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.mean(), 3.5);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n_and_matches_known_values() {
+        assert_eq!(Summary::of(&[1.0]).confidence95(), 0.0);
+        // n=2, values {0, 2}: s = sqrt(2), t(0.975, 1) = 12.706
+        let s = Summary::of(&[0.0, 2.0]);
+        let expected = 12.706 * (2.0f64).sqrt() / (2.0f64).sqrt();
+        assert!((s.confidence95() - expected).abs() < 1e-9);
+        // more data, same spread -> tighter interval
+        let wide = Summary::of(&[0.0, 2.0, 0.0, 2.0]);
+        let wider = Summary::of(&[0.0, 2.0]);
+        assert!(wide.confidence95() < wider.confidence95());
+        // large-n asymptote approaches 1.96 s/sqrt(n)
+        let big = Summary::of(&(0..200).map(|i| (i % 2) as f64).collect::<Vec<_>>());
+        let approx = 1.96 * big.sample_std_dev() / (200.0f64).sqrt();
+        assert!((big.confidence95() - approx).abs() / approx < 0.02);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::of(&[1.0, 2.0, 3.0]);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&Summary::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut e = Summary::new();
+        e.merge(&Summary::of(&[1.0, 2.0, 3.0]));
+        assert_eq!(e.count(), 3);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..200),
+            split in 0usize..200,
+        ) {
+            let split = split.min(xs.len());
+            let mut left = Summary::of(&xs[..split]);
+            let right = Summary::of(&xs[split..]);
+            left.merge(&right);
+            let all = Summary::of(&xs);
+            prop_assert_eq!(left.count(), all.count());
+            if !xs.is_empty() {
+                prop_assert!((left.mean() - all.mean()).abs() < 1e-6);
+                prop_assert!((left.variance() - all.variance()).abs() < 1e-3);
+                prop_assert_eq!(left.min(), all.min());
+                prop_assert_eq!(left.max(), all.max());
+            }
+        }
+
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.variance() >= 0.0);
+            prop_assert!(s.sample_variance() >= 0.0);
+        }
+
+        #[test]
+        fn mean_is_bounded_by_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Numerical edge cases across the statistics substrate: extreme scales,
+//! degenerate inputs, and near-singular systems that the in-module unit
+//! tests don't stress.
+
+use hiperbot_stats::histogram::SmoothedHistogram;
+use hiperbot_stats::kde::{Bandwidth, GaussianKde};
+use hiperbot_stats::linalg::Matrix;
+use hiperbot_stats::quantile::{quantile, split_by_quantile};
+use hiperbot_stats::{js_divergence, Summary};
+
+#[test]
+fn quantiles_survive_extreme_scales() {
+    let tiny: Vec<f64> = (1..=10).map(|i| i as f64 * 1e-300).collect();
+    let q = quantile(&tiny, 0.5).unwrap();
+    assert!(q > 4e-300 && q < 7e-300);
+
+    let huge: Vec<f64> = (1..=10).map(|i| i as f64 * 1e300).collect();
+    let q = quantile(&huge, 0.5).unwrap();
+    assert!(q > 4e300 && q < 7e300);
+}
+
+#[test]
+fn split_handles_heavily_tied_data() {
+    // 90% of values identical: the good set must stay small and valid.
+    let mut values = vec![5.0; 90];
+    values.extend((0..10).map(|i| 1.0 + 0.1 * i as f64));
+    let (good, bad, thr) = split_by_quantile(&values, 0.2);
+    assert_eq!(good.len() + bad.len(), 100);
+    assert!(!good.is_empty());
+    for &g in &good {
+        assert!(values[g] < thr);
+    }
+}
+
+#[test]
+fn kde_with_enormous_bandwidth_is_flat() {
+    let kde = GaussianKde::fit(&[0.0, 1.0, 2.0], Bandwidth::Fixed(1e6));
+    let a = kde.pdf(0.0);
+    let b = kde.pdf(100.0);
+    assert!((a - b).abs() / a < 1e-6, "{a} vs {b}");
+}
+
+#[test]
+fn kde_with_tiny_bandwidth_separates_points() {
+    let kde = GaussianKde::fit(&[0.0, 10.0], Bandwidth::Fixed(1e-3));
+    assert!(kde.pdf(0.0) > 1e3 * kde.pdf(5.0).max(f64::MIN_POSITIVE));
+    assert!(kde.log_pdf(5.0).is_finite());
+}
+
+#[test]
+fn histogram_with_huge_pseudo_count_approaches_uniform() {
+    let h = SmoothedHistogram::from_observations(4, 1e9, &[0, 0, 0, 0, 0]);
+    for i in 0..4 {
+        assert!((h.pmf(i) - 0.25).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn js_divergence_with_near_zero_entries_is_stable() {
+    let p = [1.0 - 3e-15, 1e-15, 1e-15, 1e-15];
+    let q = [0.25, 0.25, 0.25, 0.25];
+    let d = js_divergence(&p, &q);
+    assert!(d.is_finite() && d > 0.0 && d <= std::f64::consts::LN_2 + 1e-9);
+}
+
+#[test]
+fn cholesky_near_singular_fails_cleanly_with_jitter_fixing_it() {
+    // Rank-deficient Gram matrix: two identical rows.
+    let x = [[1.0, 2.0], [1.0, 2.0], [3.0, 1.0]];
+    let mut a = Matrix::zeros(3, 3);
+    for i in 0..3 {
+        for j in 0..3 {
+            a[(i, j)] = x[i][0] * x[j][0] + x[i][1] * x[j][1];
+        }
+    }
+    assert!(a.cholesky().is_err(), "singular matrix must be rejected");
+    // The GP's noise jitter repairs it.
+    for i in 0..3 {
+        a[(i, i)] += 1e-6;
+    }
+    let l = a.cholesky().expect("jittered matrix factorizes");
+    let recon = l.matmul(&l.transpose());
+    for i in 0..3 {
+        for j in 0..3 {
+            assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn summary_merge_is_stable_under_many_tiny_merges() {
+    // 9996 = 7 * 1428: whole cycles, so the exact mean is 1.3.
+    let mut acc = Summary::new();
+    for i in 0..9996 {
+        let mut s = Summary::new();
+        s.push(1.0 + (i % 7) as f64 * 0.1);
+        acc.merge(&s);
+    }
+    assert_eq!(acc.count(), 9996);
+    assert!((acc.mean() - 1.3).abs() < 1e-9, "mean {}", acc.mean());
+    assert!(acc.variance() > 0.0);
+}
+
+#[test]
+fn summary_handles_catastrophic_cancellation_inputs() {
+    // Large offset + small variance: the naive sum-of-squares formula
+    // would produce a negative variance here.
+    let values: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 3) as f64 * 0.001).collect();
+    let s = Summary::of(&values);
+    assert!(s.variance() >= 0.0);
+    assert!(s.variance() < 1.0);
+    assert!((s.mean() - 1e9).abs() < 1.0);
+}

@@ -1,0 +1,75 @@
+//! A tour of the `perfsim` substrate: the analytic models behind the
+//! application simulators, usable on their own for quick what-if studies.
+//!
+//! Prints three mini-studies: a roofline sweep, an OpenMP thread-scaling
+//! table, and a topology comparison for an allreduce at scale.
+//!
+//! ```sh
+//! cargo run --release --example performance_models
+//! ```
+
+use hiperbot::perfsim::machine::MachineSpec;
+use hiperbot::perfsim::omp::OmpModel;
+use hiperbot::perfsim::roofline::{attainable_gflops, ridge_intensity};
+use hiperbot::perfsim::topology::Topology;
+use hiperbot::perfsim::{comm, power};
+
+fn main() {
+    let machine = MachineSpec::quartz_like();
+    println!(
+        "machine: {} cores, {:.0} GF/s peak, {:.0} GB/s, ridge at {:.2} flops/byte\n",
+        machine.cores_per_node,
+        machine.peak_node_gflops(),
+        machine.mem_bw_gbs,
+        ridge_intensity(machine.peak_node_gflops(), machine.mem_bw_gbs)
+    );
+
+    // --- Roofline sweep. -------------------------------------------------
+    println!("arithmetic intensity -> attainable GF/s:");
+    for ai in [0.05, 0.1, 0.25, 1.0, 4.0, 16.0] {
+        println!(
+            "  {ai:>6.2} fl/B  ->  {:>7.1}",
+            attainable_gflops(ai, machine.peak_node_gflops(), machine.mem_bw_gbs)
+        );
+    }
+
+    // --- OpenMP scaling. --------------------------------------------------
+    let omp = OmpModel::typical();
+    println!("\nOpenMP scaling (typical transport kernel mix):");
+    for t in [1usize, 2, 4, 8, 12, 18, 24, 36, 72] {
+        println!(
+            "  {t:>3} threads: speedup {:>5.2}  (relative time {:.3})",
+            omp.speedup(t, machine.cores_per_node),
+            omp.relative_time(t, machine.cores_per_node)
+        );
+    }
+
+    // --- Power capping. ----------------------------------------------------
+    println!("\npower cap -> frequency and 10s-nominal compute-bound job:");
+    for cap in [80.0, 110.0, 140.0, 170.0, 200.0, 240.0] {
+        let f = power::freq_at_cap(cap, &machine);
+        let (t, e) = power::time_energy_under_cap(10.0, 0.85, cap, 0.6, &machine);
+        println!("  {cap:>5.0} W: {f:.2} GHz, {t:>5.2} s, {e:>6.0} J");
+    }
+
+    // --- Topology comparison. ----------------------------------------------
+    println!("\n8 KiB allreduce at scale, by interconnect topology:");
+    let topologies = [
+        ("fat-tree", Topology::FatTree { radix: 36 }),
+        ("3-D torus", Topology::Torus3D { dims: [16, 16, 16] }),
+        ("dragonfly", Topology::Dragonfly { group_size: 96 }),
+    ];
+    for nodes in [64usize, 512, 4096] {
+        print!("  {nodes:>5} nodes:");
+        for (name, topo) in &topologies {
+            // Scale the base latency by expected hops; bandwidth by
+            // bisection pressure.
+            let mut m = machine.clone();
+            m.net_latency_us *= topo.latency_scale(nodes);
+            m.net_bw_gbs *= topo.bisection_fraction(nodes);
+            let t = comm::allreduce_time(8192.0, nodes, &m);
+            print!("  {name} {:>8.1} µs", t * 1e6);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: tune a small synthetic configuration space in ~30 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hiperbot::core::{Tuner, TunerOptions};
+use hiperbot::space::{Configuration, Domain, ParamDef, ParameterSpace};
+
+fn main() {
+    // 1. Describe the tunables: a thread count and a block size.
+    let space = ParameterSpace::builder()
+        .param(ParamDef::new(
+            "threads",
+            Domain::discrete_ints(&[1, 2, 4, 8, 16, 32]),
+        ))
+        .param(ParamDef::new(
+            "block",
+            Domain::discrete_ints(&[16, 32, 64, 128, 256, 512]),
+        ))
+        .build()
+        .expect("valid space");
+
+    // 2. The expensive objective — here a stand-in closure; in real use
+    //    this is "run your application and report its runtime".
+    let objective = |cfg: &Configuration| {
+        let threads = cfg.numeric_value(0, &space.params()[0]);
+        let block = cfg.numeric_value(1, &space.params()[1]);
+        // A landscape with a sweet spot at (8 threads, 128 block).
+        let t = 10.0 / threads + 0.05 * threads;
+        let b = (block.log2() - 7.0).powi(2) * 0.4;
+        t + b + 1.0
+    };
+
+    // 3. Run HiPerBOt for 18 evaluations (half the 36-config space).
+    let mut tuner = Tuner::new(
+        space.clone(),
+        TunerOptions::default().with_seed(42).with_init_samples(8),
+    );
+    let best = tuner.run(18, objective);
+
+    println!(
+        "best configuration: {}",
+        best.config.display_with(space.params())
+    );
+    println!("objective value:    {:.3}", best.objective);
+    println!("evaluations spent:  {}", best.evaluations);
+
+    // 4. The history is the full audit trail.
+    for (cfg, y) in tuner
+        .history()
+        .configs()
+        .iter()
+        .zip(tuner.history().objectives())
+    {
+        println!("  {} -> {y:.3}", cfg.display_with(space.params()));
+    }
+}

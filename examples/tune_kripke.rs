@@ -1,0 +1,45 @@
+//! Tune Kripke's execution time, mirroring the paper's §V-A study.
+//!
+//! Compares HiPerBOt against the expert manual choice and the exhaustive
+//! best over the 1560-configuration sweep.
+//!
+//! ```sh
+//! cargo run --release --example tune_kripke
+//! ```
+
+use hiperbot::apps::{kripke, Scale};
+use hiperbot::core::{Tuner, TunerOptions};
+
+fn main() {
+    println!("generating the Kripke execution-time sweep…");
+    let dataset = kripke::exec_dataset(Scale::Target);
+    let space = dataset.space().clone();
+
+    let (_, exhaustive_best) = dataset.best();
+    let expert = dataset.evaluate(&kripke::exec_expert_config(&space));
+
+    println!(
+        "space: {} feasible configurations over {} parameters",
+        dataset.len(),
+        space.n_params()
+    );
+    println!("expert manual choice: {expert:.2} s (paper anchor: 15.2 s)");
+    println!("exhaustive best:      {exhaustive_best:.2} s (paper anchor: 8.43 s)\n");
+
+    for budget in [32, 64, 96, 128] {
+        let mut tuner = Tuner::new(space.clone(), TunerOptions::default().with_seed(7));
+        let best = tuner.run(budget, |cfg| dataset.evaluate(cfg));
+        println!(
+            "budget {budget:>4} ({:>4.1}% of space): best {:.2} s  ({:+.1}% vs exhaustive)  {}",
+            100.0 * budget as f64 / dataset.len() as f64,
+            best.objective,
+            100.0 * (best.objective / exhaustive_best - 1.0),
+            best.config.display_with(space.params()),
+        );
+    }
+
+    println!(
+        "\nHiPerBOt reaches within a few percent of the exhaustive best while \
+         evaluating <10% of the space — the paper's Fig. 2 result."
+    );
+}

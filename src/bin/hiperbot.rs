@@ -1,0 +1,28 @@
+//! The `hiperbot` command-line autotuner.
+//!
+//! ```sh
+//! hiperbot --space space.json --command "./app -t {threads}" --budget 60
+//! ```
+//!
+//! See `hiperbot::cli` for the space-specification format.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match hiperbot::cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match hiperbot::cli::run(&options) {
+        Ok((command, objective)) => {
+            println!("best objective: {objective}");
+            println!("best command:   {command}");
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Command-line autotuner plumbing.
+//!
+//! Backs the `hiperbot` binary: a JSON space specification plus a command
+//! template turn any external program into a tuning objective —
+//!
+//! ```sh
+//! hiperbot --space space.json --budget 60 --seed 1 \
+//!          --command "./app --threads {threads} --block {block}"
+//! ```
+//!
+//! The command is run through `sh -c`; its last stdout line must be the
+//! objective value (smaller = better), or pass `--measure time` to use
+//! wall-clock seconds instead.
+
+use crate::core::{SelectionStrategy, Tuner, TunerOptions};
+use crate::space::{Configuration, Domain, ParamDef, ParameterSpace};
+use serde::Deserialize;
+
+/// One parameter in the JSON space specification.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ParamSpec {
+    /// Discrete integer levels: `{"type":"ints","name":"threads","values":[1,2,4]}`.
+    Ints {
+        /// Parameter name.
+        name: String,
+        /// Levels.
+        values: Vec<i64>,
+    },
+    /// Discrete float levels.
+    Floats {
+        /// Parameter name.
+        name: String,
+        /// Levels.
+        values: Vec<f64>,
+    },
+    /// Categorical values: `{"type":"categorical","name":"solver","values":["amg","pcg"]}`.
+    Categorical {
+        /// Parameter name.
+        name: String,
+        /// Category labels.
+        values: Vec<String>,
+    },
+    /// A continuous range: `{"type":"continuous","name":"alpha","lo":0.0,"hi":1.0}`.
+    Continuous {
+        /// Parameter name.
+        name: String,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+/// The JSON space specification: `{"params":[...]}`.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SpaceSpec {
+    /// The parameters, in order.
+    pub params: Vec<ParamSpec>,
+}
+
+impl SpaceSpec {
+    /// Parses a JSON document.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("invalid space spec: {e}"))
+    }
+
+    /// Builds the parameter space.
+    pub fn build(&self) -> Result<ParameterSpace, String> {
+        let mut b = ParameterSpace::builder();
+        for p in &self.params {
+            let def = match p {
+                ParamSpec::Ints { name, values } => {
+                    ParamDef::new(name.clone(), Domain::discrete_ints(values))
+                }
+                ParamSpec::Floats { name, values } => {
+                    ParamDef::new(name.clone(), Domain::discrete_floats(values))
+                }
+                ParamSpec::Categorical { name, values } => {
+                    let refs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
+                    ParamDef::new(name.clone(), Domain::categorical(&refs))
+                }
+                ParamSpec::Continuous { name, lo, hi } => {
+                    ParamDef::new(name.clone(), Domain::continuous(*lo, *hi))
+                }
+            };
+            b = b.param(def);
+        }
+        b.build().map_err(|e| e.to_string())
+    }
+
+    /// Whether any parameter is continuous (selects the Proposal strategy).
+    pub fn has_continuous(&self) -> bool {
+        self.params
+            .iter()
+            .any(|p| matches!(p, ParamSpec::Continuous { .. }))
+    }
+}
+
+/// Substitutes `{name}` placeholders in a command template with the
+/// configuration's values.
+pub fn render_command(
+    template: &str,
+    cfg: &Configuration,
+    space: &ParameterSpace,
+) -> String {
+    let mut out = template.to_string();
+    for (i, def) in space.params().iter().enumerate() {
+        let value = match cfg.value(i) {
+            crate::space::ParamValue::Index(idx) => def.values()[idx].to_string(),
+            crate::space::ParamValue::Real(x) => format!("{x}"),
+        };
+        out = out.replace(&format!("{{{}}}", def.name()), &value);
+    }
+    out
+}
+
+/// How the objective is extracted from a command run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Parse the last stdout line as an `f64`.
+    Stdout,
+    /// Wall-clock seconds of the command.
+    Time,
+}
+
+/// Parsed CLI options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Path to the JSON space spec.
+    pub space_path: String,
+    /// Command template with `{param}` placeholders.
+    pub command: String,
+    /// Evaluation budget.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Objective extraction mode.
+    pub measure: Measure,
+    /// Bootstrap sample count.
+    pub init_samples: usize,
+}
+
+/// Parses `argv[1..]`. Returns `Err(usage)` on any problem.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let usage = "usage: hiperbot --space <spec.json> --command <template> \
+                 [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time]";
+    let mut space_path = None;
+    let mut command = None;
+    let mut budget = 50usize;
+    let mut seed = 0u64;
+    let mut init_samples = 20usize;
+    let mut measure = Measure::Stdout;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{usage}"))
+        };
+        match arg.as_str() {
+            "--space" => space_path = Some(take("--space")?),
+            "--command" => command = Some(take("--command")?),
+            "--budget" => {
+                budget = take("--budget")?
+                    .parse()
+                    .map_err(|_| format!("--budget must be a positive integer\n{usage}"))?
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| format!("--seed must be an integer\n{usage}"))?
+            }
+            "--init" => {
+                init_samples = take("--init")?
+                    .parse()
+                    .map_err(|_| format!("--init must be a positive integer\n{usage}"))?
+            }
+            "--measure" => {
+                measure = match take("--measure")?.as_str() {
+                    "stdout" => Measure::Stdout,
+                    "time" => Measure::Time,
+                    other => return Err(format!("unknown measure '{other}'\n{usage}")),
+                }
+            }
+            "--help" | "-h" => return Err(usage.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{usage}")),
+        }
+    }
+    let space_path = space_path.ok_or_else(|| format!("--space is required\n{usage}"))?;
+    let command = command.ok_or_else(|| format!("--command is required\n{usage}"))?;
+    if budget == 0 || init_samples == 0 {
+        return Err(format!("budget and init must be positive\n{usage}"));
+    }
+    Ok(CliOptions {
+        space_path,
+        command,
+        budget,
+        seed,
+        measure,
+        init_samples,
+    })
+}
+
+/// Runs one objective evaluation by executing the rendered command.
+pub fn evaluate_command(rendered: &str, measure: Measure) -> Result<f64, String> {
+    let start = std::time::Instant::now();
+    let output = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(rendered)
+        .output()
+        .map_err(|e| format!("failed to spawn '{rendered}': {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "command failed ({}): {rendered}\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    match measure {
+        Measure::Time => Ok(start.elapsed().as_secs_f64()),
+        Measure::Stdout => {
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            stdout
+                .lines()
+                .rev()
+                .find(|l| !l.trim().is_empty())
+                .and_then(|l| l.trim().parse::<f64>().ok())
+                .ok_or_else(|| {
+                    format!("last stdout line of '{rendered}' is not a number:\n{stdout}")
+                })
+        }
+    }
+}
+
+/// The whole CLI flow; returns (best rendered command, best objective).
+pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
+    let json = std::fs::read_to_string(&options.space_path)
+        .map_err(|e| format!("cannot read {}: {e}", options.space_path))?;
+    let spec = SpaceSpec::from_json(&json)?;
+    let space = spec.build()?;
+
+    let strategy = if spec.has_continuous() {
+        SelectionStrategy::Proposal { candidates: 32 }
+    } else {
+        SelectionStrategy::Ranking
+    };
+    let tuner_options = TunerOptions::default()
+        .with_seed(options.seed)
+        .with_init_samples(options.init_samples)
+        .with_strategy(strategy);
+    let mut tuner = Tuner::new(space.clone(), tuner_options);
+
+    let mut failures = Vec::new();
+    let best = tuner.run(options.budget, |cfg| {
+        let rendered = render_command(&options.command, cfg, &space);
+        match evaluate_command(&rendered, options.measure) {
+            Ok(y) => {
+                eprintln!("  {rendered} -> {y}");
+                y
+            }
+            Err(e) => {
+                // A failed run is a terrible configuration, not a crash of
+                // the tuner: score it far beyond anything observed.
+                failures.push(e);
+                f64::MAX / 1e6
+            }
+        }
+    });
+    for f in &failures {
+        eprintln!("warning: {f}");
+    }
+    Ok((
+        render_command(&options.command, &best.config, &space),
+        best.objective,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "params": [
+            {"type": "ints", "name": "threads", "values": [1, 2, 4]},
+            {"type": "categorical", "name": "solver", "values": ["amg", "pcg"]},
+            {"type": "continuous", "name": "alpha", "lo": 0.0, "hi": 1.0}
+        ]
+    }"#;
+
+    #[test]
+    fn spec_parses_and_builds() {
+        let spec = SpaceSpec::from_json(SPEC).unwrap();
+        assert_eq!(spec.params.len(), 3);
+        assert!(spec.has_continuous());
+        let space = spec.build().unwrap();
+        assert_eq!(space.n_params(), 3);
+        assert_eq!(space.param_index("solver"), Some(1));
+    }
+
+    #[test]
+    fn bad_spec_is_an_error() {
+        assert!(SpaceSpec::from_json("{}").is_err());
+        assert!(SpaceSpec::from_json("not json").is_err());
+        // empty space fails at build
+        let spec = SpaceSpec::from_json(r#"{"params": []}"#).unwrap();
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn command_rendering_substitutes_all_placeholders() {
+        let spec = SpaceSpec::from_json(SPEC).unwrap();
+        let space = spec.build().unwrap();
+        let cfg = Configuration::new(vec![
+            crate::space::ParamValue::Index(2),
+            crate::space::ParamValue::Index(1),
+            crate::space::ParamValue::Real(0.25),
+        ]);
+        let cmd = render_command("./run -t {threads} -s {solver} -a {alpha}", &cfg, &space);
+        assert_eq!(cmd, "./run -t 4 -s pcg -a 0.25");
+    }
+
+    #[test]
+    fn arg_parsing_happy_path() {
+        let args: Vec<String> = [
+            "--space", "s.json", "--command", "echo 1", "--budget", "9",
+            "--seed", "3", "--measure", "time", "--init", "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&args).unwrap();
+        assert_eq!(o.space_path, "s.json");
+        assert_eq!(o.budget, 9);
+        assert_eq!(o.seed, 3);
+        assert_eq!(o.init_samples, 4);
+        assert_eq!(o.measure, Measure::Time);
+    }
+
+    #[test]
+    fn arg_parsing_rejects_bad_input() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_args(&to_args(&["--space"])).is_err()); // missing value
+        assert!(parse_args(&to_args(&["--bogus", "x"])).is_err());
+        assert!(parse_args(&to_args(&["--space", "s", "--command", "c", "--budget", "no"])).is_err());
+        assert!(parse_args(&to_args(&["--command", "c"])).is_err()); // no space
+        assert!(parse_args(&to_args(&["--space", "s"])).is_err()); // no command
+    }
+
+    #[test]
+    fn evaluate_command_parses_stdout() {
+        let y = evaluate_command("echo 42.5", Measure::Stdout).unwrap();
+        assert_eq!(y, 42.5);
+        // multi-line: last non-empty line wins
+        let y = evaluate_command("printf 'log line\\n3.25\\n'", Measure::Stdout).unwrap();
+        assert_eq!(y, 3.25);
+    }
+
+    #[test]
+    fn evaluate_command_time_measures_wall_clock() {
+        let y = evaluate_command("sleep 0.05", Measure::Time).unwrap();
+        assert!(y >= 0.05 && y < 1.0, "measured {y}");
+    }
+
+    #[test]
+    fn evaluate_command_reports_failures() {
+        assert!(evaluate_command("exit 3", Measure::Stdout).is_err());
+        assert!(evaluate_command("echo not-a-number", Measure::Stdout).is_err());
+    }
+
+    #[test]
+    fn end_to_end_cli_run_on_a_shell_objective() {
+        // Objective: |threads - 2| computed in shell; optimum threads=2.
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("space.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"params": [{"type": "ints", "name": "threads", "values": [1, 2, 4, 8]}]}"#,
+        )
+        .unwrap();
+        let options = CliOptions {
+            space_path: spec_path.to_string_lossy().into_owned(),
+            command: "echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))".into(),
+            budget: 4,
+            seed: 1,
+            measure: Measure::Stdout,
+            init_samples: 4,
+        };
+        let (cmd, best) = run(&options).unwrap();
+        assert_eq!(best, 0.0);
+        assert!(cmd.contains("2"), "best command: {cmd}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

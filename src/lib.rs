@@ -1,0 +1,57 @@
+//! # HiPerBOt — Bayesian-optimization auto-tuning for HPC applications
+//!
+//! A from-scratch Rust reproduction of *"Auto-tuning Parameter Choices in
+//! HPC Applications using Bayesian Optimization"* (Menon, Bhatele, Gamblin —
+//! IPDPS 2020). This facade crate re-exports the workspace's public API:
+//!
+//! - [`space`] — parameter spaces, configurations, constraints.
+//! - [`stats`] — histograms, KDE, quantiles, divergences, linear algebra.
+//! - [`perfsim`] — analytic HPC performance models (roofline, OpenMP
+//!   scaling, communication, DVFS power capping).
+//! - [`apps`] — the four application simulators (Kripke, HYPRE, LULESH,
+//!   OpenAtom) and their exhaustively evaluated datasets.
+//! - [`core`] — the HiPerBOt tuner itself: TPE surrogate, expected
+//!   improvement, transfer learning, parameter-importance analysis.
+//! - [`nn`] — the neural-network substrate behind the PerfNet baseline.
+//! - [`baselines`] — GEIST, random search, exhaustive best, PerfNet, GP-EI.
+//! - [`eval`] — metrics, repeated-trial runner, and the paper's experiments.
+//! - [`cli`] — the `hiperbot` command-line autotuner (JSON space spec +
+//!   command template).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hiperbot::core::{Tuner, TunerOptions};
+//! use hiperbot::space::{ParameterSpace, ParamDef, Domain};
+//!
+//! // A toy 2-parameter space.
+//! let space = ParameterSpace::builder()
+//!     .param(ParamDef::new("threads", Domain::discrete_ints(&[1, 2, 4, 8, 16])))
+//!     .param(ParamDef::new("block", Domain::discrete_ints(&[32, 64, 128, 256])))
+//!     .build()
+//!     .unwrap();
+//!
+//! // Any closure can be the expensive objective. `numeric_value` resolves
+//! // a discrete value's index to its actual level (e.g. 8 threads).
+//! let defs = space.params().to_vec();
+//! let objective = |cfg: &hiperbot::space::Configuration| {
+//!     let t = cfg.numeric_value(0, &defs[0]);
+//!     let b = cfg.numeric_value(1, &defs[1]);
+//!     (t - 8.0).abs() + (b - 128.0).abs() / 32.0
+//! };
+//!
+//! let mut tuner = Tuner::new(space.clone(), TunerOptions::default().with_seed(42));
+//! let best = tuner.run(15, objective);
+//! assert!(best.objective < 1.0);
+//! ```
+
+pub mod cli;
+
+pub use hiperbot_apps as apps;
+pub use hiperbot_baselines as baselines;
+pub use hiperbot_core as core;
+pub use hiperbot_eval as eval;
+pub use hiperbot_nn as nn;
+pub use hiperbot_perfsim as perfsim;
+pub use hiperbot_space as space;
+pub use hiperbot_stats as stats;
