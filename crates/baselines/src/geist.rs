@@ -19,12 +19,14 @@
 //! for unevaluated ones — and `β` modulates neighbor influence.
 
 use crate::selector::{ConfigSelector, SelectionRun};
+use hiperbot_space::pool::PoolEncoding;
 use hiperbot_space::{Configuration, ParameterSpace};
 use hiperbot_stats::quantile::quantile;
 use parking_lot::Mutex;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
@@ -41,10 +43,22 @@ pub struct GeistSelector {
     pub beta: f64,
     /// Propagation sweeps per round.
     pub propagation_iters: usize,
-    /// Cached configuration graph, keyed by a pool fingerprint so that the
-    /// repeated-trial runner builds the (expensive) graph once per dataset
-    /// rather than once per repetition.
-    graph_cache: Mutex<Option<(u64, Arc<ConfigGraph>)>>,
+    /// Cached configuration graph and pool encoding, keyed by a pool
+    /// fingerprint so that the repeated-trial runner builds the (expensive)
+    /// graph and the flattened encoding once per dataset rather than once
+    /// per repetition.
+    graph_cache: Mutex<Option<GraphCacheEntry>>,
+}
+
+/// One cached per-pool artifact set. The encoding is `None` for pools the
+/// flattener rejects (continuous values or ragged arity), in which case the
+/// graph was built through the slower configuration-hashing path.
+#[derive(Debug, Clone)]
+struct GraphCacheEntry {
+    fingerprint: u64,
+    graph: Arc<ConfigGraph>,
+    #[allow(dead_code)] // kept warm for callers that batch-score the pool
+    encoding: Option<Arc<PoolEncoding>>,
 }
 
 impl Default for GeistSelector {
@@ -113,7 +127,64 @@ struct ConfigGraph {
 }
 
 impl ConfigGraph {
+    /// Convenience constructor (tests): encoded fast path with hashed
+    /// fallback, without threading a cache entry through.
+    #[cfg(test)]
     fn build(space: &ParameterSpace, pool: &[Configuration]) -> Self {
+        if let Some(enc) = PoolEncoding::encode(pool) {
+            if let Some(graph) = Self::build_encoded(space, pool, &enc) {
+                return graph;
+            }
+        }
+        Self::build_hashed(space, pool)
+    }
+
+    /// Position lookup keyed by the mixed-radix product index computed from
+    /// the flattened [`PoolEncoding`] rows: hashing one `u64` per node and
+    /// per neighbor instead of a whole tagged `Configuration`. Returns
+    /// `None` when the product cardinality overflows `u64` (fall back to
+    /// configuration hashing).
+    fn build_encoded(
+        space: &ParameterSpace,
+        pool: &[Configuration],
+        enc: &PoolEncoding,
+    ) -> Option<Self> {
+        let cards: Vec<u64> = space
+            .params()
+            .iter()
+            .map(|p| p.domain().cardinality().map(|c| c as u64))
+            .collect::<Option<_>>()?;
+        cards
+            .iter()
+            .try_fold(1u64, |acc, &c| acc.checked_mul(c))?;
+        fn key_of(values: impl Iterator<Item = usize>, cards: &[u64]) -> u64 {
+            values
+                .zip(cards)
+                .fold(0u64, |acc, (v, &card)| acc * card + v as u64)
+        }
+        let position: FxHashMap<u64, u32> = (0..enc.n_configs())
+            .map(|i| {
+                let key = key_of((0..enc.n_params()).map(|p| enc.index(i, p)), &cards);
+                (key, i as u32)
+            })
+            .collect();
+        let neighbors = pool
+            .iter()
+            .map(|c| {
+                space
+                    .neighbors(c)
+                    .iter()
+                    .filter_map(|n| {
+                        let key = key_of(n.values().iter().map(|v| v.index()), &cards);
+                        position.get(&key).copied()
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(Self { neighbors })
+    }
+
+    fn build_hashed(space: &ParameterSpace, pool: &[Configuration]) -> Self {
         let position: FxHashMap<&Configuration, u32> = pool
             .iter()
             .enumerate()
@@ -137,8 +208,19 @@ impl ConfigGraph {
     }
 }
 
+/// Fixed chunk width of the parallel propagation sweep. Each node's
+/// neighbor sum is a serial left-to-right fold regardless of chunking, so
+/// the Jacobi update is bit-identical for any thread count; the fixed
+/// width just keeps work distribution deterministic too.
+const PROPAGATE_CHUNK: usize = 1024;
+
 impl GeistSelector {
     /// One CAMLP propagation pass; returns the stationary-ish scores.
+    ///
+    /// The sweep is Jacobi-style (reads `f`, writes `next`, swaps), which
+    /// makes every node update independent — the inner loop fans out over
+    /// node chunks with rayon, and the double buffer guarantees the result
+    /// does not depend on node visit order.
     fn propagate(
         &self,
         graph: &ConfigGraph,
@@ -149,11 +231,19 @@ impl GeistSelector {
         let mut f: Vec<f64> = prior.to_vec();
         let mut next = vec![0.0; n];
         for _ in 0..self.propagation_iters {
-            for v in 0..n {
-                let acc: f64 = graph.neighbors[v].iter().map(|&u| f[u as usize]).sum();
-                next[v] = (prior[v] + self.beta * acc)
-                    / (1.0 + self.beta * graph.degree(v) as f64);
-            }
+            let f_cur = &f;
+            next.par_chunks_mut(PROPAGATE_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * PROPAGATE_CHUNK;
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let v = base + off;
+                        let acc: f64 =
+                            graph.neighbors[v].iter().map(|&u| f_cur[u as usize]).sum();
+                        *slot = (prior[v] + self.beta * acc)
+                            / (1.0 + self.beta * graph.degree(v) as f64);
+                    }
+                });
             std::mem::swap(&mut f, &mut next);
         }
         // Labeled nodes keep their ground truth for ranking purposes.
@@ -183,17 +273,30 @@ impl ConfigSelector for GeistSelector {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let budget = budget.min(pool.len());
         let fingerprint = pool_fingerprint(pool);
-        let graph: Arc<ConfigGraph> = {
+        let entry: GraphCacheEntry = {
             let mut cache = self.graph_cache.lock();
             match cache.as_ref() {
-                Some((fp, g)) if *fp == fingerprint => Arc::clone(g),
+                Some(e) if e.fingerprint == fingerprint => e.clone(),
                 _ => {
-                    let g = Arc::new(ConfigGraph::build(space, pool));
-                    *cache = Some((fingerprint, Arc::clone(&g)));
-                    g
+                    // Encode once and reuse the buffer for the graph build;
+                    // the entry keeps it alive for the lifetime of the cache.
+                    let encoding = PoolEncoding::encode(pool).map(Arc::new);
+                    let graph = Arc::new(match &encoding {
+                        Some(enc) => ConfigGraph::build_encoded(space, pool, enc)
+                            .unwrap_or_else(|| ConfigGraph::build_hashed(space, pool)),
+                        None => ConfigGraph::build_hashed(space, pool),
+                    });
+                    let e = GraphCacheEntry {
+                        fingerprint,
+                        graph,
+                        encoding,
+                    };
+                    *cache = Some(e.clone());
+                    e
                 }
             }
         };
+        let graph: &ConfigGraph = &entry.graph;
         let n = pool.len();
 
         let mut observed: Vec<Option<f64>> = vec![None; n];
@@ -222,7 +325,7 @@ impl ConfigSelector for GeistSelector {
                 labeled[v as usize] = true;
             }
 
-            let scores = self.propagate(&graph, &prior, &labeled);
+            let scores = self.propagate(graph, &prior, &labeled);
 
             // Top unlabeled nodes by score; random tie-breaking via a
             // pre-shuffled candidate order.

@@ -71,6 +71,7 @@ impl PerfNet {
     /// Runs the full PerfNet protocol. `source` is the complete cheap-scale
     /// sweep; `objective` measures a target configuration; `budget` is the
     /// number of target evaluations allowed.
+    #[allow(clippy::too_many_arguments)]
     pub fn select_transfer(
         &self,
         space: &ParameterSpace,

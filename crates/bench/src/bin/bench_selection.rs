@@ -1,0 +1,162 @@
+//! Measures the Ranking hot path — serial per-candidate `log_ei` vs the
+//! batch-scoring engine — over the three measured pools and writes
+//! `BENCH_selection.json` at the workspace root.
+//!
+//! Per pool it reports the per-iteration ranking wall time of each path
+//! (median of `TRIALS` timed runs, each averaging `INNER` rankings), the
+//! batch engine's ns-per-candidate-score, and the speedup. Run with
+//! `cargo run --release -p hiperbot-bench --bin bench_selection`.
+
+use hiperbot_apps::{hypre, kripke, Dataset, Scale};
+use hiperbot_bench::repo_root;
+use hiperbot_core::selection::rank_encoded;
+use hiperbot_core::surrogate::{SurrogateOptions, TpeSurrogate};
+use hiperbot_core::ObservationHistory;
+use hiperbot_space::pool::{PoolEncoding, PoolMask};
+use hiperbot_space::sampling::sample_distinct;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+const HISTORY_LEN: usize = 100;
+const TRIALS: usize = 9;
+
+#[derive(Debug, serde::Serialize)]
+struct PoolResult {
+    dataset: String,
+    pool_size: usize,
+    history_len: usize,
+    serial_ns_per_iter: f64,
+    batch_ns_per_iter: f64,
+    batch_ns_per_candidate_score: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Report {
+    bench: String,
+    trials: usize,
+    pools: Vec<PoolResult>,
+}
+
+/// Median of `TRIALS` timed runs of `f`, each averaging `inner` calls.
+fn median_ns(inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / inner as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn measure(name: &str, dataset: &Dataset) -> PoolResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let configs = sample_distinct(dataset.space(), HISTORY_LEN, &mut rng);
+    let objectives: Vec<f64> = configs.iter().map(|c| dataset.evaluate(c)).collect();
+    let surrogate = TpeSurrogate::fit(
+        dataset.space(),
+        &configs,
+        &objectives,
+        &SurrogateOptions::default(),
+        None,
+    );
+    let mut history = ObservationHistory::new();
+    for (c, &y) in configs.iter().zip(&objectives) {
+        history.push(c.clone(), y);
+    }
+    let pool = dataset.configs();
+    let encoding = PoolEncoding::encode(pool).expect("discrete pool");
+    let mut seen = PoolMask::new(pool.len());
+    for (i, c) in pool.iter().enumerate() {
+        if history.contains(c) {
+            seen.set(i);
+        }
+    }
+
+    // Both paths must agree on the winner before either is timed.
+    let table = surrogate.score_table();
+    let tables = table.discrete_tables().expect("discrete space");
+    let batch_pick = rank_encoded(&tables, &encoding, &seen);
+    let serial_pick = {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_i = None;
+        for (i, cfg) in pool.iter().enumerate() {
+            if history.contains(cfg) {
+                continue;
+            }
+            let s = surrogate.log_ei(cfg);
+            if best_i.is_none() || s > best {
+                best = s;
+                best_i = Some(i);
+            }
+        }
+        best_i
+    };
+    assert_eq!(batch_pick, serial_pick, "paths disagree on {name}");
+
+    // Calibrate inner repeats so each timed run lasts a few milliseconds.
+    let inner_serial = (50_000 / pool.len()).max(1);
+    let inner_batch = inner_serial * 8;
+
+    let serial_ns = median_ns(inner_serial, || {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_i = None;
+        for (i, cfg) in pool.iter().enumerate() {
+            if history.contains(cfg) {
+                continue;
+            }
+            let s = surrogate.log_ei(cfg);
+            if best_i.is_none() || s > best {
+                best = s;
+                best_i = Some(i);
+            }
+        }
+        std::hint::black_box(best_i);
+    });
+
+    // The batch path rebuilds the table each iteration (the Tuner refits
+    // per observation) but reuses the cached encoding and mask.
+    let batch_ns = median_ns(inner_batch, || {
+        let table = surrogate.score_table();
+        let tables = table.discrete_tables().expect("discrete space");
+        std::hint::black_box(rank_encoded(&tables, &encoding, &seen));
+    });
+
+    let r = PoolResult {
+        dataset: name.to_string(),
+        pool_size: pool.len(),
+        history_len: HISTORY_LEN,
+        serial_ns_per_iter: serial_ns,
+        batch_ns_per_iter: batch_ns,
+        batch_ns_per_candidate_score: batch_ns / pool.len() as f64,
+        speedup: serial_ns / batch_ns,
+    };
+    println!(
+        "{:>14} | pool {:>6} | serial {:>12.0} ns | batch {:>10.0} ns | {:>6.1}x | {:>6.2} ns/candidate",
+        r.dataset, r.pool_size, r.serial_ns_per_iter, r.batch_ns_per_iter, r.speedup,
+        r.batch_ns_per_candidate_score
+    );
+    r
+}
+
+fn main() {
+    eprintln!("[bench_selection] generating datasets…");
+    let pools = vec![
+        measure("kripke-exec", &kripke::exec_dataset(Scale::Target)),
+        measure("hypre", &hypre::dataset(Scale::Target)),
+        measure("kripke-energy", &kripke::energy_dataset(Scale::Target)),
+    ];
+    let report = Report {
+        bench: "ranking hot path: serial log_ei vs batch score-table argmax".into(),
+        trials: TRIALS,
+        pools,
+    };
+    let path = repo_root().join("BENCH_selection.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write BENCH_selection.json");
+    println!("wrote {}", path.display());
+}

@@ -216,13 +216,73 @@ pub fn repro_fig8() {
     println!("{text_b}");
 }
 
+/// One row of the transfer-weight ablation report.
+#[derive(Debug, Clone, serde::Serialize)]
+struct AblationRow {
+    w: f64,
+    recall_mean: f64,
+    recall_std: f64,
+    best_mean: f64,
+    best_std: f64,
+}
+
+/// The transfer-weight ablation's machine-readable artifact.
+#[derive(Debug, Clone, serde::Serialize)]
+struct AblationReport {
+    id: String,
+    dataset: String,
+    budget: usize,
+    tolerance: f64,
+    total_good: usize,
+    repetitions: usize,
+    rows: Vec<AblationRow>,
+}
+
+/// HiPerBOt with an optional transfer prior, wrapped as a
+/// [`ConfigSelector`](hiperbot_baselines::ConfigSelector) so the
+/// transfer-weight ablation runs through the same repeated-trial runner
+/// as every figure (parallel repetitions, derived seeds, checkpointed
+/// metrics) instead of a hand-rolled loop.
+struct TransferWeightSelector {
+    prior: hiperbot_core::TransferPrior,
+    /// Prior weight `w`; `0.0` disables the prior entirely.
+    weight: f64,
+}
+
+impl hiperbot_baselines::ConfigSelector for TransferWeightSelector {
+    fn name(&self) -> &str {
+        "HiPerBOt+transfer"
+    }
+
+    fn select(
+        &self,
+        space: &hiperbot_space::ParameterSpace,
+        _pool: &[hiperbot_space::Configuration],
+        objective: &(dyn Fn(&hiperbot_space::Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> hiperbot_baselines::SelectionRun {
+        use hiperbot_core::{Tuner, TunerOptions};
+        let mut opts = TunerOptions::default().with_seed(seed);
+        if self.weight > 0.0 {
+            opts = opts.with_prior(self.prior.clone(), self.weight);
+        }
+        let mut tuner = Tuner::new(space.clone(), opts);
+        tuner.run(budget, |c| objective(c));
+        hiperbot_baselines::SelectionRun {
+            configs: tuner.history().configs().to_vec(),
+            objectives: tuner.history().objectives().to_vec(),
+        }
+    }
+}
+
 /// Ablation: transfer-prior weight sweep (design-choice study from
 /// DESIGN.md — how strongly should the source study shape the target
-/// densities?).
+/// densities?). Kripke energy, source scale → target scale.
 pub fn repro_ablation_transfer_weight() {
-    use hiperbot_core::{TransferPrior, Tuner, TunerOptions};
+    use hiperbot_core::TransferPrior;
     use hiperbot_eval::metrics::{GoodSet, Recall};
-    use hiperbot_stats::{SeedSequence, Summary};
+    use hiperbot_eval::runner::{run_trials, TrialConfig};
 
     let reps = env_reps("HIPERBOT_TRANSFER_REPS", 10);
     let src = kripke::energy_dataset(Scale::Source);
@@ -235,38 +295,57 @@ pub fn repro_ablation_transfer_weight() {
         1.0,
     );
     let budget = fig8::budget_for(&tgt);
-    let recall = Recall::new(&tgt, GoodSet::Tolerance(0.10));
+    let good = GoodSet::Tolerance(0.10);
+    let total_good = Recall::new(&tgt, good).total_good();
 
     let mut out = String::new();
     out.push_str("## ablation-transfer-weight — prior weight w sweep (Kripke energy)\n");
     out.push_str(&format!(
-        "budget {budget}, tolerance 10%, good configs {}\n\n{:>8} | {:>10} | {:>10}\n",
-        recall.total_good(),
-        "w",
-        "recall",
-        "best"
+        "budget {budget}, tolerance 10%, good configs {total_good}, {reps} reps\n\n\
+         {:>8} | {:>10} | {:>10} | {:>10} | {:>10}\n",
+        "w", "recall", "recall sd", "best", "best sd"
     ));
+    let mut rows = Vec::new();
     for &w in &[0.0, 0.05, 0.1, 0.3, 1.0, 3.0] {
-        let mut seq = SeedSequence::new(0xAB1A ^ (w * 1000.0) as u64);
-        let mut rec = Summary::new();
-        let mut best = Summary::new();
-        for _ in 0..reps {
-            let mut opts = TunerOptions::default().with_seed(seq.next_seed());
-            if w > 0.0 {
-                opts = opts.with_prior(prior.clone(), w);
-            }
-            let mut tuner = Tuner::new(tgt.space().clone(), opts);
-            let r = tuner.run(budget, |c| tgt.evaluate(c));
-            rec.push(recall.of_prefix(tuner.history().objectives(), budget));
-            best.push(r.objective);
-        }
+        let selector = TransferWeightSelector {
+            prior: prior.clone(),
+            weight: w,
+        };
+        let trial = TrialConfig::new(vec![budget])
+            .with_repetitions(reps)
+            .with_good(good)
+            .with_seed(0xAB1A ^ (w * 1000.0) as u64);
+        let stats = run_trials(&tgt, &selector, &trial);
+        let s = &stats[0];
         out.push_str(&format!(
-            "{w:>8.2} | {:>10.4} | {:>10.2}\n",
-            rec.mean(),
-            best.mean()
+            "{w:>8.2} | {:>10.4} | {:>10.4} | {:>10.2} | {:>10.2}\n",
+            s.recall.mean(),
+            s.recall.sample_std_dev(),
+            s.best.mean(),
+            s.best.sample_std_dev()
         ));
+        rows.push(AblationRow {
+            w,
+            recall_mean: s.recall.mean(),
+            recall_std: s.recall.sample_std_dev(),
+            best_mean: s.best.mean(),
+            best_std: s.best.sample_std_dev(),
+        });
     }
-    write_text("ablation-transfer-weight", &out, "{}");
+    let report = AblationReport {
+        id: "ablation-transfer-weight".into(),
+        dataset: tgt.name().to_string(),
+        budget,
+        tolerance: 0.10,
+        total_good,
+        repetitions: reps,
+        rows,
+    };
+    write_text(
+        "ablation-transfer-weight",
+        &out,
+        &serde_json::to_string_pretty(&report).expect("serialize"),
+    );
     println!("{out}");
 }
 

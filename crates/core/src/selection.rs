@@ -10,10 +10,19 @@
 //! - **Proposal** — for continuous or huge spaces: draw candidates from the
 //!   good density `p_g` and keep the best-scoring one. Sampling from `p_g`
 //!   focuses on promising regions while the randomness keeps exploring.
+//!
+//! Ranking is the per-iteration hot path (pools reach 17 815 configs for
+//! Kripke energy, swept once per iteration per repetition), so it runs on
+//! the batch-scoring engine: a [`ScoreTable`] of precomputed per-value
+//! scores, a [`PoolEncoding`] flattening the pool into a contiguous index
+//! buffer, and a [`PoolMask`] marking seen pool positions — reduced by a
+//! rayon-chunked argmax. See [`rank_encoded`] for the determinism contract.
 
 use crate::history::ObservationHistory;
-use crate::surrogate::TpeSurrogate;
+use crate::surrogate::{ScoreTable, TpeSurrogate};
+use hiperbot_space::pool::{IndexBuffer, PoolEncoding, PoolIndex, PoolMask};
 use hiperbot_space::{Configuration, ParameterSpace};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which selection regime the tuner uses.
@@ -30,12 +39,126 @@ pub enum SelectionStrategy {
     },
 }
 
+/// Fixed chunk width of the parallel ranking argmax. Chunk boundaries
+/// depend only on this constant (never on the worker count), which is one
+/// half of the bit-identical-across-thread-counts guarantee; the other half
+/// is the in-order chunk reduction in [`rank_encoded`].
+pub const RANK_CHUNK: usize = 4096;
+
+/// Argmax of one chunk of the encoded pool. Scans positions in ascending
+/// order keeping the first strict maximum, so within a chunk the lowest
+/// pool index wins ties.
+fn best_in_chunk<T: PoolIndex>(
+    buf: &[T],
+    n_params: usize,
+    tables: &[&[f64]],
+    seen: &PoolMask,
+    start: usize,
+    end: usize,
+) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for c in start..end {
+        if seen.get(c) {
+            continue;
+        }
+        let row = &buf[c * n_params..(c + 1) * n_params];
+        let mut score = 0.0;
+        for (p, v) in row.iter().enumerate() {
+            score += tables[p][v.as_usize()];
+        }
+        match best {
+            Some((s, _)) if s >= score => {}
+            _ => best = Some((score, c)),
+        }
+    }
+    best
+}
+
+/// The batch-scoring argmax: returns the pool position of the best unseen
+/// configuration, or `None` when every position is seen.
+///
+/// **Tie-breaking contract:** among equal-scoring candidates the **lowest
+/// pool index** wins. **Determinism contract:** the result is bit-identical
+/// regardless of `RAYON_NUM_THREADS` — every candidate's score is a fixed
+/// left-to-right sum over its parameters, chunk boundaries are a function
+/// of [`RANK_CHUNK`] only, and chunk winners are reduced in chunk order
+/// with a strict `>` (an earlier chunk's equal score survives).
+///
+/// # Panics
+/// Panics if `tables`' arity differs from the encoding's, or if the mask
+/// length differs from the pool length.
+pub fn rank_encoded(
+    tables: &[&[f64]],
+    encoding: &PoolEncoding,
+    seen: &PoolMask,
+) -> Option<usize> {
+    let n = encoding.n_configs();
+    assert_eq!(seen.len(), n, "mask/pool length mismatch");
+    if n == 0 {
+        return None;
+    }
+    assert_eq!(tables.len(), encoding.n_params(), "arity mismatch");
+    let n_params = encoding.n_params();
+    let n_chunks = n.div_ceil(RANK_CHUNK);
+    let partials: Vec<Option<(f64, usize)>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|ci| {
+            let start = ci * RANK_CHUNK;
+            let end = (start + RANK_CHUNK).min(n);
+            match encoding.buffer() {
+                IndexBuffer::U16(b) => best_in_chunk(b, n_params, tables, seen, start, end),
+                IndexBuffer::U32(b) => best_in_chunk(b, n_params, tables, seen, start, end),
+            }
+        })
+        .collect();
+    let mut best: Option<(f64, usize)> = None;
+    for (score, c) in partials.into_iter().flatten() {
+        match best {
+            Some((s, _)) if s >= score => {}
+            _ => best = Some((score, c)),
+        }
+    }
+    best.map(|(_, c)| c)
+}
 
 /// Selects the next configuration by exhaustive ranking over `pool`,
 /// skipping configurations already in `history`. Returns `None` when the
 /// pool is exhausted.
+///
+/// **Tie-breaking contract:** among equal-scoring unseen candidates the one
+/// at the lowest pool index is selected (see [`rank_encoded`]); this held
+/// implicitly in the original serial loop and is now guaranteed under
+/// parallel execution too.
+///
+/// This standalone entry point re-derives the seen set from `history` by
+/// hashing each pool member once; [`Tuner`](crate::tuner::Tuner) keeps a
+/// [`PoolMask`] incrementally instead and skips that pass.
 pub fn select_by_ranking(
     surrogate: &TpeSurrogate,
+    pool: &[Configuration],
+    history: &ObservationHistory,
+) -> Option<Configuration> {
+    let table = surrogate.score_table();
+    if let (Some(tables), Some(encoding)) = (table.discrete_tables(), PoolEncoding::encode(pool))
+    {
+        let mut seen = PoolMask::new(pool.len());
+        for (i, cfg) in pool.iter().enumerate() {
+            if history.contains(cfg) {
+                seen.set(i);
+            }
+        }
+        return rank_encoded(&tables, &encoding, &seen).map(|i| pool[i].clone());
+    }
+    // Exact fallback for pools the engine cannot flatten (continuous
+    // values); same scores, same lowest-index tie-breaking.
+    select_by_ranking_serial(&table, pool, history)
+}
+
+/// The serial reference path: per-candidate table scoring with
+/// per-candidate history hashing. Kept as the fallback for unencodable
+/// pools and as the oracle the parallel path is property-tested against.
+pub fn select_by_ranking_serial(
+    table: &ScoreTable,
     pool: &[Configuration],
     history: &ObservationHistory,
 ) -> Option<Configuration> {
@@ -44,7 +167,7 @@ pub fn select_by_ranking(
         if history.contains(cfg) {
             continue;
         }
-        let score = surrogate.log_ei(cfg);
+        let score = table.score(cfg);
         match best {
             Some((s, _)) if s >= score => {}
             _ => best = Some((score, cfg)),
@@ -157,6 +280,71 @@ mod tests {
             history.push(pick, 5.0);
         }
         assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn ranking_ties_break_to_the_lowest_pool_index() {
+        // Both observations sit at b=0, so parameter "b"'s good and bad
+        // histograms are identical and every value of b contributes an
+        // *exactly* zero score term: candidates differing only in b are
+        // deliberate bit-level ties. The contract demands the lowest pool
+        // index among them.
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .param(ParamDef::new("b", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .build()
+            .unwrap();
+        let mut history = ObservationHistory::new();
+        history.push(Configuration::from_indices(&[0, 0]), 1.0); // good
+        history.push(Configuration::from_indices(&[1, 0]), 10.0); // bad
+        let sur = TpeSurrogate::fit(
+            &s,
+            history.configs(),
+            history.objectives(),
+            &SurrogateOptions::default(),
+            None,
+        );
+        let pool = s.enumerate();
+        // Sanity: the tie really exists — (0,1), (0,2), (0,3) score
+        // bit-identically.
+        let t = sur.score_table();
+        let tied = t.score(&Configuration::from_indices(&[0, 1]));
+        for b in [2, 3] {
+            assert_eq!(
+                t.score(&Configuration::from_indices(&[0, b])).to_bits(),
+                tied.to_bits(),
+                "test premise: deliberate score tie"
+            );
+        }
+        // (0,0) is seen; a=0 is the observed-good value, so the best unseen
+        // candidates are (0,1), (0,2), (0,3) — all tied. The lowest pool
+        // index among them is (0,1).
+        let pick = select_by_ranking(&sur, &pool, &history).unwrap();
+        assert_eq!(pick, Configuration::from_indices(&[0, 1]));
+    }
+
+    #[test]
+    fn rank_encoded_matches_the_serial_oracle() {
+        let s = space();
+        let (sur, history) = surrogate_preferring_a0(&s);
+        let pool = s.enumerate();
+        let table = sur.score_table();
+        let serial = select_by_ranking_serial(&table, &pool, &history);
+        let parallel = select_by_ranking(&sur, &pool, &history);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn rank_encoded_handles_empty_and_exhausted_pools() {
+        let enc = PoolEncoding::encode(&[]).unwrap();
+        assert_eq!(rank_encoded(&[], &enc, &PoolMask::new(0)), None);
+
+        let pool = vec![Configuration::from_indices(&[0])];
+        let enc = PoolEncoding::encode(&pool).unwrap();
+        let mut seen = PoolMask::new(1);
+        seen.set(0);
+        let table: &[f64] = &[0.0];
+        assert_eq!(rank_encoded(&[table], &enc, &seen), None);
     }
 
     #[test]

@@ -234,6 +234,104 @@ impl TpeSurrogate {
     pub fn densities(&self) -> &[ParamDensity] {
         &self.densities
     }
+
+    /// Precomputes the per-value [`ScoreTable`] for this fit.
+    ///
+    /// Done once per fit (i.e. once per tuner iteration); the Ranking loop
+    /// then scores each of the pool's thousands of candidates by slice
+    /// lookups instead of re-walking density objects and re-taking
+    /// logarithms per candidate.
+    pub fn score_table(&self) -> ScoreTable {
+        let entries = self
+            .densities
+            .iter()
+            .map(|d| match d {
+                ParamDensity::Discrete { good, bad } => TableEntry::Discrete(
+                    (0..good.n_categories())
+                        .map(|i| good.pmf(i).ln() - bad.pmf(i).ln())
+                        .collect(),
+                ),
+                cont @ ParamDensity::Continuous { .. } => TableEntry::Continuous(cont.clone()),
+            })
+            .collect();
+        ScoreTable { entries }
+    }
+}
+
+/// A dense per-value score table precomputed from one surrogate fit — the
+/// first half of the batch-scoring engine (see DESIGN.md).
+///
+/// For every **discrete** parameter the table stores `ln p_g(v) − ln p_b(v)`
+/// for each domain index `v`, so a candidate's EI score is a plain sum of
+/// slice lookups. **Continuous** parameters keep a clone of their exact
+/// densities and are evaluated on demand (a fixed evaluation grid would
+/// approximate the KDE and break the exactness contract below); continuous
+/// parameters only ever reach [`score`](Self::score), never the flattened
+/// Ranking loop, because Ranking requires fully discrete spaces.
+///
+/// Contract: [`score`](Self::score) is **bit-identical** to
+/// [`TpeSurrogate::log_ei`] on the fit it was built from — same per-value
+/// expressions, same summation order.
+#[derive(Debug, Clone)]
+pub struct ScoreTable {
+    entries: Vec<TableEntry>,
+}
+
+#[derive(Debug, Clone)]
+enum TableEntry {
+    /// `ln p_g(v) − ln p_b(v)` per domain index.
+    Discrete(Vec<f64>),
+    /// Exact-evaluation fallback for a continuous parameter.
+    Continuous(ParamDensity),
+}
+
+impl ScoreTable {
+    /// Arity of the fitted space.
+    pub fn n_params(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every parameter has a dense per-value table (no continuous
+    /// fallback entries), i.e. the flattened Ranking loop applies.
+    pub fn is_fully_discrete(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| matches!(e, TableEntry::Discrete(_)))
+    }
+
+    /// The per-parameter score slices, or `None` if any parameter is
+    /// continuous. The returned layout (`tables[p][v]`) is what the
+    /// chunked argmax in `selection` sweeps.
+    pub fn discrete_tables(&self) -> Option<Vec<&[f64]>> {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                TableEntry::Discrete(t) => Some(t.as_slice()),
+                TableEntry::Continuous(_) => None,
+            })
+            .collect()
+    }
+
+    /// The candidate's EI score; bit-identical to [`TpeSurrogate::log_ei`]
+    /// on the surrogate this table was built from.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or when a value's kind does not match its
+    /// parameter's domain.
+    pub fn score(&self, cfg: &Configuration) -> f64 {
+        assert_eq!(cfg.len(), self.entries.len(), "arity mismatch");
+        self.entries
+            .iter()
+            .zip(cfg.values())
+            .map(|(e, &v)| match (e, v) {
+                (TableEntry::Discrete(t), ParamValue::Index(i)) => t[i],
+                (TableEntry::Continuous(d), v @ ParamValue::Real(_)) => {
+                    d.log_good(v) - d.log_bad(v)
+                }
+                _ => panic!("configuration value kind does not match parameter domain"),
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -10,13 +10,15 @@
 //!    budget is exhausted (or, for Ranking, the space is).
 
 use crate::history::ObservationHistory;
-use crate::selection::{select_by_proposal, select_by_ranking, SelectionStrategy};
+use crate::selection::{rank_encoded, select_by_proposal, SelectionStrategy};
 use crate::surrogate::{SurrogateOptions, TpeSurrogate};
 use crate::transfer::TransferPrior;
+use hiperbot_space::pool::{PoolEncoding, PoolMask};
 use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
 use hiperbot_space::{Configuration, ParameterSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rustc_hash::FxHashMap;
 
 /// How the bootstrap observations are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,13 +118,61 @@ pub struct BestResult {
     pub evaluations: usize,
 }
 
+/// The lazily built Ranking-strategy state: the enumerated feasible pool
+/// plus the batch-scoring engine's per-pool artifacts, all constructed once
+/// per tuning run.
+struct RankingPool {
+    configs: Vec<Configuration>,
+    /// Contiguous config-major index buffer the argmax sweeps.
+    encoding: PoolEncoding,
+    /// Pool position per configuration (used to fold history into `seen`).
+    position: FxHashMap<Configuration, u32>,
+    /// Seen bitset over pool positions, maintained incrementally: each
+    /// history entry is hashed into it exactly once, instead of the old
+    /// per-candidate `history.contains` hash inside the ranking loop.
+    seen: PoolMask,
+    /// History prefix already folded into `seen`.
+    synced: usize,
+}
+
+impl RankingPool {
+    fn build(space: &ParameterSpace) -> Self {
+        let configs = space.enumerate();
+        let encoding = PoolEncoding::encode(&configs)
+            .expect("Ranking pools are fully discrete and uniform-arity");
+        let position = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i as u32))
+            .collect();
+        let seen = PoolMask::new(configs.len());
+        Self {
+            configs,
+            encoding,
+            position,
+            seen,
+            synced: 0,
+        }
+    }
+
+    /// Folds history entries `synced..` into the seen bitset.
+    fn sync(&mut self, history: &ObservationHistory) {
+        for cfg in &history.configs()[self.synced..] {
+            if let Some(&i) = self.position.get(cfg) {
+                self.seen.set(i as usize);
+            }
+        }
+        self.synced = history.len();
+    }
+}
+
 /// The HiPerBOt tuner.
 pub struct Tuner {
     space: ParameterSpace,
     options: TunerOptions,
     history: ObservationHistory,
-    /// Enumerated feasible pool (Ranking strategy only; built lazily).
-    pool: Option<Vec<Configuration>>,
+    /// Pool + batch-scoring state (Ranking strategy only; built lazily).
+    pool: Option<RankingPool>,
     rng: ChaCha8Rng,
     bootstrapped: bool,
 }
@@ -184,11 +234,15 @@ impl Tuner {
         &self.history
     }
 
-    fn pool(&mut self) -> &[Configuration] {
+    /// Builds (once) and returns the Ranking pool state, with the seen
+    /// bitset synced to the current history.
+    fn pool(&mut self) -> &RankingPool {
         if self.pool.is_none() {
-            self.pool = Some(self.space.enumerate());
+            self.pool = Some(RankingPool::build(&self.space));
         }
-        self.pool.as_deref().expect("just built")
+        let pool = self.pool.as_mut().expect("just built");
+        pool.sync(&self.history);
+        pool
     }
 
     fn fit_surrogate(&self) -> TpeSurrogate {
@@ -215,7 +269,7 @@ impl Tuner {
         }
         let n = if self.space.is_fully_discrete() {
             // Never ask for more distinct samples than exist.
-            let pool_len = self.pool().len();
+            let pool_len = self.pool().configs.len();
             self.options.init_samples.min(pool_len)
         } else {
             self.options.init_samples
@@ -254,12 +308,13 @@ impl Tuner {
         let surrogate = self.fit_surrogate();
         match self.options.strategy {
             SelectionStrategy::Ranking => {
-                // Split borrows: build pool before borrowing history.
-                if self.pool.is_none() {
-                    self.pool = Some(self.space.enumerate());
-                }
-                let pool = self.pool.as_deref().expect("built above");
-                select_by_ranking(&surrogate, pool, &self.history)
+                let table = surrogate.score_table();
+                let tables = table
+                    .discrete_tables()
+                    .expect("Ranking requires a fully discrete space");
+                let pool = self.pool();
+                rank_encoded(&tables, &pool.encoding, &pool.seen)
+                    .map(|i| pool.configs[i].clone())
             }
             SelectionStrategy::Proposal { candidates } => Some(select_by_proposal(
                 &surrogate,
@@ -313,15 +368,17 @@ impl Tuner {
             "batch suggestion requires the Ranking strategy"
         );
         let surrogate = self.fit_surrogate();
-        if self.pool.is_none() {
-            self.pool = Some(self.space.enumerate());
-        }
-        let pool = self.pool.as_deref().expect("built above");
+        let table = surrogate.score_table();
+        let pool = self.pool();
         let mut scored: Vec<(f64, &Configuration)> = pool
+            .configs
             .iter()
-            .filter(|c| !self.history.contains(c))
-            .map(|c| (surrogate.log_ei(c), c))
+            .enumerate()
+            .filter(|&(i, _)| !pool.seen.get(i))
+            .map(|(_, c)| (table.score(c), c))
             .collect();
+        // Stable sort: equal scores keep pool order, extending the ranking
+        // tie-break contract (lowest pool index first) to batches.
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite EI"));
         scored.into_iter().take(k).map(|(_, c)| c.clone()).collect()
     }

@@ -1,0 +1,160 @@
+//! Property-based invariants of the batch-scoring engine: the precomputed
+//! [`ScoreTable`] must agree with the per-candidate `log_ei` path, and the
+//! rayon-chunked ranking must be bit-identical to the serial oracle at
+//! every thread count.
+
+use hiperbot_core::selection::{rank_encoded, select_by_ranking_serial};
+use hiperbot_core::surrogate::{SurrogateOptions, TpeSurrogate};
+use hiperbot_core::ObservationHistory;
+use hiperbot_space::pool::{PoolEncoding, PoolMask};
+use hiperbot_space::sampling::sample_distinct;
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random fully discrete space of 1–4 parameters with 2–5 values each.
+fn arb_discrete_space() -> impl Strategy<Value = ParameterSpace> {
+    proptest::collection::vec(2usize..=5, 1..=4).prop_map(|cards| {
+        let mut b = ParameterSpace::builder();
+        for (i, c) in cards.into_iter().enumerate() {
+            let vals: Vec<i64> = (0..c as i64).collect();
+            b = b.param(ParamDef::new(format!("p{i}"), Domain::discrete_ints(&vals)));
+        }
+        b.build().expect("valid")
+    })
+}
+
+/// A deterministic pseudo-random objective keyed on the configuration
+/// (hashes value bits, so it works on discrete and continuous params).
+fn hash_objective(cfg: &Configuration, salt: u64) -> f64 {
+    let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
+    for v in cfg.values() {
+        h = h
+            .wrapping_add(v.as_f64().to_bits())
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 29;
+    }
+    1.0 + (h % 10_000) as f64 / 100.0
+}
+
+/// Fits a surrogate on a random distinct history of `n` observations.
+fn fit_on_history(
+    space: &ParameterSpace,
+    n: usize,
+    seed: u64,
+    salt: u64,
+) -> (TpeSurrogate, ObservationHistory) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let configs = sample_distinct(space, n, &mut rng);
+    let mut history = ObservationHistory::new();
+    for c in configs {
+        let y = hash_objective(&c, salt);
+        history.push(c, y);
+    }
+    let surrogate = TpeSurrogate::fit(
+        space,
+        history.configs(),
+        history.objectives(),
+        &SurrogateOptions::default(),
+        None,
+    );
+    (surrogate, history)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The precomputed table scores every pool member exactly like the
+    /// per-candidate `log_ei` path (same per-parameter expressions summed
+    /// in the same order ⇒ within 1e-12 is actually bit-identical, but the
+    /// contract the engine documents is the tolerance).
+    #[test]
+    fn score_table_matches_log_ei(
+        space in arb_discrete_space(),
+        seed in 0u64..500,
+        salt in 0u64..500,
+        n_obs in 4usize..20,
+    ) {
+        let pool_size = space.product_cardinality().unwrap();
+        let (surrogate, _) = fit_on_history(&space, n_obs.min(pool_size), seed, salt);
+        let table = surrogate.score_table();
+        for cfg in space.enumerate() {
+            let exact = surrogate.log_ei(&cfg);
+            let tabled = table.score(&cfg);
+            prop_assert!(
+                (exact - tabled).abs() <= 1e-12,
+                "log_ei {exact} vs table {tabled}"
+            );
+        }
+    }
+
+    /// Mixed spaces keep the exact continuous densities in the table:
+    /// scores still match `log_ei` even though only the discrete
+    /// parameters get dense lookup rows.
+    #[test]
+    fn score_table_matches_log_ei_on_mixed_spaces(
+        seed in 0u64..200,
+        salt in 0u64..200,
+    ) {
+        let space = ParameterSpace::builder()
+            .param(ParamDef::new("d", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .param(ParamDef::new("x", Domain::continuous(-1.0, 1.0)))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let configs = sample_distinct(&space, 12, &mut rng);
+        let objectives: Vec<f64> = configs.iter().map(|c| hash_objective(c, salt)).collect();
+        let surrogate = TpeSurrogate::fit(
+            &space,
+            &configs,
+            &objectives,
+            &SurrogateOptions::default(),
+            None,
+        );
+        let table = surrogate.score_table();
+        prop_assert!(!table.is_fully_discrete());
+        for cfg in &configs {
+            let exact = surrogate.log_ei(cfg);
+            prop_assert!((exact - table.score(cfg)).abs() <= 1e-12);
+        }
+    }
+
+    /// The chunked parallel argmax returns the same pool index as the
+    /// serial oracle regardless of how many rayon workers run it. The two
+    /// thread counts are exercised inside one test body: the vendored
+    /// rayon reads `RAYON_NUM_THREADS` on every call, so toggling the
+    /// variable mid-test switches the worker count, and the determinism
+    /// guarantee makes any cross-test interleaving harmless.
+    #[test]
+    fn parallel_ranking_matches_serial_across_thread_counts(
+        space in arb_discrete_space(),
+        seed in 0u64..500,
+        salt in 0u64..500,
+        n_obs in 4usize..20,
+    ) {
+        let pool = space.enumerate();
+        let (surrogate, history) = fit_on_history(&space, n_obs.min(pool.len()), seed, salt);
+        let table = surrogate.score_table();
+        let tables = table.discrete_tables().expect("fully discrete");
+        let encoding = PoolEncoding::encode(&pool).expect("encodable");
+        let mut seen = PoolMask::new(pool.len());
+        for (i, c) in pool.iter().enumerate() {
+            if history.contains(c) {
+                seen.set(i);
+            }
+        }
+        let oracle = select_by_ranking_serial(&table, &pool, &history);
+        for threads in ["1", "4"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let pick = rank_encoded(&tables, &encoding, &seen).map(|i| pool[i].clone());
+            prop_assert_eq!(
+                pick.as_ref(),
+                oracle.as_ref(),
+                "thread count {} diverged from the serial oracle",
+                threads
+            );
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+}

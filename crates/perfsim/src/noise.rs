@@ -14,7 +14,7 @@ use hiperbot_stats::rng::mix_words;
 fn u64_to_unit_open(h: u64) -> f64 {
     // 53 mantissa bits, then nudge off exact 0.
     let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-    u.max(1e-16).min(1.0 - 1e-16)
+    u.clamp(1e-16, 1.0 - 1e-16)
 }
 
 /// Domain-separation tag appended when deriving the second Box–Muller

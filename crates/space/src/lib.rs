@@ -18,14 +18,18 @@
 //!   replacement, used for initial observation histories.
 //! - [`encoding`] — one-hot and normalized numeric encodings consumed by
 //!   the PerfNet neural network and the Gaussian-process comparator.
+//! - [`pool`] — contiguous config-major pool encodings and positional
+//!   bitmasks, the data layout behind the batch-scoring Ranking loop.
 
 pub mod config;
 pub mod encoding;
 pub mod param;
+pub mod pool;
 pub mod sampling;
 pub mod space;
 
 pub use config::{Configuration, ParamValue};
 pub use encoding::{Encoder, EncodingKind};
 pub use param::{Domain, DiscreteValue, ParamDef};
+pub use pool::{IndexBuffer, PoolEncoding, PoolIndex, PoolMask};
 pub use space::{ParameterSpace, SpaceBuilder, SpaceError};

@@ -158,7 +158,7 @@ pub fn latin_hypercube<R: Rng + ?Sized>(
         // Repair: re-pair this row's strata with later rows until feasible
         // and unseen.
         let mut attempts = 0;
-        while !(space.is_feasible(&cfg) && !seen.contains(&cfg)) {
+        while !space.is_feasible(&cfg) || seen.contains(&cfg) {
             attempts += 1;
             if attempts > 50 {
                 // Constraint too entangled for stratified repair: fall back.

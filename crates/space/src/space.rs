@@ -12,10 +12,13 @@ use std::sync::Arc;
 /// exceeding a node's cores, or a group-set count that does not divide the
 /// number of energy groups); those runs are simply absent, which is why the
 /// datasets have non-product cardinalities. Constraints reproduce that.
+/// The predicate type a [`Constraint`] wraps.
+type ConstraintFn = dyn Fn(&Configuration, &[ParamDef]) -> bool + Send + Sync;
+
 #[derive(Clone)]
 pub struct Constraint {
     name: String,
-    predicate: Arc<dyn Fn(&Configuration, &[ParamDef]) -> bool + Send + Sync>,
+    predicate: Arc<ConstraintFn>,
 }
 
 impl Constraint {

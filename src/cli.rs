@@ -360,7 +360,7 @@ mod tests {
     #[test]
     fn evaluate_command_time_measures_wall_clock() {
         let y = evaluate_command("sleep 0.05", Measure::Time).unwrap();
-        assert!(y >= 0.05 && y < 1.0, "measured {y}");
+        assert!((0.05..1.0).contains(&y), "measured {y}");
     }
 
     #[test]

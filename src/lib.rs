@@ -40,8 +40,12 @@
 //!     (t - 8.0).abs() + (b - 128.0).abs() / 32.0
 //! };
 //!
+//! // The toy space has only 5 × 4 = 20 configurations, so a 20-evaluation
+//! // budget sweeps it entirely and the optimum (8 threads, block 128) is
+//! // found regardless of seed. Real spaces are far larger than the budget;
+//! // see the `eval` crate for the paper's experiments.
 //! let mut tuner = Tuner::new(space.clone(), TunerOptions::default().with_seed(42));
-//! let best = tuner.run(15, objective);
+//! let best = tuner.run(20, objective);
 //! assert!(best.objective < 1.0);
 //! ```
 

@@ -1,0 +1,112 @@
+//! Offline vendored subset of `rand_distr`: the `Distribution` trait and the
+//! `Normal` distribution (Box–Muller sampling).
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that can produce samples of `T` given an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Mean was NaN.
+    MeanTooSmall,
+    /// Standard deviation was negative or NaN.
+    BadVariance,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => f.write_str("mean is invalid"),
+            NormalError::BadVariance => f.write_str("standard deviation is negative or NaN"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds `N(mean, std_dev²)`. Fails if `std_dev` is negative or NaN.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if mean.is_nan() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if std_dev < 0.0 || std_dev.is_nan() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: avoids ln(0) in Box–Muller.
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestRng(u64);
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn rejects_bad_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = TestRng(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

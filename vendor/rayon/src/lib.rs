@@ -1,0 +1,431 @@
+//! Offline vendored subset of `rayon`, implemented with `std::thread::scope`.
+//!
+//! The model is index-addressable parallel iterators: a source knows its
+//! length and can produce the item at any index (`&self`, so threads share
+//! it). Consumers split the index range into one contiguous block per
+//! thread and join results **in block order**, so `collect` preserves item
+//! order exactly like rayon's indexed iterators, and any reduction the
+//! caller performs over collected output is independent of thread count.
+//!
+//! `RAYON_NUM_THREADS` is read **per call**, so tests can toggle the
+//! degree of parallelism at runtime. Small inputs run serially.
+
+use std::ops::Range;
+
+/// Number of worker threads to use (per-call; honors `RAYON_NUM_THREADS`).
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Below this many items, the overhead of spawning threads dominates and
+/// consumers run serially.
+const SERIAL_CUTOFF: usize = 1024;
+
+/// The common prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// An index-addressable parallel iterator.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Total number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the item at `index`. Must be safe to call concurrently.
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Accepted for rayon compatibility; chunking here is already
+    /// contiguous-block per thread, so the hint is a no-op.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Applies `f` to every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.pi_len();
+        run_blocks(n, &|range| {
+            for i in range {
+                f(self.pi_get(i));
+            }
+        });
+    }
+
+    /// Collects all items, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let n = self.pi_len();
+        let threads = clamp_threads(n);
+        if threads <= 1 {
+            return C::from_ordered_vec((0..n).map(|i| self.pi_get(i)).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<Self::Item>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let this = &self;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+                .filter(|(lo, hi)| lo < hi)
+                .map(|(lo, hi)| s.spawn(move || (lo..hi).map(|i| this.pi_get(i)).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon (vendored): worker panicked"));
+            }
+        });
+        C::from_ordered_vec(parts.into_iter().flatten().collect())
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item>,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+fn clamp_threads(n: usize) -> usize {
+    if n < SERIAL_CUTOFF {
+        1
+    } else {
+        current_num_threads().min(n.max(1))
+    }
+}
+
+/// Runs `body` over `0..n` split into one contiguous block per thread.
+fn run_blocks(n: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+    let threads = clamp_threads(n);
+    if threads <= 1 {
+        body(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo < hi {
+                s.spawn(move || body(lo..hi));
+            }
+        }
+    });
+}
+
+/// Sink for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from items already in index order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Types convertible into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Conversion.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types whose references iterate in parallel (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send;
+    /// Conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+#[derive(Clone, Copy)]
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Clone, Copy)]
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    fn pi_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> U {
+        (self.f)(self.base.pi_get(index))
+    }
+}
+
+/// Result of [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.pi_get(index))
+    }
+}
+
+/// `par_chunks_mut` support for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into mutable chunks of `chunk_size` (last may be shorter),
+    /// processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMutParIter {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks (eager: chunk borrows are
+/// materialized up front, then distributed over scoped threads).
+pub struct ChunksMutParIter<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ChunksMutParIter<'a, T> {
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut {
+            chunks: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+        T: Send,
+    {
+        distribute(self.chunks, &|chunk| f(chunk));
+    }
+}
+
+/// Result of [`ChunksMutParIter::enumerate`].
+pub struct EnumeratedChunksMut<'a, T: Send> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    /// Applies `f` to every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        distribute(self.chunks, &|(i, chunk)| f((i, chunk)));
+    }
+}
+
+/// Distributes owned work items over scoped threads, one contiguous block
+/// of items per thread.
+fn distribute<W: Send>(items: Vec<W>, f: &(dyn Fn(W) + Sync)) {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for w in items {
+            f(w);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut blocks: Vec<Vec<W>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Peel blocks off the back so each drain is O(block).
+    let mut bounds: Vec<usize> = (0..threads).map(|t| (t * chunk).min(n)).collect();
+    bounds.push(n);
+    for t in (0..threads).rev() {
+        blocks.push(items.split_off(bounds[t]));
+    }
+    std::thread::scope(|s| {
+        for block in blocks {
+            if !block.is_empty() {
+                s.spawn(move || {
+                    for w in block {
+                        f(w);
+                    }
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let v: Vec<u32> = (0..5000).collect();
+        let pairs: Vec<(usize, u32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        for (i, (j, x)) in pairs.iter().enumerate() {
+            assert_eq!(i, *j);
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..2000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[44], 44 * 44);
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_element() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(256).enumerate().for_each(|(ci, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 256 + k) as u64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn respects_thread_env_without_changing_results() {
+        let v: Vec<u32> = (0..50_000).collect();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let a: Vec<u64> = v.par_iter().map(|&x| x as u64 + 1).collect();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let b: Vec<u64> = v.par_iter().map(|&x| x as u64 + 1).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(a, b);
+    }
+}

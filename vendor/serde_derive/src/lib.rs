@@ -1,0 +1,500 @@
+//! Offline vendored subset of `serde_derive`.
+//!
+//! Hand-rolled derives (no `syn`/`quote`): the input token stream is parsed
+//! directly and the generated impl is assembled as a source string, then
+//! re-parsed into a `TokenStream`. Supported shapes — exactly what this
+//! workspace uses:
+//!
+//! - structs with named fields (no generics),
+//! - enums whose variants are unit, 1-field tuple ("newtype"), or named
+//!   fields, with serde's externally-tagged representation,
+//! - container attributes `try_from = "..."` / `into = "..."` (proxy
+//!   conversion) and `tag = "..."` + `rename_all = "snake_case"`
+//!   (internally tagged deserialization).
+//!
+//! Unsupported shapes panic at compile time with a clear message rather
+//! than silently generating wrong code.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (value-tree subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    try_from: Option<String>,
+    into: Option<String>,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+    let mut kind = String::new();
+
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    parse_outer_attr(g, &mut attrs);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = id.to_string();
+                i += 1;
+                break;
+            }
+            other => panic!("serde derive (vendored): unexpected token `{other}` before item keyword"),
+        }
+    }
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive (vendored): expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+
+    // Proxy conversions bypass the body entirely.
+    if ser {
+        if let Some(proxy) = &attrs.into {
+            return ser_via_into(&name, proxy).parse().unwrap();
+        }
+    } else if let Some(proxy) = &attrs.try_from {
+        return de_via_try_from(&name, proxy).parse().unwrap();
+    }
+
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive (vendored): tuple struct `{name}` is not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde derive (vendored): `{name}` has no braced body"),
+        }
+    };
+
+    let out = if kind == "struct" {
+        let fields = parse_named_fields(&body);
+        if ser {
+            ser_struct(&name, &fields)
+        } else {
+            de_struct(&name, &fields)
+        }
+    } else {
+        let variants = parse_variants(&body);
+        if ser {
+            ser_enum(&name, &variants)
+        } else if let Some(tag) = &attrs.tag {
+            de_enum_tagged(&name, &variants, tag, attrs.rename_all.as_deref())
+        } else {
+            de_enum_external(&name, &variants)
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Parses one `#[...]` outer attribute group, recording `serde(...)` keys.
+fn parse_outer_attr(g: &Group, attrs: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment, cfg, other derives — ignore
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = match &items[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = items.get(j + 1) {
+            if p.as_char() == '=' {
+                if let Some(TokenTree::Literal(lit)) = items.get(j + 2) {
+                    value = Some(lit.to_string().trim_matches('"').to_string());
+                    j += 2;
+                }
+            }
+        }
+        match (key.as_str(), value) {
+            ("try_from", Some(v)) => attrs.try_from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            _ => {} // unknown keys tolerated (mirrors upstream leniency for the shapes we use)
+        }
+        j += 1;
+    }
+}
+
+/// Field names of a named-field body `{ a: T, b: U, ... }`.
+fn parse_named_fields(body: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip field attributes and doc comments.
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde derive (vendored): expected field name, got `{other}`"),
+        }
+        i += 2; // name + ':'
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Variant names and shapes of an enum body.
+fn parse_variants(body: &Group) -> Vec<(String, VariantShape)> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive (vendored): expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let n = count_top_level_fields(g);
+                if n != 1 {
+                    panic!(
+                        "serde derive (vendored): tuple variant `{name}` must have exactly one field (has {n})"
+                    );
+                }
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Number of comma-separated entries at angle-depth 0 in a paren group.
+fn count_top_level_fields(g: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for t in g.stream() {
+        saw_any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn snake_case(s: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn string_from(lit: &str) -> String {
+    format!("::std::string::String::from(\"{lit}\")")
+}
+
+/// `match`-expression deserializing field `field` from `__obj`.
+fn de_field_expr(field: &str, container: &str) -> String {
+    format!(
+        "match ::serde::__field(__obj, \"{field}\") {{ \
+           ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+           ::std::option::Option::None => ::serde::Deserialize::__missing_field(\"{field}\", \"{container}\")?, \
+         }}"
+    )
+}
+
+fn ser_via_into(name: &str, proxy: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ \
+             let __proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self)); \
+             ::serde::Serialize::to_value(&__proxy) \
+           }} \
+         }}"
+    )
+}
+
+fn de_via_try_from(name: &str, proxy: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             let __proxy: {proxy} = ::serde::Deserialize::from_value(__v)?; \
+             ::std::convert::TryFrom::try_from(__proxy) \
+               .map_err(|__e| ::serde::Error::custom(::std::format!(\"{{}}\", __e))) \
+           }} \
+         }}"
+    )
+}
+
+fn ser_struct(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_value(&self.{f}))",
+                string_from(f)
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ \
+             ::serde::Value::Object(::std::vec![{}]) \
+           }} \
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn de_struct(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: {}", de_field_expr(f, name)))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             let __obj = ::serde::__as_object(__v, \"{name}\")?; \
+             ::std::result::Result::Ok({name} {{ {} }}) \
+           }} \
+         }}",
+        inits.join(", ")
+    )
+}
+
+fn ser_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, shape)| match shape {
+            VariantShape::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str({}),", string_from(v))
+            }
+            VariantShape::Newtype => format!(
+                "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![({}, ::serde::Serialize::to_value(__f0))]),",
+                string_from(v)
+            ),
+            VariantShape::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("({}, ::serde::Serialize::to_value({f}))", string_from(f)))
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![({}, ::serde::Value::Object(::std::vec![{}]))]),",
+                    fields.join(", "),
+                    string_from(v),
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ \
+             match self {{ {} }} \
+           }} \
+         }}",
+        arms.join(" ")
+    )
+}
+
+fn de_enum_external(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, s)| matches!(s, VariantShape::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, shape)| match shape {
+            VariantShape::Unit => None,
+            VariantShape::Newtype => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(_inner)?)),"
+            )),
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: {}", de_field_expr(f, &format!("{name}::{v}"))))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{ let __obj = ::serde::__as_object(_inner, \"{name}::{v}\")?; \
+                       ::std::result::Result::Ok({name}::{v} {{ {} }}) }}",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             match __v {{ \
+               ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown unit variant `{{}}` for {name}\", __other))), \
+               }}, \
+               ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let _inner = &__pairs[0].1; \
+                 match __pairs[0].0.as_str() {{ \
+                   {} \
+                   __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` for {name}\", __other))), \
+                 }} \
+               }} \
+               _ => ::std::result::Result::Err(::serde::Error::custom(\"expected a {name} variant\")), \
+             }} \
+           }} \
+         }}",
+        unit_arms.join(" "),
+        payload_arms.join(" ")
+    )
+}
+
+fn de_enum_tagged(
+    name: &str,
+    variants: &[(String, VariantShape)],
+    tag: &str,
+    rename_all: Option<&str>,
+) -> String {
+    let rename = |v: &str| -> String {
+        match rename_all {
+            Some("snake_case") => snake_case(v),
+            Some(other) => panic!("serde derive (vendored): rename_all = \"{other}\" unsupported"),
+            None => v.to_string(),
+        }
+    };
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, shape)| {
+            let wire = rename(v);
+            match shape {
+                VariantShape::Unit => {
+                    format!("\"{wire}\" => ::std::result::Result::Ok({name}::{v}),")
+                }
+                VariantShape::Newtype => panic!(
+                    "serde derive (vendored): newtype variant `{v}` unsupported with tag attribute"
+                ),
+                VariantShape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: {}", de_field_expr(f, &format!("{name}::{v}"))))
+                        .collect();
+                    format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                        inits.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             let __obj = ::serde::__as_object(__v, \"{name}\")?; \
+             let __tag = match ::serde::__field(__obj, \"{tag}\") {{ \
+               ::std::option::Option::Some(::serde::Value::Str(__s)) => __s.as_str(), \
+               _ => return ::std::result::Result::Err(::serde::Error::custom(\"missing or non-string tag `{tag}` in {name}\")), \
+             }}; \
+             match __tag {{ \
+               {} \
+               __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} type `{{}}`\", __other))), \
+             }} \
+           }} \
+         }}",
+        arms.join(" ")
+    )
+}
