@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_geist-30518775c2179b0b.d: crates/bench/src/bin/ablation_geist.rs
+
+/root/repo/target/debug/deps/ablation_geist-30518775c2179b0b: crates/bench/src/bin/ablation_geist.rs
+
+crates/bench/src/bin/ablation_geist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_geist-5823e3fdb5e02f68.d: crates/bench/src/bin/ablation_geist.rs
+
+/root/repo/target/debug/deps/ablation_geist-5823e3fdb5e02f68: crates/bench/src/bin/ablation_geist.rs
+
+crates/bench/src/bin/ablation_geist.rs:

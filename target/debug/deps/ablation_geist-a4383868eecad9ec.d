@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_geist-a4383868eecad9ec.d: crates/bench/src/bin/ablation_geist.rs
+
+/root/repo/target/debug/deps/ablation_geist-a4383868eecad9ec: crates/bench/src/bin/ablation_geist.rs
+
+crates/bench/src/bin/ablation_geist.rs:

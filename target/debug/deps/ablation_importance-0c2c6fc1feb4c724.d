@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_importance-0c2c6fc1feb4c724.d: crates/bench/src/bin/ablation_importance.rs
+
+/root/repo/target/debug/deps/ablation_importance-0c2c6fc1feb4c724: crates/bench/src/bin/ablation_importance.rs
+
+crates/bench/src/bin/ablation_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_importance-2f5b9b0f5034cd06.d: crates/bench/src/bin/ablation_importance.rs
+
+/root/repo/target/debug/deps/ablation_importance-2f5b9b0f5034cd06: crates/bench/src/bin/ablation_importance.rs
+
+crates/bench/src/bin/ablation_importance.rs:

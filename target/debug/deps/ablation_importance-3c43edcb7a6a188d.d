@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_importance-3c43edcb7a6a188d.d: crates/bench/src/bin/ablation_importance.rs
+
+/root/repo/target/debug/deps/ablation_importance-3c43edcb7a6a188d: crates/bench/src/bin/ablation_importance.rs
+
+crates/bench/src/bin/ablation_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_methods-2f744da56a761e8d.d: crates/bench/src/bin/ablation_methods.rs
+
+/root/repo/target/debug/deps/ablation_methods-2f744da56a761e8d: crates/bench/src/bin/ablation_methods.rs
+
+crates/bench/src/bin/ablation_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_methods-592d5755cca121c9.d: crates/bench/src/bin/ablation_methods.rs
+
+/root/repo/target/debug/deps/ablation_methods-592d5755cca121c9: crates/bench/src/bin/ablation_methods.rs
+
+crates/bench/src/bin/ablation_methods.rs:

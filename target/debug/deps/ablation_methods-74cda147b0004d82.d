@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_methods-74cda147b0004d82.d: crates/bench/src/bin/ablation_methods.rs
+
+/root/repo/target/debug/deps/ablation_methods-74cda147b0004d82: crates/bench/src/bin/ablation_methods.rs
+
+crates/bench/src/bin/ablation_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfer_weight-35b14cea13d7c606.d: crates/bench/src/bin/ablation_transfer_weight.rs
+
+/root/repo/target/debug/deps/ablation_transfer_weight-35b14cea13d7c606: crates/bench/src/bin/ablation_transfer_weight.rs
+
+crates/bench/src/bin/ablation_transfer_weight.rs:

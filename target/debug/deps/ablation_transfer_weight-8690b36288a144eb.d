@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfer_weight-8690b36288a144eb.d: crates/bench/src/bin/ablation_transfer_weight.rs
+
+/root/repo/target/debug/deps/ablation_transfer_weight-8690b36288a144eb: crates/bench/src/bin/ablation_transfer_weight.rs
+
+crates/bench/src/bin/ablation_transfer_weight.rs:

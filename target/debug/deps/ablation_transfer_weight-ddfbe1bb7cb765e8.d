@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfer_weight-ddfbe1bb7cb765e8.d: crates/bench/src/bin/ablation_transfer_weight.rs
+
+/root/repo/target/debug/deps/ablation_transfer_weight-ddfbe1bb7cb765e8: crates/bench/src/bin/ablation_transfer_weight.rs
+
+crates/bench/src/bin/ablation_transfer_weight.rs:

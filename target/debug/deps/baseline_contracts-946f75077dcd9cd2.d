@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_contracts-946f75077dcd9cd2.d: crates/baselines/tests/baseline_contracts.rs
+
+/root/repo/target/debug/deps/baseline_contracts-946f75077dcd9cd2: crates/baselines/tests/baseline_contracts.rs
+
+crates/baselines/tests/baseline_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_contracts-a69fbcda283c87ff.d: crates/baselines/tests/baseline_contracts.rs
+
+/root/repo/target/debug/deps/baseline_contracts-a69fbcda283c87ff: crates/baselines/tests/baseline_contracts.rs
+
+crates/baselines/tests/baseline_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_selection-570519408a3421eb.d: crates/bench/src/bin/bench_selection.rs
+
+/root/repo/target/debug/deps/bench_selection-570519408a3421eb: crates/bench/src/bin/bench_selection.rs
+
+crates/bench/src/bin/bench_selection.rs:

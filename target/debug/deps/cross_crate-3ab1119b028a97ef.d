@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-3ab1119b028a97ef.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-3ab1119b028a97ef: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate-44d2f91f7e5c1a30.d: tests/cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate-44d2f91f7e5c1a30.rmeta: tests/cross_crate.rs Cargo.toml
+
+tests/cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-e07c61f7b6050622.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-e07c61f7b6050622: tests/cross_crate.rs
+
+tests/cross_crate.rs:

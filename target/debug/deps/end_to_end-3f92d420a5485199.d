@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f92d420a5485199.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f92d420a5485199: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-523a4236f282c4e2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-523a4236f282c4e2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-15d207c9a9577ebd.d: crates/eval/tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-15d207c9a9577ebd: crates/eval/tests/experiments_smoke.rs
+
+crates/eval/tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-f370d6c5b7720a6d.d: crates/eval/tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-f370d6c5b7720a6d: crates/eval/tests/experiments_smoke.rs
+
+crates/eval/tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_toy-4d0cc257e966da8d.d: crates/bench/src/bin/fig1_toy.rs
+
+/root/repo/target/debug/deps/fig1_toy-4d0cc257e966da8d: crates/bench/src/bin/fig1_toy.rs
+
+crates/bench/src/bin/fig1_toy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_toy-962d0276b5bf842a.d: crates/bench/src/bin/fig1_toy.rs
+
+/root/repo/target/debug/deps/fig1_toy-962d0276b5bf842a: crates/bench/src/bin/fig1_toy.rs
+
+crates/bench/src/bin/fig1_toy.rs:

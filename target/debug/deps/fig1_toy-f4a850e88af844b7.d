@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_toy-f4a850e88af844b7.d: crates/bench/src/bin/fig1_toy.rs
+
+/root/repo/target/debug/deps/fig1_toy-f4a850e88af844b7: crates/bench/src/bin/fig1_toy.rs
+
+crates/bench/src/bin/fig1_toy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_kripke_exec-952600bb91b413d9.d: crates/bench/src/bin/fig2_kripke_exec.rs
+
+/root/repo/target/debug/deps/fig2_kripke_exec-952600bb91b413d9: crates/bench/src/bin/fig2_kripke_exec.rs
+
+crates/bench/src/bin/fig2_kripke_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_kripke_exec-b4ab47f3d658a4d3.d: crates/bench/src/bin/fig2_kripke_exec.rs
+
+/root/repo/target/debug/deps/fig2_kripke_exec-b4ab47f3d658a4d3: crates/bench/src/bin/fig2_kripke_exec.rs
+
+crates/bench/src/bin/fig2_kripke_exec.rs:

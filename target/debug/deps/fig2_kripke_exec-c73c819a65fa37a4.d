@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_kripke_exec-c73c819a65fa37a4.d: crates/bench/src/bin/fig2_kripke_exec.rs
+
+/root/repo/target/debug/deps/fig2_kripke_exec-c73c819a65fa37a4: crates/bench/src/bin/fig2_kripke_exec.rs
+
+crates/bench/src/bin/fig2_kripke_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_kripke_energy-a3b4cb55394b849e.d: crates/bench/src/bin/fig3_kripke_energy.rs
+
+/root/repo/target/debug/deps/fig3_kripke_energy-a3b4cb55394b849e: crates/bench/src/bin/fig3_kripke_energy.rs
+
+crates/bench/src/bin/fig3_kripke_energy.rs:

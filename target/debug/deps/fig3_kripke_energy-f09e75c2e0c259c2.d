@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_kripke_energy-f09e75c2e0c259c2.d: crates/bench/src/bin/fig3_kripke_energy.rs
+
+/root/repo/target/debug/deps/fig3_kripke_energy-f09e75c2e0c259c2: crates/bench/src/bin/fig3_kripke_energy.rs
+
+crates/bench/src/bin/fig3_kripke_energy.rs:

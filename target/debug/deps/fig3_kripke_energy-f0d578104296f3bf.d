@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_kripke_energy-f0d578104296f3bf.d: crates/bench/src/bin/fig3_kripke_energy.rs
+
+/root/repo/target/debug/deps/fig3_kripke_energy-f0d578104296f3bf: crates/bench/src/bin/fig3_kripke_energy.rs
+
+crates/bench/src/bin/fig3_kripke_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_hypre-056b4e82cb7f4af3.d: crates/bench/src/bin/fig4_hypre.rs
+
+/root/repo/target/debug/deps/fig4_hypre-056b4e82cb7f4af3: crates/bench/src/bin/fig4_hypre.rs
+
+crates/bench/src/bin/fig4_hypre.rs:

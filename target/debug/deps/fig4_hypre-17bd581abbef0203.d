@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_hypre-17bd581abbef0203.d: crates/bench/src/bin/fig4_hypre.rs
+
+/root/repo/target/debug/deps/fig4_hypre-17bd581abbef0203: crates/bench/src/bin/fig4_hypre.rs
+
+crates/bench/src/bin/fig4_hypre.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_hypre-27d40750da0dd999.d: crates/bench/src/bin/fig4_hypre.rs
+
+/root/repo/target/debug/deps/fig4_hypre-27d40750da0dd999: crates/bench/src/bin/fig4_hypre.rs
+
+crates/bench/src/bin/fig4_hypre.rs:

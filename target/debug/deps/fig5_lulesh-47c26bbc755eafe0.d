@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_lulesh-47c26bbc755eafe0.d: crates/bench/src/bin/fig5_lulesh.rs
+
+/root/repo/target/debug/deps/fig5_lulesh-47c26bbc755eafe0: crates/bench/src/bin/fig5_lulesh.rs
+
+crates/bench/src/bin/fig5_lulesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_lulesh-6b77967c4717ec49.d: crates/bench/src/bin/fig5_lulesh.rs
+
+/root/repo/target/debug/deps/fig5_lulesh-6b77967c4717ec49: crates/bench/src/bin/fig5_lulesh.rs
+
+crates/bench/src/bin/fig5_lulesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_lulesh-b5d3d8c25afe7f7f.d: crates/bench/src/bin/fig5_lulesh.rs
+
+/root/repo/target/debug/deps/fig5_lulesh-b5d3d8c25afe7f7f: crates/bench/src/bin/fig5_lulesh.rs
+
+crates/bench/src/bin/fig5_lulesh.rs:

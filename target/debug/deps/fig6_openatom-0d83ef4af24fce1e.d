@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_openatom-0d83ef4af24fce1e.d: crates/bench/src/bin/fig6_openatom.rs
+
+/root/repo/target/debug/deps/fig6_openatom-0d83ef4af24fce1e: crates/bench/src/bin/fig6_openatom.rs
+
+crates/bench/src/bin/fig6_openatom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_openatom-3500ca6922c7a78a.d: crates/bench/src/bin/fig6_openatom.rs
+
+/root/repo/target/debug/deps/fig6_openatom-3500ca6922c7a78a: crates/bench/src/bin/fig6_openatom.rs
+
+crates/bench/src/bin/fig6_openatom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_openatom-b02086eeb5e100d4.d: crates/bench/src/bin/fig6_openatom.rs
+
+/root/repo/target/debug/deps/fig6_openatom-b02086eeb5e100d4: crates/bench/src/bin/fig6_openatom.rs
+
+crates/bench/src/bin/fig6_openatom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_sensitivity-75c22bd734f12ddd.d: crates/bench/src/bin/fig7_sensitivity.rs
+
+/root/repo/target/debug/deps/fig7_sensitivity-75c22bd734f12ddd: crates/bench/src/bin/fig7_sensitivity.rs
+
+crates/bench/src/bin/fig7_sensitivity.rs:

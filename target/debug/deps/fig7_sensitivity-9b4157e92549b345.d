@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_sensitivity-9b4157e92549b345.d: crates/bench/src/bin/fig7_sensitivity.rs
+
+/root/repo/target/debug/deps/fig7_sensitivity-9b4157e92549b345: crates/bench/src/bin/fig7_sensitivity.rs
+
+crates/bench/src/bin/fig7_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_sensitivity-f3f005fa62c1b6ff.d: crates/bench/src/bin/fig7_sensitivity.rs
+
+/root/repo/target/debug/deps/fig7_sensitivity-f3f005fa62c1b6ff: crates/bench/src/bin/fig7_sensitivity.rs
+
+crates/bench/src/bin/fig7_sensitivity.rs:

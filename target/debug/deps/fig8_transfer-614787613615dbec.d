@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_transfer-614787613615dbec.d: crates/bench/src/bin/fig8_transfer.rs
+
+/root/repo/target/debug/deps/fig8_transfer-614787613615dbec: crates/bench/src/bin/fig8_transfer.rs
+
+crates/bench/src/bin/fig8_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_transfer-897f7d4c4c7143ae.d: crates/bench/src/bin/fig8_transfer.rs
+
+/root/repo/target/debug/deps/fig8_transfer-897f7d4c4c7143ae: crates/bench/src/bin/fig8_transfer.rs
+
+crates/bench/src/bin/fig8_transfer.rs:

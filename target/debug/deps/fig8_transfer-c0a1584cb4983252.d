@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_transfer-c0a1584cb4983252.d: crates/bench/src/bin/fig8_transfer.rs
+
+/root/repo/target/debug/deps/fig8_transfer-c0a1584cb4983252: crates/bench/src/bin/fig8_transfer.rs
+
+crates/bench/src/bin/fig8_transfer.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hiperbot-23e7fe8265d37d5b.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/hiperbot-23e7fe8265d37d5b: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

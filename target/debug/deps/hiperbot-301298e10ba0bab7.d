@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hiperbot-301298e10ba0bab7.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot-301298e10ba0bab7.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hiperbot-3fd9634a3b8622c1.d: src/bin/hiperbot.rs
+
+/root/repo/target/debug/deps/hiperbot-3fd9634a3b8622c1: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hiperbot-5b7f2f5450406c15.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libhiperbot-5b7f2f5450406c15.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libhiperbot-5b7f2f5450406c15.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hiperbot-83329d43258a7eb2.d: src/bin/hiperbot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot-83329d43258a7eb2.rmeta: src/bin/hiperbot.rs Cargo.toml
+
+src/bin/hiperbot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hiperbot-b5633cd249096bc6.d: src/bin/hiperbot.rs
+
+/root/repo/target/debug/deps/hiperbot-b5633cd249096bc6: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

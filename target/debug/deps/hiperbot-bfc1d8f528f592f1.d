@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hiperbot-bfc1d8f528f592f1.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/hiperbot-bfc1d8f528f592f1: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hiperbot-de5f495904dfda43.d: src/bin/hiperbot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot-de5f495904dfda43.rmeta: src/bin/hiperbot.rs Cargo.toml
+
+src/bin/hiperbot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

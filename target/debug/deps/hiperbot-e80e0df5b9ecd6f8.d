@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hiperbot-e80e0df5b9ecd6f8.d: src/bin/hiperbot.rs
+
+/root/repo/target/debug/deps/hiperbot-e80e0df5b9ecd6f8: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hiperbot-e9f7d64ee87b455f.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libhiperbot-e9f7d64ee87b455f.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libhiperbot-e9f7d64ee87b455f.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hiperbot-fb9b2baf05ab20e6.d: src/bin/hiperbot.rs
+
+/root/repo/target/debug/deps/hiperbot-fb9b2baf05ab20e6: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

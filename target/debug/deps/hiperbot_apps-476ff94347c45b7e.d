@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hiperbot_apps-476ff94347c45b7e.d: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+/root/repo/target/debug/deps/libhiperbot_apps-476ff94347c45b7e.rlib: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+/root/repo/target/debug/deps/libhiperbot_apps-476ff94347c45b7e.rmeta: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dataset.rs:
+crates/apps/src/hypre.rs:
+crates/apps/src/kripke.rs:
+crates/apps/src/lulesh.rs:
+crates/apps/src/openatom.rs:

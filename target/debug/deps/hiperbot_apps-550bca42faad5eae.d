@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hiperbot_apps-550bca42faad5eae.d: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_apps-550bca42faad5eae.rmeta: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/dataset.rs:
+crates/apps/src/hypre.rs:
+crates/apps/src/kripke.rs:
+crates/apps/src/lulesh.rs:
+crates/apps/src/openatom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

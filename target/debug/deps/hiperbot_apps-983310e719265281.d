@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hiperbot_apps-983310e719265281.d: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+/root/repo/target/debug/deps/hiperbot_apps-983310e719265281: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dataset.rs:
+crates/apps/src/hypre.rs:
+crates/apps/src/kripke.rs:
+crates/apps/src/lulesh.rs:
+crates/apps/src/openatom.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hiperbot_baselines-3e3e281b4c2a2710.d: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/debug/deps/libhiperbot_baselines-3e3e281b4c2a2710.rlib: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/debug/deps/libhiperbot_baselines-3e3e281b4c2a2710.rmeta: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/geist.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/perfnet.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/selector.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hiperbot_baselines-78d25b4d808a028a.d: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_baselines-78d25b4d808a028a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/geist.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/perfnet.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hiperbot_baselines-bd32b0b0b742728b.d: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/debug/deps/hiperbot_baselines-bd32b0b0b742728b: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/geist.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/perfnet.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/selector.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hiperbot_bench-1bb11cacca79fd84.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhiperbot_bench-1bb11cacca79fd84.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhiperbot_bench-1bb11cacca79fd84.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hiperbot_bench-4038ad76184a3fc8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hiperbot_bench-4038ad76184a3fc8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hiperbot_bench-56e9ea53fbb1da94.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhiperbot_bench-56e9ea53fbb1da94.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhiperbot_bench-56e9ea53fbb1da94.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

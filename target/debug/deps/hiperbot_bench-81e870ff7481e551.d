@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hiperbot_bench-81e870ff7481e551.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhiperbot_bench-81e870ff7481e551.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhiperbot_bench-81e870ff7481e551.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

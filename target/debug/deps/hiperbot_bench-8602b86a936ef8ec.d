@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hiperbot_bench-8602b86a936ef8ec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hiperbot_bench-8602b86a936ef8ec: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hiperbot_core-4314a28aa6649540.d: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_core-4314a28aa6649540.rmeta: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/history.rs:
+crates/core/src/importance.rs:
+crates/core/src/selection.rs:
+crates/core/src/stopping.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/transfer.rs:
+crates/core/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

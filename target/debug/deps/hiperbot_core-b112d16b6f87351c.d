@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hiperbot_core-b112d16b6f87351c.d: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libhiperbot_core-b112d16b6f87351c.rlib: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libhiperbot_core-b112d16b6f87351c.rmeta: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/history.rs:
+crates/core/src/importance.rs:
+crates/core/src/selection.rs:
+crates/core/src/stopping.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/transfer.rs:
+crates/core/src/tuner.rs:

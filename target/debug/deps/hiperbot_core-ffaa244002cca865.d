@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hiperbot_core-ffaa244002cca865.d: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/hiperbot_core-ffaa244002cca865: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/history.rs:
+crates/core/src/importance.rs:
+crates/core/src/selection.rs:
+crates/core/src/stopping.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/transfer.rs:
+crates/core/src/tuner.rs:

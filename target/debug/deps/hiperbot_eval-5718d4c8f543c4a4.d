@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hiperbot_eval-5718d4c8f543c4a4.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+/root/repo/target/debug/deps/hiperbot_eval-5718d4c8f543c4a4: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/config_selection.rs:
+crates/eval/src/experiments/fig1.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:

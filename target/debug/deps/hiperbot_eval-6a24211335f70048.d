@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hiperbot_eval-6a24211335f70048.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_eval-6a24211335f70048.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/config_selection.rs:
+crates/eval/src/experiments/fig1.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hiperbot_eval-7ce656d1e856ef53.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+/root/repo/target/debug/deps/libhiperbot_eval-7ce656d1e856ef53.rlib: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+/root/repo/target/debug/deps/libhiperbot_eval-7ce656d1e856ef53.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/config_selection.rs:
+crates/eval/src/experiments/fig1.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hiperbot_nn-315ba1a78afa39f7.d: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libhiperbot_nn-315ba1a78afa39f7.rlib: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libhiperbot_nn-315ba1a78afa39f7.rmeta: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hiperbot_nn-42646905da51d830.d: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_nn-42646905da51d830.rmeta: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hiperbot_nn-cd80a31cb9c9fdac.d: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/hiperbot_nn-cd80a31cb9c9fdac: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

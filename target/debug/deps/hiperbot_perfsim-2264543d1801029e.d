@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hiperbot_perfsim-2264543d1801029e.d: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_perfsim-2264543d1801029e.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs Cargo.toml
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/comm.rs:
+crates/perfsim/src/machine.rs:
+crates/perfsim/src/memory.rs:
+crates/perfsim/src/noise.rs:
+crates/perfsim/src/omp.rs:
+crates/perfsim/src/power.rs:
+crates/perfsim/src/roofline.rs:
+crates/perfsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hiperbot_perfsim-98e76fee18b14508.d: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+/root/repo/target/debug/deps/hiperbot_perfsim-98e76fee18b14508: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/comm.rs:
+crates/perfsim/src/machine.rs:
+crates/perfsim/src/memory.rs:
+crates/perfsim/src/noise.rs:
+crates/perfsim/src/omp.rs:
+crates/perfsim/src/power.rs:
+crates/perfsim/src/roofline.rs:
+crates/perfsim/src/topology.rs:

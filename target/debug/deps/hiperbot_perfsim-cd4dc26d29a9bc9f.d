@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hiperbot_perfsim-cd4dc26d29a9bc9f.d: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+/root/repo/target/debug/deps/libhiperbot_perfsim-cd4dc26d29a9bc9f.rlib: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+/root/repo/target/debug/deps/libhiperbot_perfsim-cd4dc26d29a9bc9f.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/comm.rs:
+crates/perfsim/src/machine.rs:
+crates/perfsim/src/memory.rs:
+crates/perfsim/src/noise.rs:
+crates/perfsim/src/omp.rs:
+crates/perfsim/src/power.rs:
+crates/perfsim/src/roofline.rs:
+crates/perfsim/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hiperbot_space-1fe04b1a0310dca2.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+/root/repo/target/debug/deps/libhiperbot_space-1fe04b1a0310dca2.rlib: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+/root/repo/target/debug/deps/libhiperbot_space-1fe04b1a0310dca2.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/encoding.rs:
+crates/space/src/param.rs:
+crates/space/src/pool.rs:
+crates/space/src/sampling.rs:
+crates/space/src/space.rs:

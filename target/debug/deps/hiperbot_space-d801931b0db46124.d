@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hiperbot_space-d801931b0db46124.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_space-d801931b0db46124.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs Cargo.toml
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/encoding.rs:
+crates/space/src/param.rs:
+crates/space/src/pool.rs:
+crates/space/src/sampling.rs:
+crates/space/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hiperbot_space-fb3ddd6faac71011.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+/root/repo/target/debug/deps/hiperbot_space-fb3ddd6faac71011: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/encoding.rs:
+crates/space/src/param.rs:
+crates/space/src/pool.rs:
+crates/space/src/sampling.rs:
+crates/space/src/space.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hiperbot_stats-5a014a44b10ddccb.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libhiperbot_stats-5a014a44b10ddccb.rlib: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libhiperbot_stats-5a014a44b10ddccb.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/divergence.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/linalg.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hiperbot_stats-5d0f8af35773c061.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhiperbot_stats-5d0f8af35773c061.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/divergence.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/linalg.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hiperbot_stats-f54660b8f5da2b2a.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/hiperbot_stats-f54660b8f5da2b2a: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/divergence.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/linalg.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kripke_structure-dbbad8f05ba9f2aa.d: crates/apps/tests/kripke_structure.rs
+
+/root/repo/target/debug/deps/kripke_structure-dbbad8f05ba9f2aa: crates/apps/tests/kripke_structure.rs
+
+crates/apps/tests/kripke_structure.rs:

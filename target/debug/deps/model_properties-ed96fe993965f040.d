@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-ed96fe993965f040.d: crates/apps/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-ed96fe993965f040: crates/apps/tests/model_properties.rs
+
+crates/apps/tests/model_properties.rs:

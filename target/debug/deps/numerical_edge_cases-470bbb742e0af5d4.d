@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numerical_edge_cases-470bbb742e0af5d4.d: crates/stats/tests/numerical_edge_cases.rs
+
+/root/repo/target/debug/deps/numerical_edge_cases-470bbb742e0af5d4: crates/stats/tests/numerical_edge_cases.rs
+
+crates/stats/tests/numerical_edge_cases.rs:

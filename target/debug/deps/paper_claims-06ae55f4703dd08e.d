@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-06ae55f4703dd08e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-06ae55f4703dd08e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

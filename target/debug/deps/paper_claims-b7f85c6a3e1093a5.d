@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b7f85c6a3e1093a5.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b7f85c6a3e1093a5: tests/paper_claims.rs
+
+tests/paper_claims.rs:

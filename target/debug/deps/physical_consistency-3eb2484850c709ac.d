@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physical_consistency-3eb2484850c709ac.d: crates/perfsim/tests/physical_consistency.rs
+
+/root/repo/target/debug/deps/physical_consistency-3eb2484850c709ac: crates/perfsim/tests/physical_consistency.rs
+
+crates/perfsim/tests/physical_consistency.rs:

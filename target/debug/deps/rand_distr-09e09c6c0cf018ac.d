@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-09e09c6c0cf018ac.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-09e09c6c0cf018ac: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-6ed4754384f92d0d.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-6ed4754384f92d0d.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-6ed4754384f92d0d.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

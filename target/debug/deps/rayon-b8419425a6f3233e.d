@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-b8419425a6f3233e.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b8419425a6f3233e.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b8419425a6f3233e.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-d7c22b2bf936efb4.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-d7c22b2bf936efb4: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_figures-3b3273887878a46d.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/debug/deps/render_figures-3b3273887878a46d: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_figures-4230f3721a7f8228.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/debug/deps/render_figures-4230f3721a7f8228: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

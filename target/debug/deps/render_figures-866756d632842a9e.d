@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_figures-866756d632842a9e.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/debug/deps/render_figures-866756d632842a9e: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-1f976deb7e3269ab.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-1f976deb7e3269ab: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-55cd10179584ffe2.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-55cd10179584ffe2: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

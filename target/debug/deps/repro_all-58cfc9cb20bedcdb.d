@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-58cfc9cb20bedcdb.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-58cfc9cb20bedcdb: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rustc_hash-065a36ca3b54d615.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-065a36ca3b54d615.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-065a36ca3b54d615.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rustc_hash-415a766d3d31f867.d: vendor/rustc-hash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librustc_hash-415a766d3d31f867.rmeta: vendor/rustc-hash/src/lib.rs Cargo.toml
+
+vendor/rustc-hash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-cdf42eefca8ad9a6.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/rustc_hash-cdf42eefca8ad9a6: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scoring_properties-ed4f4f13b94edec3.d: crates/core/tests/scoring_properties.rs
+
+/root/repo/target/debug/deps/scoring_properties-ed4f4f13b94edec3: crates/core/tests/scoring_properties.rs
+
+crates/core/tests/scoring_properties.rs:

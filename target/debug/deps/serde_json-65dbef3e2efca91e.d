@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-65dbef3e2efca91e.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-65dbef3e2efca91e: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

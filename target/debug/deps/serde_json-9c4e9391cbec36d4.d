@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-9c4e9391cbec36d4.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9c4e9391cbec36d4.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9c4e9391cbec36d4.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-d44ee6b1b5bbd0ec.d: crates/nn/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-d44ee6b1b5bbd0ec: crates/nn/tests/serde_roundtrip.rs
+
+crates/nn/tests/serde_roundtrip.rs:

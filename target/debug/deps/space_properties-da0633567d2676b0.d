@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_properties-da0633567d2676b0.d: crates/space/tests/space_properties.rs
+
+/root/repo/target/debug/deps/space_properties-da0633567d2676b0: crates/space/tests/space_properties.rs
+
+crates/space/tests/space_properties.rs:

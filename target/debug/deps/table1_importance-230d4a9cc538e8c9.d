@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_importance-230d4a9cc538e8c9.d: crates/bench/src/bin/table1_importance.rs
+
+/root/repo/target/debug/deps/table1_importance-230d4a9cc538e8c9: crates/bench/src/bin/table1_importance.rs
+
+crates/bench/src/bin/table1_importance.rs:

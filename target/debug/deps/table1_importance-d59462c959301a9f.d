@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_importance-d59462c959301a9f.d: crates/bench/src/bin/table1_importance.rs
+
+/root/repo/target/debug/deps/table1_importance-d59462c959301a9f: crates/bench/src/bin/table1_importance.rs
+
+crates/bench/src/bin/table1_importance.rs:

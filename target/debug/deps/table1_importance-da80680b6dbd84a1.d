@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_importance-da80680b6dbd84a1.d: crates/bench/src/bin/table1_importance.rs
+
+/root/repo/target/debug/deps/table1_importance-da80680b6dbd84a1: crates/bench/src/bin/table1_importance.rs
+
+crates/bench/src/bin/table1_importance.rs:

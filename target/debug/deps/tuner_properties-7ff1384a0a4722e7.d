@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuner_properties-7ff1384a0a4722e7.d: crates/core/tests/tuner_properties.rs
+
+/root/repo/target/debug/deps/tuner_properties-7ff1384a0a4722e7: crates/core/tests/tuner_properties.rs
+
+crates/core/tests/tuner_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuner_properties-bf9a6064b0dd194e.d: crates/core/tests/tuner_properties.rs
+
+/root/repo/target/debug/deps/tuner_properties-bf9a6064b0dd194e: crates/core/tests/tuner_properties.rs
+
+crates/core/tests/tuner_properties.rs:

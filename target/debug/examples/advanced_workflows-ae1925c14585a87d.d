@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/advanced_workflows-ae1925c14585a87d.d: examples/advanced_workflows.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadvanced_workflows-ae1925c14585a87d.rmeta: examples/advanced_workflows.rs Cargo.toml
+
+examples/advanced_workflows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/advanced_workflows-beee9fa4c68a460d.d: examples/advanced_workflows.rs
+
+/root/repo/target/debug/examples/advanced_workflows-beee9fa4c68a460d: examples/advanced_workflows.rs
+
+examples/advanced_workflows.rs:

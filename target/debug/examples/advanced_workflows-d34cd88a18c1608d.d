@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/advanced_workflows-d34cd88a18c1608d.d: examples/advanced_workflows.rs
+
+/root/repo/target/debug/examples/advanced_workflows-d34cd88a18c1608d: examples/advanced_workflows.rs
+
+examples/advanced_workflows.rs:

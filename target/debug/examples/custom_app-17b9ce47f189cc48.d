@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_app-17b9ce47f189cc48.d: examples/custom_app.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_app-17b9ce47f189cc48.rmeta: examples/custom_app.rs Cargo.toml
+
+examples/custom_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_app-60ae13569ae313ce.d: examples/custom_app.rs
+
+/root/repo/target/debug/examples/custom_app-60ae13569ae313ce: examples/custom_app.rs
+
+examples/custom_app.rs:

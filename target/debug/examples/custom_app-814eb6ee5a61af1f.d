@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_app-814eb6ee5a61af1f.d: examples/custom_app.rs
+
+/root/repo/target/debug/examples/custom_app-814eb6ee5a61af1f: examples/custom_app.rs
+
+examples/custom_app.rs:

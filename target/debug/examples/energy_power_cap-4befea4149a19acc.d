@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_power_cap-4befea4149a19acc.d: examples/energy_power_cap.rs
+
+/root/repo/target/debug/examples/energy_power_cap-4befea4149a19acc: examples/energy_power_cap.rs
+
+examples/energy_power_cap.rs:

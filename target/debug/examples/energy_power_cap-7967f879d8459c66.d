@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_power_cap-7967f879d8459c66.d: examples/energy_power_cap.rs
+
+/root/repo/target/debug/examples/energy_power_cap-7967f879d8459c66: examples/energy_power_cap.rs
+
+examples/energy_power_cap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_power_cap-7e69c34be0cad734.d: examples/energy_power_cap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_power_cap-7e69c34be0cad734.rmeta: examples/energy_power_cap.rs Cargo.toml
+
+examples/energy_power_cap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/importance_analysis-1918f38440134ac9.d: examples/importance_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimportance_analysis-1918f38440134ac9.rmeta: examples/importance_analysis.rs Cargo.toml
+
+examples/importance_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/importance_analysis-a6cb4a9011822bb0.d: examples/importance_analysis.rs
+
+/root/repo/target/debug/examples/importance_analysis-a6cb4a9011822bb0: examples/importance_analysis.rs
+
+examples/importance_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/importance_analysis-c580d14c25134c3d.d: examples/importance_analysis.rs
+
+/root/repo/target/debug/examples/importance_analysis-c580d14c25134c3d: examples/importance_analysis.rs
+
+examples/importance_analysis.rs:

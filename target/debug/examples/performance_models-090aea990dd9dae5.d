@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_models-090aea990dd9dae5.d: examples/performance_models.rs
+
+/root/repo/target/debug/examples/performance_models-090aea990dd9dae5: examples/performance_models.rs
+
+examples/performance_models.rs:

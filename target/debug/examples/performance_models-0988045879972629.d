@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_models-0988045879972629.d: examples/performance_models.rs
+
+/root/repo/target/debug/examples/performance_models-0988045879972629: examples/performance_models.rs
+
+examples/performance_models.rs:

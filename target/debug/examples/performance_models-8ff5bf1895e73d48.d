@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/performance_models-8ff5bf1895e73d48.d: examples/performance_models.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperformance_models-8ff5bf1895e73d48.rmeta: examples/performance_models.rs Cargo.toml
+
+examples/performance_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ade85db165d46a3c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ade85db165d46a3c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-db84723f3f495ab2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-db84723f3f495ab2: examples/quickstart.rs
+
+examples/quickstart.rs:

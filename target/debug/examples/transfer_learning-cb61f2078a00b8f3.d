@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transfer_learning-cb61f2078a00b8f3.d: examples/transfer_learning.rs
+
+/root/repo/target/debug/examples/transfer_learning-cb61f2078a00b8f3: examples/transfer_learning.rs
+
+examples/transfer_learning.rs:

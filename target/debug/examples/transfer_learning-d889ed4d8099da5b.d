@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transfer_learning-d889ed4d8099da5b.d: examples/transfer_learning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransfer_learning-d889ed4d8099da5b.rmeta: examples/transfer_learning.rs Cargo.toml
+
+examples/transfer_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transfer_learning-f48d08848c5fe224.d: examples/transfer_learning.rs
+
+/root/repo/target/debug/examples/transfer_learning-f48d08848c5fe224: examples/transfer_learning.rs
+
+examples/transfer_learning.rs:

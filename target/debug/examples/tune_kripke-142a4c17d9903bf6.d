@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_kripke-142a4c17d9903bf6.d: examples/tune_kripke.rs
+
+/root/repo/target/debug/examples/tune_kripke-142a4c17d9903bf6: examples/tune_kripke.rs
+
+examples/tune_kripke.rs:

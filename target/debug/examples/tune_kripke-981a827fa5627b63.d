@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_kripke-981a827fa5627b63.d: examples/tune_kripke.rs
+
+/root/repo/target/debug/examples/tune_kripke-981a827fa5627b63: examples/tune_kripke.rs
+
+examples/tune_kripke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tune_kripke-f0ad9a64340cf98e.d: examples/tune_kripke.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtune_kripke-f0ad9a64340cf98e.rmeta: examples/tune_kripke.rs Cargo.toml
+
+examples/tune_kripke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

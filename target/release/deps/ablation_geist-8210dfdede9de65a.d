@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_geist-8210dfdede9de65a.d: crates/bench/src/bin/ablation_geist.rs
+
+/root/repo/target/release/deps/ablation_geist-8210dfdede9de65a: crates/bench/src/bin/ablation_geist.rs
+
+crates/bench/src/bin/ablation_geist.rs:

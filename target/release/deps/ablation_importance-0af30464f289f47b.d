@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_importance-0af30464f289f47b.d: crates/bench/src/bin/ablation_importance.rs
+
+/root/repo/target/release/deps/ablation_importance-0af30464f289f47b: crates/bench/src/bin/ablation_importance.rs
+
+crates/bench/src/bin/ablation_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_methods-64d04ff3f47a3e1f.d: crates/bench/src/bin/ablation_methods.rs
+
+/root/repo/target/release/deps/ablation_methods-64d04ff3f47a3e1f: crates/bench/src/bin/ablation_methods.rs
+
+crates/bench/src/bin/ablation_methods.rs:

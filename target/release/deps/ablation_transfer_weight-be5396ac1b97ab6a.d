@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transfer_weight-be5396ac1b97ab6a.d: crates/bench/src/bin/ablation_transfer_weight.rs
+
+/root/repo/target/release/deps/ablation_transfer_weight-be5396ac1b97ab6a: crates/bench/src/bin/ablation_transfer_weight.rs
+
+crates/bench/src/bin/ablation_transfer_weight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_selection-6cd43f739299c502.d: crates/bench/src/bin/bench_selection.rs
+
+/root/repo/target/release/deps/bench_selection-6cd43f739299c502: crates/bench/src/bin/bench_selection.rs
+
+crates/bench/src/bin/bench_selection.rs:

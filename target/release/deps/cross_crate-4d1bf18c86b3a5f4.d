@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_crate-4d1bf18c86b3a5f4.d: tests/cross_crate.rs
+
+/root/repo/target/release/deps/cross_crate-4d1bf18c86b3a5f4: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_toy-b6d83efa8d445039.d: crates/bench/src/bin/fig1_toy.rs
+
+/root/repo/target/release/deps/fig1_toy-b6d83efa8d445039: crates/bench/src/bin/fig1_toy.rs
+
+crates/bench/src/bin/fig1_toy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_kripke_exec-81134bff4a94ad86.d: crates/bench/src/bin/fig2_kripke_exec.rs
+
+/root/repo/target/release/deps/fig2_kripke_exec-81134bff4a94ad86: crates/bench/src/bin/fig2_kripke_exec.rs
+
+crates/bench/src/bin/fig2_kripke_exec.rs:

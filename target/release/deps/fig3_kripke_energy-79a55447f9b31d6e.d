@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_kripke_energy-79a55447f9b31d6e.d: crates/bench/src/bin/fig3_kripke_energy.rs
+
+/root/repo/target/release/deps/fig3_kripke_energy-79a55447f9b31d6e: crates/bench/src/bin/fig3_kripke_energy.rs
+
+crates/bench/src/bin/fig3_kripke_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_hypre-69944fb65d667db9.d: crates/bench/src/bin/fig4_hypre.rs
+
+/root/repo/target/release/deps/fig4_hypre-69944fb65d667db9: crates/bench/src/bin/fig4_hypre.rs
+
+crates/bench/src/bin/fig4_hypre.rs:

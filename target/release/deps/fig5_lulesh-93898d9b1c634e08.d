@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_lulesh-93898d9b1c634e08.d: crates/bench/src/bin/fig5_lulesh.rs
+
+/root/repo/target/release/deps/fig5_lulesh-93898d9b1c634e08: crates/bench/src/bin/fig5_lulesh.rs
+
+crates/bench/src/bin/fig5_lulesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_openatom-a4d4945426f8a7a9.d: crates/bench/src/bin/fig6_openatom.rs
+
+/root/repo/target/release/deps/fig6_openatom-a4d4945426f8a7a9: crates/bench/src/bin/fig6_openatom.rs
+
+crates/bench/src/bin/fig6_openatom.rs:

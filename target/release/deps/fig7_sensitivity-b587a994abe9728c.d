@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_sensitivity-b587a994abe9728c.d: crates/bench/src/bin/fig7_sensitivity.rs
+
+/root/repo/target/release/deps/fig7_sensitivity-b587a994abe9728c: crates/bench/src/bin/fig7_sensitivity.rs
+
+crates/bench/src/bin/fig7_sensitivity.rs:

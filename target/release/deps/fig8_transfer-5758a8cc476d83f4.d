@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_transfer-5758a8cc476d83f4.d: crates/bench/src/bin/fig8_transfer.rs
+
+/root/repo/target/release/deps/fig8_transfer-5758a8cc476d83f4: crates/bench/src/bin/fig8_transfer.rs
+
+crates/bench/src/bin/fig8_transfer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hiperbot-0fd1b46eba648a0a.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libhiperbot-0fd1b46eba648a0a.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libhiperbot-0fd1b46eba648a0a.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hiperbot-2a779d335f05ab37.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libhiperbot-2a779d335f05ab37.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libhiperbot-2a779d335f05ab37.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/hiperbot-2f2b8e2c9b5448ff.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/hiperbot-2f2b8e2c9b5448ff: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

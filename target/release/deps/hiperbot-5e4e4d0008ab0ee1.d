@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hiperbot-5e4e4d0008ab0ee1.d: src/bin/hiperbot.rs
+
+/root/repo/target/release/deps/hiperbot-5e4e4d0008ab0ee1: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

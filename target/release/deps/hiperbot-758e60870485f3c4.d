@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hiperbot-758e60870485f3c4.d: src/bin/hiperbot.rs
+
+/root/repo/target/release/deps/hiperbot-758e60870485f3c4: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hiperbot-a9fdb48ab88073cf.d: src/bin/hiperbot.rs
+
+/root/repo/target/release/deps/hiperbot-a9fdb48ab88073cf: src/bin/hiperbot.rs
+
+src/bin/hiperbot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hiperbot_apps-28fc8814631656f1.d: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+/root/repo/target/release/deps/libhiperbot_apps-28fc8814631656f1.rlib: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+/root/repo/target/release/deps/libhiperbot_apps-28fc8814631656f1.rmeta: crates/apps/src/lib.rs crates/apps/src/dataset.rs crates/apps/src/hypre.rs crates/apps/src/kripke.rs crates/apps/src/lulesh.rs crates/apps/src/openatom.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dataset.rs:
+crates/apps/src/hypre.rs:
+crates/apps/src/kripke.rs:
+crates/apps/src/lulesh.rs:
+crates/apps/src/openatom.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hiperbot_baselines-0e10b7c9eb7f1e93.d: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/release/deps/libhiperbot_baselines-0e10b7c9eb7f1e93.rlib: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/release/deps/libhiperbot_baselines-0e10b7c9eb7f1e93.rmeta: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/geist.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/perfnet.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/selector.rs:

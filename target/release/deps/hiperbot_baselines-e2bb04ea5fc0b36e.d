@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hiperbot_baselines-e2bb04ea5fc0b36e.d: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/release/deps/libhiperbot_baselines-e2bb04ea5fc0b36e.rlib: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+/root/repo/target/release/deps/libhiperbot_baselines-e2bb04ea5fc0b36e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/geist.rs crates/baselines/src/gp.rs crates/baselines/src/perfnet.rs crates/baselines/src/random.rs crates/baselines/src/selector.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/geist.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/perfnet.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/selector.rs:

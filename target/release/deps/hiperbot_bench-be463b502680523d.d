@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hiperbot_bench-be463b502680523d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhiperbot_bench-be463b502680523d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhiperbot_bench-be463b502680523d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

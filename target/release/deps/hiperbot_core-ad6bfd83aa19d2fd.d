@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hiperbot_core-ad6bfd83aa19d2fd.d: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libhiperbot_core-ad6bfd83aa19d2fd.rlib: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libhiperbot_core-ad6bfd83aa19d2fd.rmeta: crates/core/src/lib.rs crates/core/src/history.rs crates/core/src/importance.rs crates/core/src/selection.rs crates/core/src/stopping.rs crates/core/src/surrogate.rs crates/core/src/transfer.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/history.rs:
+crates/core/src/importance.rs:
+crates/core/src/selection.rs:
+crates/core/src/stopping.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/transfer.rs:
+crates/core/src/tuner.rs:

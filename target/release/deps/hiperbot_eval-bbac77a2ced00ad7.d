@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hiperbot_eval-bbac77a2ced00ad7.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+/root/repo/target/release/deps/libhiperbot_eval-bbac77a2ced00ad7.rlib: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+/root/repo/target/release/deps/libhiperbot_eval-bbac77a2ced00ad7.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/config_selection.rs crates/eval/src/experiments/fig1.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig8.rs crates/eval/src/experiments/table1.rs crates/eval/src/metrics.rs crates/eval/src/plot.rs crates/eval/src/report.rs crates/eval/src/runner.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/config_selection.rs:
+crates/eval/src/experiments/fig1.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig8.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/plot.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hiperbot_nn-30175e78b7a81ea6.d: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libhiperbot_nn-30175e78b7a81ea6.rlib: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libhiperbot_nn-30175e78b7a81ea6.rmeta: crates/nn/src/lib.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

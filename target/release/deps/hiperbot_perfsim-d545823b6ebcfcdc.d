@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hiperbot_perfsim-d545823b6ebcfcdc.d: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+/root/repo/target/release/deps/libhiperbot_perfsim-d545823b6ebcfcdc.rlib: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+/root/repo/target/release/deps/libhiperbot_perfsim-d545823b6ebcfcdc.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/comm.rs crates/perfsim/src/machine.rs crates/perfsim/src/memory.rs crates/perfsim/src/noise.rs crates/perfsim/src/omp.rs crates/perfsim/src/power.rs crates/perfsim/src/roofline.rs crates/perfsim/src/topology.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/comm.rs:
+crates/perfsim/src/machine.rs:
+crates/perfsim/src/memory.rs:
+crates/perfsim/src/noise.rs:
+crates/perfsim/src/omp.rs:
+crates/perfsim/src/power.rs:
+crates/perfsim/src/roofline.rs:
+crates/perfsim/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hiperbot_space-10d2e16253bdd68d.d: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+/root/repo/target/release/deps/libhiperbot_space-10d2e16253bdd68d.rlib: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+/root/repo/target/release/deps/libhiperbot_space-10d2e16253bdd68d.rmeta: crates/space/src/lib.rs crates/space/src/config.rs crates/space/src/encoding.rs crates/space/src/param.rs crates/space/src/pool.rs crates/space/src/sampling.rs crates/space/src/space.rs
+
+crates/space/src/lib.rs:
+crates/space/src/config.rs:
+crates/space/src/encoding.rs:
+crates/space/src/param.rs:
+crates/space/src/pool.rs:
+crates/space/src/sampling.rs:
+crates/space/src/space.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hiperbot_stats-43dbfdff13fc2f24.d: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libhiperbot_stats-43dbfdff13fc2f24.rlib: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libhiperbot_stats-43dbfdff13fc2f24.rmeta: crates/stats/src/lib.rs crates/stats/src/correlation.rs crates/stats/src/divergence.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/linalg.rs crates/stats/src/quantile.rs crates/stats/src/rng.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/divergence.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/linalg.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:

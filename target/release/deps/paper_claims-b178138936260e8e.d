@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b178138936260e8e.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b178138936260e8e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

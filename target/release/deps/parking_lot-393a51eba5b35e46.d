@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-393a51eba5b35e46.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-393a51eba5b35e46.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-393a51eba5b35e46.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d01e49c161a2d97f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d01e49c161a2d97f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d01e49c161a2d97f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

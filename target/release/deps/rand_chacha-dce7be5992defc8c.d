@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-dce7be5992defc8c.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-dce7be5992defc8c.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-dce7be5992defc8c.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-61289dc91e2335b7.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-61289dc91e2335b7.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-61289dc91e2335b7.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-bf8d3923f7a25c4c.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-bf8d3923f7a25c4c.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-bf8d3923f7a25c4c.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

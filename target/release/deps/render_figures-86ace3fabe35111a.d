@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/render_figures-86ace3fabe35111a.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/release/deps/render_figures-86ace3fabe35111a: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

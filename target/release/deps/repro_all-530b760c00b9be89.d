@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-530b760c00b9be89.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-530b760c00b9be89: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rustc_hash-f121772396b31333.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-f121772396b31333.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-f121772396b31333.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

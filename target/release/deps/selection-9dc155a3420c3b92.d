@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/selection-9dc155a3420c3b92.d: crates/bench/benches/selection.rs
+
+/root/repo/target/release/deps/selection-9dc155a3420c3b92: crates/bench/benches/selection.rs
+
+crates/bench/benches/selection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d82e8515a81f0b66.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d82e8515a81f0b66.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d82e8515a81f0b66.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-714147caacb5908f.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-714147caacb5908f.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c089529197362e1d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c089529197362e1d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c089529197362e1d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

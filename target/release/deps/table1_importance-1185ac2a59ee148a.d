@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_importance-1185ac2a59ee148a.d: crates/bench/src/bin/table1_importance.rs
+
+/root/repo/target/release/deps/table1_importance-1185ac2a59ee148a: crates/bench/src/bin/table1_importance.rs
+
+crates/bench/src/bin/table1_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/advanced_workflows-1519842297252a97.d: examples/advanced_workflows.rs
+
+/root/repo/target/release/examples/advanced_workflows-1519842297252a97: examples/advanced_workflows.rs
+
+examples/advanced_workflows.rs:

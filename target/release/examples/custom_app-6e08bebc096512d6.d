@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_app-6e08bebc096512d6.d: examples/custom_app.rs
+
+/root/repo/target/release/examples/custom_app-6e08bebc096512d6: examples/custom_app.rs
+
+examples/custom_app.rs:

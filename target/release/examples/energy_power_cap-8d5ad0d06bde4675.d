@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/energy_power_cap-8d5ad0d06bde4675.d: examples/energy_power_cap.rs
+
+/root/repo/target/release/examples/energy_power_cap-8d5ad0d06bde4675: examples/energy_power_cap.rs
+
+examples/energy_power_cap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/importance_analysis-1511255eba9e39ba.d: examples/importance_analysis.rs
+
+/root/repo/target/release/examples/importance_analysis-1511255eba9e39ba: examples/importance_analysis.rs
+
+examples/importance_analysis.rs:

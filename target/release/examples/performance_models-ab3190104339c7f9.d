@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/performance_models-ab3190104339c7f9.d: examples/performance_models.rs
+
+/root/repo/target/release/examples/performance_models-ab3190104339c7f9: examples/performance_models.rs
+
+examples/performance_models.rs:

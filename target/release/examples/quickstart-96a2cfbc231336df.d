@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-96a2cfbc231336df.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-96a2cfbc231336df: examples/quickstart.rs
+
+examples/quickstart.rs:

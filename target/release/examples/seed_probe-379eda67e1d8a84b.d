@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_probe-379eda67e1d8a84b.d: examples/seed_probe.rs
+
+/root/repo/target/release/examples/seed_probe-379eda67e1d8a84b: examples/seed_probe.rs
+
+examples/seed_probe.rs:

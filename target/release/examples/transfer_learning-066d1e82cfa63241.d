@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transfer_learning-066d1e82cfa63241.d: examples/transfer_learning.rs
+
+/root/repo/target/release/examples/transfer_learning-066d1e82cfa63241: examples/transfer_learning.rs
+
+examples/transfer_learning.rs:

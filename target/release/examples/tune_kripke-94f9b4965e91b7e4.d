@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tune_kripke-94f9b4965e91b7e4.d: examples/tune_kripke.rs
+
+/root/repo/target/release/examples/tune_kripke-94f9b4965e91b7e4: examples/tune_kripke.rs
+
+examples/tune_kripke.rs:
