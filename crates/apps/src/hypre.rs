@@ -103,7 +103,9 @@ pub fn transfer_space() -> ParameterSpace {
     b = b
         .param(ParamDef::new("Coarsen", Domain::categorical(&COARSENINGS)))
         .param(ParamDef::new("Interp", Domain::categorical(&INTERPS)));
-    core_constraint(b).build().expect("valid hypre transfer space")
+    core_constraint(b)
+        .build()
+        .expect("valid hypre transfer space")
 }
 
 /// Per-V-cycle convergence factor (smaller is faster) before solver/cycle
@@ -201,7 +203,11 @@ fn model_impl(cfg: &Configuration, space: &ParameterSpace, scale: Scale, extende
     // analysis puts Ranks first on this benchmark.
     let comm = 0.030 * ranks_total.log2() / cores.sqrt()
         + 0.0009 * ranks_total.sqrt()
-        + if solver != 0 { 0.002 * ranks_total.log2() } else { 0.0 };
+        + if solver != 0 {
+            0.002 * ranks_total.log2()
+        } else {
+            0.0
+        };
 
     let mut extra = 1.0;
     if extended {
@@ -233,11 +239,7 @@ fn model_impl(cfg: &Configuration, space: &ParameterSpace, scale: Scale, extende
     let per_iter = (cycle_cost * compute * smoother_scaling + comm) * iter_cost;
     let setup = 0.9 * compute + 0.004 * ranks_total.log2();
 
-    TIME_SCALE
-        * scale.problem_factor().powf(0.4)
-        * 36.0
-        * extra
-        * (setup + iters * per_iter)
+    TIME_SCALE * scale.problem_factor().powf(0.4) * 36.0 * extra * (setup + iters * per_iter)
 }
 
 /// Generates the configuration-selection dataset (paper Fig. 4).

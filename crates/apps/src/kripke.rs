@@ -102,11 +102,14 @@ fn add_constraints(b: hiperbot_space::SpaceBuilder) -> hiperbot_space::SpaceBuil
             * c.numeric_value(param::OMP, &d[param::OMP]);
         (9.0..=36.0).contains(&cores)
     })
-    .constraint("4 <= gset*dset <= 128 (pipeline depth measurable)", |c, d| {
-        let stages = c.numeric_value(param::GSET, &d[param::GSET])
-            * c.numeric_value(param::DSET, &d[param::DSET]);
-        (4.0..=128.0).contains(&stages)
-    })
+    .constraint(
+        "4 <= gset*dset <= 128 (pipeline depth measurable)",
+        |c, d| {
+            let stages = c.numeric_value(param::GSET, &d[param::GSET])
+                * c.numeric_value(param::DSET, &d[param::DSET]);
+            (4.0..=128.0).contains(&stages)
+        },
+    )
 }
 
 /// The execution-time parameter space (paper: 1609 measured configs; this
@@ -128,7 +131,9 @@ pub fn energy_space() -> ParameterSpace {
     }
     let caps: Vec<i64> = (0..11).map(|i| 65 + 15 * i).collect(); // 65..215 W
     b = b.param(ParamDef::new("PKG_LIMIT", Domain::discrete_ints(&caps)));
-    add_constraints(b).build().expect("valid kripke energy space")
+    add_constraints(b)
+        .build()
+        .expect("valid kripke energy space")
 }
 
 fn nesting_of(cfg: &Configuration) -> Nesting {
@@ -171,8 +176,7 @@ pub fn exec_model(cfg: &Configuration, space: &ParameterSpace, scale: Scale) -> 
     // (The asymmetry is what gives Gset and Dset distinct importance
     // marginals, as in the paper's Table I.)
     let set_overhead = 1.0 + SET_OVERHEAD * (0.25 * gset + 3.0 * dset);
-    let t_pipelined =
-        t_work * (SWEEP_FRACTION / sweep_eff + (1.0 - SWEEP_FRACTION)) * set_overhead;
+    let t_pipelined = t_work * (SWEEP_FRACTION / sweep_eff + (1.0 - SWEEP_FRACTION)) * set_overhead;
 
     // Synchronization and communication overheads.
     let t_sync = OMP_SYNC_COST * omp.log2().max(0.0) / cores;
@@ -195,8 +199,7 @@ pub fn energy_model(cfg: &Configuration, space: &ParameterSpace, scale: Scale) -
     // on memory and barely notice the clock.
     let gset = cfg.numeric_value(param::GSET, &defs[param::GSET]);
     let dset = cfg.numeric_value(param::DSET, &defs[param::DSET]);
-    let zones_rank =
-        ((ZONES_PER_NODE as f64 * scale.problem_factor()) / ranks).max(1.0) as usize;
+    let zones_rank = ((ZONES_PER_NODE as f64 * scale.problem_factor()) / ranks).max(1.0) as usize;
     let dims = LayoutDims {
         directions: (DIRECTIONS_TOTAL as f64 / dset) as usize,
         groups: (GROUPS_TOTAL as f64 / gset) as usize,
@@ -358,7 +361,9 @@ mod tests {
     #[test]
     fn energy_has_interior_cap_optimum_for_some_config() {
         let s = energy_space();
-        let caps = ["65", "80", "95", "110", "125", "140", "155", "170", "185", "200", "215"];
+        let caps = [
+            "65", "80", "95", "110", "125", "140", "155", "170", "185", "200", "215",
+        ];
         let energies: Vec<f64> = caps
             .iter()
             .map(|c| {

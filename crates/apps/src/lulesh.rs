@@ -65,7 +65,10 @@ pub fn space() -> ParameterSpace {
         .param(ParamDef::new("unroll", Domain::categorical(&UNROLLS)))
         .param(ParamDef::new("noipo", Domain::categorical(&ONOFF)))
         .param(ParamDef::new("strategy", Domain::categorical(&STRATEGIES)))
-        .param(ParamDef::new("functions", Domain::categorical(&FUNCTIONS_OPTS)))
+        .param(ParamDef::new(
+            "functions",
+            Domain::categorical(&FUNCTIONS_OPTS),
+        ))
         .build()
         .expect("valid lulesh space")
 }
@@ -248,6 +251,10 @@ mod tests {
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let close = times.iter().filter(|&&t| t <= 1.2 * best).count();
         let frac = close as f64 / times.len() as f64;
-        assert!(frac < 0.05, "{:.1}% of configs within 20% of best", frac * 100.0);
+        assert!(
+            frac < 0.05,
+            "{:.1}% of configs within 20% of best",
+            frac * 100.0
+        );
     }
 }

@@ -67,7 +67,10 @@ pub fn space() -> ParameterSpace {
         .param(ParamDef::new("rhoratio", Domain::discrete_ints(&[1, 2, 4])))
         .param(ParamDef::new("rhohx", Domain::discrete_ints(&[1, 2])))
         .param(ParamDef::new("rhohy", Domain::discrete_ints(&[1, 2])))
-        .param(ParamDef::new("ortho", Domain::categorical(&["sym", "asym"])))
+        .param(ParamDef::new(
+            "ortho",
+            Domain::categorical(&["sym", "asym"]),
+        ))
         .build()
         .expect("valid openatom space")
 }

@@ -4,10 +4,7 @@
 use hiperbot_apps::{kripke, Scale};
 use hiperbot_space::Configuration;
 
-fn best_by<F: Fn(&Configuration) -> bool>(
-    space: &hiperbot_space::ParameterSpace,
-    pred: F,
-) -> f64 {
+fn best_by<F: Fn(&Configuration) -> bool>(space: &hiperbot_space::ParameterSpace, pred: F) -> f64 {
     space
         .enumerate()
         .iter()
@@ -25,14 +22,14 @@ fn nesting_and_gset_interact() {
     let s = kripke::exec_space();
     let defs = s.params();
     let nesting_idx = |c: &Configuration| c.value(kripke::param::NESTING).index();
-    let gset_val = |c: &Configuration| c.numeric_value(kripke::param::GSET, &defs[kripke::param::GSET]);
+    let gset_val =
+        |c: &Configuration| c.numeric_value(kripke::param::GSET, &defs[kripke::param::GSET]);
 
     // DZG (groups innermost) vs DGZ (zones innermost)
     let dzg = 1usize; // Nesting::ALL order: DGZ, DZG, ...
     let dgz = 0usize;
-    let at = |nest: usize, gset: f64| {
-        best_by(&s, |c| nesting_idx(c) == nest && gset_val(c) == gset)
-    };
+    let at =
+        |nest: usize, gset: f64| best_by(&s, |c| nesting_idx(c) == nest && gset_val(c) == gset);
     // With gset = 1 (32 groups per set) DZG is competitive…
     let gap_low_gset = at(dzg, 1.0) / at(dgz, 1.0);
     // …with gset = 32 (1 group per set) it collapses.
@@ -102,14 +99,16 @@ fn exec_and_energy_models_agree_on_time() {
     let es = kripke::energy_space();
     let xs = kripke::exec_space();
     for cfg in es.enumerate().iter().step_by(997) {
-        let cap = cfg.numeric_value(kripke::param::PKG_LIMIT, &es.params()[kripke::param::PKG_LIMIT]);
+        let cap = cfg.numeric_value(
+            kripke::param::PKG_LIMIT,
+            &es.params()[kripke::param::PKG_LIMIT],
+        );
         if cap < 215.0 {
             continue; // only the uncapped level matches nominal time
         }
         let (t_energy, _) = kripke::energy_model(cfg, &es, Scale::Target);
-        let exec_cfg = Configuration::from_indices(
-            &(0..5).map(|i| cfg.value(i).index()).collect::<Vec<_>>(),
-        );
+        let exec_cfg =
+            Configuration::from_indices(&(0..5).map(|i| cfg.value(i).index()).collect::<Vec<_>>());
         let t_exec = kripke::exec_model(&exec_cfg, &xs, Scale::Target);
         // The 215 W cap still sits slightly below nominal frequency
         // (headroom^(1/3) ≈ 0.95), so the capped run is a few percent

@@ -68,7 +68,12 @@ fn source_and_target_scales_correlate_for_every_transfer_pair() {
         let r = pearson(&x, &y);
         assert!(r > 0.7, "{}→{}: correlation {r:.3}", src.name(), tgt.name());
         // …but not identical: there must be something left to learn.
-        assert!(r < 0.999_99, "{}→{}: suspiciously perfect", src.name(), tgt.name());
+        assert!(
+            r < 0.999_99,
+            "{}→{}: suspiciously perfect",
+            src.name(),
+            tgt.name()
+        );
     }
 }
 
@@ -97,8 +102,16 @@ fn source_scale_runs_are_cheaper() {
 fn paper_cardinalities_are_within_fifteen_percent() {
     // DESIGN.md §7: exact counts where clean, within ~15% otherwise.
     let cases: [(usize, usize, &str); 6] = [
-        (kripke::exec_dataset(Scale::Target).len(), 1609, "kripke-exec"),
-        (kripke::energy_dataset(Scale::Target).len(), 17_815, "kripke-energy"),
+        (
+            kripke::exec_dataset(Scale::Target).len(),
+            1609,
+            "kripke-exec",
+        ),
+        (
+            kripke::energy_dataset(Scale::Target).len(),
+            17_815,
+            "kripke-energy",
+        ),
         (hypre::dataset(Scale::Target).len(), 4589, "hypre"),
         (lulesh::dataset(Scale::Target).len(), 4800, "lulesh"),
         (openatom::dataset(Scale::Target).len(), 8928, "openatom"),

@@ -19,6 +19,7 @@
 //! for unevaluated ones — and `β` modulates neighbor influence.
 
 use crate::selector::{ConfigSelector, SelectionRun};
+use hiperbot_obs::{Event, NoopRecorder, Recorder, SpanTimer};
 use hiperbot_space::pool::PoolEncoding;
 use hiperbot_space::{Configuration, ParameterSpace};
 use hiperbot_stats::quantile::quantile;
@@ -31,7 +32,6 @@ use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
 /// GEIST hyperparameters.
-#[derive(Debug)]
 pub struct GeistSelector {
     /// Bootstrap sample count (kept equal to HiPerBOt's for fairness).
     pub init_samples: usize,
@@ -48,6 +48,20 @@ pub struct GeistSelector {
     /// graph and the flattened encoding once per dataset rather than once
     /// per repetition.
     graph_cache: Mutex<Option<GraphCacheEntry>>,
+    /// Trace sink for per-round propagation events (default: disabled).
+    pub recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for GeistSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeistSelector")
+            .field("init_samples", &self.init_samples)
+            .field("batch_size", &self.batch_size)
+            .field("alpha", &self.alpha)
+            .field("beta", &self.beta)
+            .field("propagation_iters", &self.propagation_iters)
+            .finish()
+    }
 }
 
 /// One cached per-pool artifact set. The encoding is `None` for pools the
@@ -70,6 +84,7 @@ impl Default for GeistSelector {
             beta: 0.1,
             propagation_iters: 30,
             graph_cache: Mutex::new(None),
+            recorder: Arc::new(NoopRecorder),
         }
     }
 }
@@ -88,6 +103,12 @@ impl GeistSelector {
         self.batch_size = batch;
         self
     }
+
+    /// Attaches a trace recorder for propagation-round events.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
 }
 
 impl Clone for GeistSelector {
@@ -99,6 +120,7 @@ impl Clone for GeistSelector {
             beta: self.beta,
             propagation_iters: self.propagation_iters,
             graph_cache: Mutex::new(self.graph_cache.lock().clone()),
+            recorder: Arc::clone(&self.recorder),
         }
     }
 }
@@ -154,9 +176,7 @@ impl ConfigGraph {
             .iter()
             .map(|p| p.domain().cardinality().map(|c| c as u64))
             .collect::<Option<_>>()?;
-        cards
-            .iter()
-            .try_fold(1u64, |acc, &c| acc.checked_mul(c))?;
+        cards.iter().try_fold(1u64, |acc, &c| acc.checked_mul(c))?;
         fn key_of(values: impl Iterator<Item = usize>, cards: &[u64]) -> u64 {
             values
                 .zip(cards)
@@ -224,8 +244,8 @@ impl GeistSelector {
     fn propagate(
         &self,
         graph: &ConfigGraph,
-        prior: &[f64],     // b_v per node
-        labeled: &[bool],  // which nodes hold real labels
+        prior: &[f64],    // b_v per node
+        labeled: &[bool], // which nodes hold real labels
     ) -> Vec<f64> {
         let n = graph.neighbors.len();
         let mut f: Vec<f64> = prior.to_vec();
@@ -238,8 +258,7 @@ impl GeistSelector {
                     let base = ci * PROPAGATE_CHUNK;
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         let v = base + off;
-                        let acc: f64 =
-                            graph.neighbors[v].iter().map(|&u| f_cur[u as usize]).sum();
+                        let acc: f64 = graph.neighbors[v].iter().map(|&u| f_cur[u as usize]).sum();
                         *slot = (prior[v] + self.beta * acc)
                             / (1.0 + self.beta * graph.degree(v) as f64);
                     }
@@ -311,9 +330,13 @@ impl ConfigSelector for GeistSelector {
             order.push(v);
         }
 
+        let mut round: u64 = 0;
         while order.len() < budget {
             // Label threshold from observations so far.
-            let values: Vec<f64> = order.iter().map(|&v| observed[v as usize].unwrap()).collect();
+            let values: Vec<f64> = order
+                .iter()
+                .map(|&v| observed[v as usize].unwrap())
+                .collect();
             let threshold = quantile(&values, self.alpha).expect("non-empty");
 
             // Priors: labels for evaluated nodes, 0.5 elsewhere.
@@ -325,7 +348,17 @@ impl ConfigSelector for GeistSelector {
                 labeled[v as usize] = true;
             }
 
+            let timer = SpanTimer::start(self.recorder.enabled());
             let scores = self.propagate(graph, &prior, &labeled);
+            if let Some(elapsed_ns) = timer.elapsed_ns() {
+                self.recorder.record(&Event::PropagationRound {
+                    round,
+                    labeled: order.len() as u64,
+                    pool: n as u64,
+                    elapsed_ns,
+                });
+            }
+            round += 1;
 
             // Top unlabeled nodes by score; random tie-breaking via a
             // pre-shuffled candidate order.
@@ -352,7 +385,10 @@ impl ConfigSelector for GeistSelector {
 
         SelectionRun {
             configs: order.iter().map(|&v| pool[v as usize].clone()).collect(),
-            objectives: order.iter().map(|&v| observed[v as usize].unwrap()).collect(),
+            objectives: order
+                .iter()
+                .map(|&v| observed[v as usize].unwrap())
+                .collect(),
         }
     }
 }
@@ -404,8 +440,14 @@ mod tests {
         let mut prior = vec![0.5; n];
         let mut labeled = vec![false; n];
         // Label node (7,3) optimal and (0,0) non-optimal.
-        let best = pool.iter().position(|c| c.value(0).index() == 7 && c.value(1).index() == 3).unwrap();
-        let worst = pool.iter().position(|c| c.value(0).index() == 0 && c.value(1).index() == 0).unwrap();
+        let best = pool
+            .iter()
+            .position(|c| c.value(0).index() == 7 && c.value(1).index() == 3)
+            .unwrap();
+        let worst = pool
+            .iter()
+            .position(|c| c.value(0).index() == 0 && c.value(1).index() == 0)
+            .unwrap();
         prior[best] = 1.0;
         labeled[best] = true;
         prior[worst] = 0.0;
@@ -413,8 +455,14 @@ mod tests {
         let scores = geist.propagate(&g, &prior, &labeled);
         // A neighbor of the optimal node should outscore a neighbor of the
         // non-optimal node.
-        let near_best = pool.iter().position(|c| c.value(0).index() == 7 && c.value(1).index() == 4).unwrap();
-        let near_worst = pool.iter().position(|c| c.value(0).index() == 0 && c.value(1).index() == 1).unwrap();
+        let near_best = pool
+            .iter()
+            .position(|c| c.value(0).index() == 7 && c.value(1).index() == 4)
+            .unwrap();
+        let near_worst = pool
+            .iter()
+            .position(|c| c.value(0).index() == 0 && c.value(1).index() == 1)
+            .unwrap();
         assert!(scores[near_best] > scores[near_worst]);
     }
 
@@ -518,7 +566,8 @@ mod tests {
             .build()
             .unwrap();
         let pool = s.enumerate();
-        let run = GeistSelector::default().select(&s, &pool, &|c| c.value(0).index() as f64, 100, 3);
+        let run =
+            GeistSelector::default().select(&s, &pool, &|c| c.value(0).index() as f64, 100, 3);
         assert_eq!(run.len(), 5);
     }
 }

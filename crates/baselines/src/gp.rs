@@ -115,10 +115,7 @@ impl FittedGp {
         let mu_z: f64 = kstar.iter().zip(&self.alpha).map(|(&k, &a)| k * a).sum();
         let v = self.chol.solve_lower_triangular(&kstar);
         let var_z = (1.0 + self.noise2 - v.iter().map(|a| a * a).sum::<f64>()).max(1e-12);
-        (
-            self.y_mean + self.y_std * mu_z,
-            self.y_std * var_z.sqrt(),
-        )
+        (self.y_mean + self.y_std * mu_z, self.y_std * var_z.sqrt())
     }
 }
 
@@ -177,22 +174,18 @@ impl ConfigSelector for GpEiSelector {
             let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
 
             // Candidate subsample of the unseen pool.
-            let mut candidates: Vec<usize> =
-                (0..pool.len()).filter(|&v| !evaluated[v]).collect();
+            let mut candidates: Vec<usize> = (0..pool.len()).filter(|&v| !evaluated[v]).collect();
             if candidates.len() > self.candidate_cap {
                 candidates.shuffle(&mut rng);
                 candidates.truncate(self.candidate_cap);
             }
-            let pick = candidates
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    let (ma, sa) = gp.predict(&encoder.encode(&pool[a]));
-                    let (mb, sb) = gp.predict(&encoder.encode(&pool[b]));
-                    expected_improvement(ma, sa, best)
-                        .partial_cmp(&expected_improvement(mb, sb, best))
-                        .expect("finite EI")
-                });
+            let pick = candidates.iter().copied().max_by(|&a, &b| {
+                let (ma, sa) = gp.predict(&encoder.encode(&pool[a]));
+                let (mb, sb) = gp.predict(&encoder.encode(&pool[b]));
+                expected_improvement(ma, sa, best)
+                    .partial_cmp(&expected_improvement(mb, sb, best))
+                    .expect("finite EI")
+            });
             let Some(v) = pick else { break };
             let y = objective(&pool[v]);
             evaluated[v] = true;

@@ -121,8 +121,7 @@ impl PerfNet {
         );
 
         // --- Phase 2: random target probes + fine-tuning. ---
-        let n_random = ((budget as f64 * self.options.random_fraction) as usize)
-            .clamp(1, budget);
+        let n_random = ((budget as f64 * self.options.random_fraction) as usize).clamp(1, budget);
         let mut all: Vec<usize> = (0..pool.len()).collect();
         all.shuffle(&mut rng);
         let mut evaluated = vec![false; pool.len()];
@@ -159,8 +158,7 @@ impl PerfNet {
                 .filter(|&v| !evaluated[v])
                 .map(|v| (net.predict_scalar(&encoder.encode(&pool[v])), v))
                 .collect();
-            predictions
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+            predictions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
             for &(_, v) in predictions.iter().take(n_picks) {
                 evaluated[v] = true;
                 order.push(v);
@@ -239,8 +237,7 @@ mod tests {
         // landscape they should average far better than the space's mean.
         let picks = &run.objectives[15..];
         let pick_mean: f64 = picks.iter().sum::<f64>() / picks.len() as f64;
-        let space_mean: f64 =
-            pool.iter().map(target).sum::<f64>() / pool.len() as f64;
+        let space_mean: f64 = pool.iter().map(target).sum::<f64>() / pool.len() as f64;
         assert!(
             pick_mean < 0.5 * space_mean,
             "model picks mean {pick_mean:.2} vs space mean {space_mean:.2}"

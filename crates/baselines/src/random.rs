@@ -45,7 +45,10 @@ mod tests {
 
     fn space() -> ParameterSpace {
         ParameterSpace::builder()
-            .param(ParamDef::new("a", Domain::discrete_ints(&(0..25).collect::<Vec<_>>())))
+            .param(ParamDef::new(
+                "a",
+                Domain::discrete_ints(&(0..25).collect::<Vec<_>>()),
+            ))
             .build()
             .unwrap()
     }

@@ -1,7 +1,10 @@
 //! The common interface the evaluation harness drives all methods through.
 
 use hiperbot_core::{SelectionStrategy, Tuner, TunerOptions};
+use hiperbot_obs::{Event, NoopRecorder, Recorder, SpanTimer};
 use hiperbot_space::{Configuration, ParameterSpace};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A method's evaluation trace: configurations in the order they were
 /// evaluated, with their objective values. Prefixes of this trace are the
@@ -53,12 +56,23 @@ pub trait ConfigSelector: Sync {
 }
 
 /// HiPerBOt wrapped as a [`ConfigSelector`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HiPerBOtSelector {
     /// Bootstrap sample count (paper: 20).
     pub init_samples: usize,
     /// Quantile threshold (paper: 0.20).
     pub alpha: f64,
+    /// Trace sink handed to each inner [`Tuner`] (default: disabled).
+    pub recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for HiPerBOtSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HiPerBOtSelector")
+            .field("init_samples", &self.init_samples)
+            .field("alpha", &self.alpha)
+            .finish()
+    }
 }
 
 impl Default for HiPerBOtSelector {
@@ -66,7 +80,16 @@ impl Default for HiPerBOtSelector {
         Self {
             init_samples: 20,
             alpha: 0.20,
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+}
+
+impl HiPerBOtSelector {
+    /// Attaches a trace recorder forwarded to each inner tuner run.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -88,12 +111,79 @@ impl ConfigSelector for HiPerBOtSelector {
             .with_init_samples(self.init_samples)
             .with_alpha(self.alpha)
             .with_strategy(SelectionStrategy::Ranking);
-        let mut tuner = Tuner::new(space.clone(), options);
+        let mut tuner =
+            Tuner::new(space.clone(), options).with_recorder(Arc::clone(&self.recorder));
         tuner.run(budget, |c| objective(c));
         SelectionRun {
             configs: tuner.history().configs().to_vec(),
             objectives: tuner.history().objectives().to_vec(),
         }
+    }
+}
+
+/// Wraps any [`ConfigSelector`] with tracing: each `select` call emits one
+/// [`Event::ObjectiveEvaluated`] per objective call (numbered in evaluation
+/// order) and a closing [`Event::SelectorRun`]. This instruments selectors
+/// that have no tracing hooks of their own — `RandomSelector`, `GpEiSelector`
+/// — from the outside, without touching the wrapped method's behavior: the
+/// objective values and RNG stream pass through untouched.
+pub struct TracedSelector<S> {
+    inner: S,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl<S: ConfigSelector> TracedSelector<S> {
+    /// Wraps `inner`, sending events to `recorder`.
+    pub fn new(inner: S, recorder: Arc<dyn Recorder>) -> Self {
+        Self { inner, recorder }
+    }
+
+    /// The wrapped selector.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ConfigSelector> ConfigSelector for TracedSelector<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn select(
+        &self,
+        space: &ParameterSpace,
+        pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        if !self.recorder.enabled() {
+            return self.inner.select(space, pool, objective, budget, seed);
+        }
+        let counter = AtomicU64::new(0);
+        let recorder = &self.recorder;
+        let traced_objective = move |cfg: &Configuration| {
+            let timer = SpanTimer::start(true);
+            let y = objective(cfg);
+            recorder.record(&Event::ObjectiveEvaluated {
+                iteration: counter.fetch_add(1, Ordering::Relaxed),
+                objective: y,
+                bootstrap: false,
+                elapsed_ns: timer.elapsed_ns().unwrap_or(0),
+            });
+            y
+        };
+        let timer = SpanTimer::start(true);
+        let run = self
+            .inner
+            .select(space, pool, &traced_objective, budget, seed);
+        self.recorder.record(&Event::SelectorRun {
+            method: self.inner.name().to_string(),
+            evaluations: run.len() as u64,
+            best: run.best_within(run.len()),
+            elapsed_ns: timer.elapsed_ns().unwrap_or(0),
+        });
+        run
     }
 }
 
@@ -141,6 +231,43 @@ mod tests {
             assert!(b <= prev);
             prev = b;
         }
+    }
+
+    #[test]
+    fn traced_selector_is_transparent_and_emits_events() {
+        use crate::random::RandomSelector;
+        let s = space();
+        let pool = s.enumerate();
+        let plain = RandomSelector.select(&s, &pool, &objective, 20, 5);
+        let recorder = Arc::new(hiperbot_obs::MemoryRecorder::new());
+        let traced = TracedSelector::new(RandomSelector, recorder.clone())
+            .select(&s, &pool, &objective, 20, 5);
+        // Wrapping must not perturb the method.
+        assert_eq!(plain.configs, traced.configs);
+        assert_eq!(plain.objectives, traced.objectives);
+        let events = recorder.events();
+        let evals = events
+            .iter()
+            .filter(|e| matches!(e, Event::ObjectiveEvaluated { .. }))
+            .count();
+        assert_eq!(evals, 20);
+        assert!(matches!(
+            events.last(),
+            Some(Event::SelectorRun {
+                evaluations: 20,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn traced_selector_with_noop_recorder_skips_instrumentation() {
+        use crate::random::RandomSelector;
+        let s = space();
+        let pool = s.enumerate();
+        let run = TracedSelector::new(RandomSelector, Arc::new(NoopRecorder))
+            .select(&s, &pool, &objective, 10, 6);
+        assert_eq!(run.len(), 10);
     }
 
     #[test]

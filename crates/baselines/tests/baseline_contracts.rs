@@ -101,7 +101,10 @@ fn model_based_selectors_beat_random_at_equal_budget() {
     let budget = 24;
     let mean_best = |sel: &dyn ConfigSelector| -> f64 {
         (0..8u64)
-            .map(|seed| sel.select(&s, &pool, &objective, budget, seed).best_within(budget))
+            .map(|seed| {
+                sel.select(&s, &pool, &objective, budget, seed)
+                    .best_within(budget)
+            })
             .sum::<f64>()
             / 8.0
     };

@@ -21,8 +21,10 @@ fn bench_surrogate_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("surrogate_fit");
     for &n in &[20usize, 100, 400] {
         let configs = sample_distinct(&space, n, &mut rng);
-        let objectives: Vec<f64> =
-            configs.iter().map(|cfg| kripke::exec_model(cfg, &space, Scale::Target)).collect();
+        let objectives: Vec<f64> = configs
+            .iter()
+            .map(|cfg| kripke::exec_model(cfg, &space, Scale::Target))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 TpeSurrogate::fit(
@@ -45,8 +47,10 @@ fn bench_ei_ranking(c: &mut Criterion) {
     let pool = space.enumerate();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let configs = sample_distinct(&space, 100, &mut rng);
-    let objectives: Vec<f64> =
-        configs.iter().map(|cfg| kripke::exec_model(cfg, &space, Scale::Target)).collect();
+    let objectives: Vec<f64> = configs
+        .iter()
+        .map(|cfg| kripke::exec_model(cfg, &space, Scale::Target))
+        .collect();
     let surrogate = TpeSurrogate::fit(
         &space,
         &configs,
@@ -100,9 +104,16 @@ fn bench_nn_epoch(c: &mut Criterion) {
     use hiperbot_nn::{train, Mlp, TrainOptions};
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let xs: Vec<Vec<f64>> = (0..512)
-        .map(|i| (0..36).map(|j| ((i * 31 + j * 7) % 97) as f64 / 97.0).collect())
+        .map(|i| {
+            (0..36)
+                .map(|j| ((i * 31 + j * 7) % 97) as f64 / 97.0)
+                .collect()
+        })
         .collect();
-    let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x.iter().sum::<f64>() / 36.0]).collect();
+    let ys: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| vec![x.iter().sum::<f64>() / 36.0])
+        .collect();
     c.bench_function("perfnet_epoch_512x36", |b| {
         b.iter(|| {
             let mut net = Mlp::new(&[36, 64, 32, 1], &mut rng);

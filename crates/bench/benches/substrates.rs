@@ -59,9 +59,7 @@ fn bench_divergence_and_correlation(c: &mut Criterion) {
 fn bench_cholesky(c: &mut Criterion) {
     let mut group = c.benchmark_group("cholesky");
     for &n in &[32usize, 128, 256] {
-        let base = Matrix::from_fn(n, n, |i, j| {
-            (-0.1 * (i as f64 - j as f64).powi(2)).exp()
-        });
+        let base = Matrix::from_fn(n, n, |i, j| (-0.1 * (i as f64 - j as f64).powi(2)).exp());
         let mut a = base.clone();
         for i in 0..n {
             a[(i, i)] += 0.1;
@@ -79,9 +77,18 @@ fn bench_space_enumeration_and_sampling(c: &mut Criterion) {
         b.iter(|| black_box(&space).enumerate().len())
     });
     let small = ParameterSpace::builder()
-        .param(ParamDef::new("a", Domain::discrete_ints(&(0..12).collect::<Vec<_>>())))
-        .param(ParamDef::new("b", Domain::discrete_ints(&(0..12).collect::<Vec<_>>())))
-        .param(ParamDef::new("c", Domain::discrete_ints(&(0..12).collect::<Vec<_>>())))
+        .param(ParamDef::new(
+            "a",
+            Domain::discrete_ints(&(0..12).collect::<Vec<_>>()),
+        ))
+        .param(ParamDef::new(
+            "b",
+            Domain::discrete_ints(&(0..12).collect::<Vec<_>>()),
+        ))
+        .param(ParamDef::new(
+            "c",
+            Domain::discrete_ints(&(0..12).collect::<Vec<_>>()),
+        ))
         .build()
         .unwrap();
     c.bench_function("sample_distinct_50", |b| {

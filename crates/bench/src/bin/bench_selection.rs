@@ -3,8 +3,11 @@
 //! `BENCH_selection.json` at the workspace root.
 //!
 //! Per pool it reports the per-iteration ranking wall time of each path
-//! (median of `TRIALS` timed runs, each averaging `INNER` rankings), the
-//! batch engine's ns-per-candidate-score, and the speedup. Run with
+//! (median of `TRIALS` timed runs, each averaging `inner` rankings), the
+//! batch engine's ns-per-candidate-score, and the speedup. Timings flow
+//! through the shared `hiperbot-obs` [`MetricsRegistry`] — one histogram
+//! per `(path, pool)` — so this bench exercises the same quantile pipeline
+//! as `--metrics-summary` and the trace replayer. Run with
 //! `cargo run --release -p hiperbot-bench --bin bench_selection`.
 
 use hiperbot_apps::{hypre, kripke, Dataset, Scale};
@@ -12,6 +15,7 @@ use hiperbot_bench::repo_root;
 use hiperbot_core::selection::rank_encoded;
 use hiperbot_core::surrogate::{SurrogateOptions, TpeSurrogate};
 use hiperbot_core::ObservationHistory;
+use hiperbot_obs::MetricsRegistry;
 use hiperbot_space::pool::{PoolEncoding, PoolMask};
 use hiperbot_space::sampling::sample_distinct;
 use rand::SeedableRng;
@@ -39,21 +43,23 @@ struct Report {
     pools: Vec<PoolResult>,
 }
 
-/// Median of `TRIALS` timed runs of `f`, each averaging `inner` calls.
-fn median_ns(inner: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples = Vec::with_capacity(TRIALS);
+/// Runs `TRIALS` timed runs of `f` (each averaging `inner` calls) into the
+/// registry histogram `phase`, then reads the median back out of it.
+fn median_ns(registry: &MetricsRegistry, phase: &str, inner: usize, mut f: impl FnMut()) -> f64 {
     for _ in 0..TRIALS {
         let t = Instant::now();
         for _ in 0..inner {
             f();
         }
-        samples.push(t.elapsed().as_nanos() as f64 / inner as f64);
+        registry.observe_ns(phase, t.elapsed().as_nanos() as u64 / inner as u64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    samples[samples.len() / 2]
+    registry
+        .histogram(phase)
+        .and_then(|h| h.quantile(0.5))
+        .expect("samples recorded") as f64
 }
 
-fn measure(name: &str, dataset: &Dataset) -> PoolResult {
+fn measure(registry: &MetricsRegistry, name: &str, dataset: &Dataset) -> PoolResult {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let configs = sample_distinct(dataset.space(), HISTORY_LEN, &mut rng);
     let objectives: Vec<f64> = configs.iter().map(|c| dataset.evaluate(c)).collect();
@@ -102,7 +108,7 @@ fn measure(name: &str, dataset: &Dataset) -> PoolResult {
     let inner_serial = (50_000 / pool.len()).max(1);
     let inner_batch = inner_serial * 8;
 
-    let serial_ns = median_ns(inner_serial, || {
+    let serial_ns = median_ns(registry, &format!("serial.{name}"), inner_serial, || {
         let mut best = f64::NEG_INFINITY;
         let mut best_i = None;
         for (i, cfg) in pool.iter().enumerate() {
@@ -120,7 +126,7 @@ fn measure(name: &str, dataset: &Dataset) -> PoolResult {
 
     // The batch path rebuilds the table each iteration (the Tuner refits
     // per observation) but reuses the cached encoding and mask.
-    let batch_ns = median_ns(inner_batch, || {
+    let batch_ns = median_ns(registry, &format!("batch.{name}"), inner_batch, || {
         let table = surrogate.score_table();
         let tables = table.discrete_tables().expect("discrete space");
         std::hint::black_box(rank_encoded(&tables, &encoding, &seen));
@@ -145,10 +151,19 @@ fn measure(name: &str, dataset: &Dataset) -> PoolResult {
 
 fn main() {
     eprintln!("[bench_selection] generating datasets…");
+    let registry = MetricsRegistry::new();
     let pools = vec![
-        measure("kripke-exec", &kripke::exec_dataset(Scale::Target)),
-        measure("hypre", &hypre::dataset(Scale::Target)),
-        measure("kripke-energy", &kripke::energy_dataset(Scale::Target)),
+        measure(
+            &registry,
+            "kripke-exec",
+            &kripke::exec_dataset(Scale::Target),
+        ),
+        measure(&registry, "hypre", &hypre::dataset(Scale::Target)),
+        measure(
+            &registry,
+            "kripke-energy",
+            &kripke::energy_dataset(Scale::Target),
+        ),
     ];
     let report = Report {
         bench: "ranking hot path: serial log_ei vs batch score-table argmax".into(),
@@ -156,7 +171,11 @@ fn main() {
         pools,
     };
     let path = repo_root().join("BENCH_selection.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serialize"))
-        .expect("write BENCH_selection.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_selection.json");
     println!("wrote {}", path.display());
+    println!("\n{}", registry.render_summary());
 }

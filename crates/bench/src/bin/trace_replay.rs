@@ -1,0 +1,39 @@
+//! Replays a JSONL tuner trace into convergence and latency summaries.
+//!
+//! ```sh
+//! hiperbot --space space.json --command "./app -t {threads}" \
+//!          --trace-out trace.jsonl
+//! cargo run --release -p hiperbot-bench --bin trace_replay -- trace.jsonl
+//! ```
+//!
+//! Prints the run header, the incumbent-improvement trajectory, and the
+//! per-phase latency table (p50/p95/p99) recovered from the event stream —
+//! the same numbers a live `--metrics-summary` would have shown, computed
+//! offline from the trace alone.
+
+use hiperbot_obs::summarize_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [path] => path,
+        _ => {
+            eprintln!("usage: trace_replay <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match summarize_trace(&text) {
+        Ok(summary) => print!("{}", summary.render()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -287,13 +287,7 @@ pub fn repro_ablation_transfer_weight() {
     let reps = env_reps("HIPERBOT_TRANSFER_REPS", 10);
     let src = kripke::energy_dataset(Scale::Source);
     let tgt = kripke::energy_dataset(Scale::Target);
-    let prior = TransferPrior::from_source(
-        src.space(),
-        src.configs(),
-        src.objectives(),
-        0.20,
-        1.0,
-    );
+    let prior = TransferPrior::from_source(src.space(), src.configs(), src.objectives(), 0.20, 1.0);
     let budget = fig8::budget_for(&tgt);
     let good = GoodSet::Tolerance(0.10);
     let total_good = Recall::new(&tgt, good).total_good();
@@ -361,5 +355,8 @@ pub fn repro_all() {
     repro_table1();
     repro_fig8();
     repro_ablation_transfer_weight();
-    eprintln!("all reports written to {}", repo_root().join("results").display());
+    eprintln!(
+        "all reports written to {}",
+        repo_root().join("results").display()
+    );
 }

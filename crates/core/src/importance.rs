@@ -154,7 +154,10 @@ mod tests {
         ParameterSpace::builder()
             .param(ParamDef::new("big", Domain::discrete_ints(&[0, 1])))
             .param(ParamDef::new("noise", Domain::discrete_ints(&[0, 1, 2, 3])))
-            .param(ParamDef::new("noise2", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .param(ParamDef::new(
+                "noise2",
+                Domain::discrete_ints(&[0, 1, 2, 3]),
+            ))
             .build()
             .unwrap()
     }
@@ -209,8 +212,7 @@ mod tests {
         let (configs, objs) = full_sweep();
         let full = parameter_importance(&s, &configs, &objs, 0.2);
         // A deterministic 50% subsample (the space only has 8 configs).
-        let sub_c: Vec<Configuration> =
-            configs.iter().step_by(2).cloned().collect();
+        let sub_c: Vec<Configuration> = configs.iter().step_by(2).cloned().collect();
         let sub_o: Vec<f64> = objs.iter().step_by(2).cloned().collect();
         let sub = parameter_importance(&s, &sub_c, &sub_o, 0.2);
         assert_eq!(full[0].name, sub[0].name);
@@ -221,13 +223,7 @@ mod tests {
         use crate::surrogate::{SurrogateOptions, TpeSurrogate};
         let s = space();
         let (configs, objs) = full_sweep();
-        let surrogate = TpeSurrogate::fit(
-            &s,
-            &configs,
-            &objs,
-            &SurrogateOptions::default(),
-            None,
-        );
+        let surrogate = TpeSurrogate::fit(&s, &configs, &objs, &SurrogateOptions::default(), None);
         for measure in [
             DivergenceMeasure::JensenShannon,
             DivergenceMeasure::Hellinger,

@@ -26,8 +26,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which selection regime the tuner uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SelectionStrategy {
     /// Exhaustively rank all unseen configurations of a finite space.
     #[default]
@@ -87,11 +86,7 @@ fn best_in_chunk<T: PoolIndex>(
 /// # Panics
 /// Panics if `tables`' arity differs from the encoding's, or if the mask
 /// length differs from the pool length.
-pub fn rank_encoded(
-    tables: &[&[f64]],
-    encoding: &PoolEncoding,
-    seen: &PoolMask,
-) -> Option<usize> {
+pub fn rank_encoded(tables: &[&[f64]], encoding: &PoolEncoding, seen: &PoolMask) -> Option<usize> {
     let n = encoding.n_configs();
     assert_eq!(seen.len(), n, "mask/pool length mismatch");
     if n == 0 {
@@ -139,8 +134,7 @@ pub fn select_by_ranking(
     history: &ObservationHistory,
 ) -> Option<Configuration> {
     let table = surrogate.score_table();
-    if let (Some(tables), Some(encoding)) = (table.discrete_tables(), PoolEncoding::encode(pool))
-    {
+    if let (Some(tables), Some(encoding)) = (table.discrete_tables(), PoolEncoding::encode(pool)) {
         let mut seen = PoolMask::new(pool.len());
         for (i, cfg) in pool.iter().enumerate() {
             if history.contains(cfg) {
@@ -196,9 +190,7 @@ pub fn select_by_proposal<R: rand::Rng + ?Sized>(
         if best_any.as_ref().is_none_or(|(s, _)| score > *s) {
             best_any = Some((score, cfg.clone()));
         }
-        if !history.contains(&cfg)
-            && best_unseen.as_ref().is_none_or(|(s, _)| score > *s)
-        {
+        if !history.contains(&cfg) && best_unseen.as_ref().is_none_or(|(s, _)| score > *s) {
             best_unseen = Some((score, cfg));
         }
     }

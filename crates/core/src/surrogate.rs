@@ -405,8 +405,7 @@ mod tests {
     fn single_observation_fits() {
         let s = discrete_space();
         let configs = vec![Configuration::from_indices(&[2, 1])];
-        let sur =
-            TpeSurrogate::fit(&s, &configs, &[5.0], &SurrogateOptions::default(), None);
+        let sur = TpeSurrogate::fit(&s, &configs, &[5.0], &SurrogateOptions::default(), None);
         assert_eq!(sur.n_good(), 1);
         assert_eq!(sur.n_bad(), 0);
         assert!(sur.log_ei(&configs[0]).is_finite());
@@ -422,11 +421,15 @@ mod tests {
         let mut objs = Vec::new();
         // good cluster near 2, bad cluster near 8
         for i in 0..4 {
-            configs.push(Configuration::new(vec![ParamValue::Real(2.0 + 0.05 * i as f64)]));
+            configs.push(Configuration::new(vec![ParamValue::Real(
+                2.0 + 0.05 * i as f64,
+            )]));
             objs.push(1.0 + 0.01 * i as f64);
         }
         for i in 0..16 {
-            configs.push(Configuration::new(vec![ParamValue::Real(8.0 + 0.05 * i as f64)]));
+            configs.push(Configuration::new(vec![ParamValue::Real(
+                8.0 + 0.05 * i as f64,
+            )]));
             objs.push(10.0 + 0.01 * i as f64);
         }
         let sur = TpeSurrogate::fit(&s, &configs, &objs, &SurrogateOptions::default(), None);
@@ -441,8 +444,7 @@ mod tests {
         let (configs, objs) = polarized_history();
         let sur = TpeSurrogate::fit(&s, &configs, &objs, &SurrogateOptions::default(), None);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let draws: Vec<Configuration> =
-            (0..500).map(|_| sur.sample_good(&s, &mut rng)).collect();
+        let draws: Vec<Configuration> = (0..500).map(|_| sur.sample_good(&s, &mut rng)).collect();
         let a0 = draws.iter().filter(|c| c.value(0).index() == 0).count();
         let a3 = draws.iter().filter(|c| c.value(0).index() == 3).count();
         assert!(a0 > 2 * a3, "a=0 drawn {a0}, a=3 drawn {a3}");
@@ -465,7 +467,9 @@ mod tests {
                 Configuration::from_indices(&[a])
             })
             .collect();
-        let objs: Vec<f64> = (0..10).map(|i| if i < 2 { 1.0 } else { 9.0 + i as f64 * 0.01 }).collect();
+        let objs: Vec<f64> = (0..10)
+            .map(|i| if i < 2 { 1.0 } else { 9.0 + i as f64 * 0.01 })
+            .collect();
         let sur = TpeSurrogate::fit(&s, &configs, &objs, &SurrogateOptions::default(), None);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         for _ in 0..200 {

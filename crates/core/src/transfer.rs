@@ -71,10 +71,14 @@ impl TransferPrior {
                     discrete.push((good, bad));
                 }
                 Domain::Continuous { .. } => {
-                    let gpts: Vec<f64> =
-                        good_idx.iter().map(|&i| configs[i].value(p).as_f64()).collect();
-                    let bpts: Vec<f64> =
-                        bad_idx.iter().map(|&i| configs[i].value(p).as_f64()).collect();
+                    let gpts: Vec<f64> = good_idx
+                        .iter()
+                        .map(|&i| configs[i].value(p).as_f64())
+                        .collect();
+                    let bpts: Vec<f64> = bad_idx
+                        .iter()
+                        .map(|&i| configs[i].value(p).as_f64())
+                        .collect();
                     kinds.push(PriorKind::Continuous(continuous.len()));
                     continuous.push((gpts, bpts));
                 }

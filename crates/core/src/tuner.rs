@@ -13,12 +13,14 @@ use crate::history::ObservationHistory;
 use crate::selection::{rank_encoded, select_by_proposal, SelectionStrategy};
 use crate::surrogate::{SurrogateOptions, TpeSurrogate};
 use crate::transfer::TransferPrior;
+use hiperbot_obs::{Event, NoopRecorder, Recorder, RunHeader, SpanTimer};
 use hiperbot_space::pool::{PoolEncoding, PoolMask};
 use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
 use hiperbot_space::{Configuration, ParameterSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// How the bootstrap observations are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -105,6 +107,20 @@ impl TunerOptions {
         self.prior = Some((prior, w));
         self
     }
+
+    /// Human-readable one-line summary, stamped into trace run headers.
+    pub fn summary(&self) -> String {
+        format!(
+            "strategy={:?} alpha={} init_samples={} init_design={:?} pseudo_count={} bandwidth_fraction={}{}",
+            self.strategy,
+            self.alpha,
+            self.init_samples,
+            self.init_design,
+            self.pseudo_count,
+            self.bandwidth_fraction,
+            if self.prior.is_some() { " prior=yes" } else { "" },
+        )
+    }
 }
 
 /// The outcome of a tuning run.
@@ -175,12 +191,20 @@ pub struct Tuner {
     pool: Option<RankingPool>,
     rng: ChaCha8Rng,
     bootstrapped: bool,
+    /// Trace sink. Defaults to [`NoopRecorder`]; instrumentation checks
+    /// `recorder.enabled()` before taking timestamps or building events,
+    /// and never touches `rng`, so traced and untraced runs are
+    /// bit-identical for the same seed.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Tuner {
     /// Creates a tuner over `space`.
     pub fn new(space: ParameterSpace, options: TunerOptions) -> Self {
-        assert!(options.init_samples > 0, "need at least one bootstrap sample");
+        assert!(
+            options.init_samples > 0,
+            "need at least one bootstrap sample"
+        );
         assert!(
             (0.0..=1.0).contains(&options.alpha),
             "alpha must be a quantile"
@@ -199,7 +223,24 @@ impl Tuner {
             pool: None,
             rng,
             bootstrapped: false,
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+
+    /// Attaches a trace recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Swaps the trace recorder in place.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The run header a trace of this tuner would carry.
+    pub fn run_header(&self) -> RunHeader {
+        RunHeader::new(&self.space, self.options.seed, self.options.summary())
     }
 
     /// Resumes a tuner from a previously saved history (see
@@ -210,7 +251,11 @@ impl Tuner {
     /// # Panics
     /// Panics if any saved configuration is infeasible in `space` (the
     /// space definition changed since the save).
-    pub fn resume(space: ParameterSpace, options: TunerOptions, history: ObservationHistory) -> Self {
+    pub fn resume(
+        space: ParameterSpace,
+        options: TunerOptions,
+        history: ObservationHistory,
+    ) -> Self {
         for cfg in history.configs() {
             assert!(
                 space.is_feasible(cfg),
@@ -279,10 +324,45 @@ impl Tuner {
             InitDesign::LatinHypercube => latin_hypercube(&self.space, n, &mut self.rng),
         };
         for cfg in samples {
-            let y = objective(&cfg);
-            self.history.push(cfg, y);
+            self.evaluate_and_push(cfg, &mut *objective, true);
         }
         self.bootstrapped = true;
+    }
+
+    /// Evaluates `objective` on `cfg` and appends the observation, tracing
+    /// the evaluation (and any incumbent improvement) when a recorder is
+    /// attached. The untraced path is byte-for-byte the old
+    /// `history.push(cfg, objective(&cfg))`.
+    fn evaluate_and_push(
+        &mut self,
+        cfg: Configuration,
+        objective: &mut impl FnMut(&Configuration) -> f64,
+        bootstrap: bool,
+    ) {
+        let traced = self.recorder.enabled();
+        let prev_best = if traced {
+            self.history.best().map(|(_, _, y)| y)
+        } else {
+            None
+        };
+        let timer = SpanTimer::start(traced);
+        let y = objective(&cfg);
+        if let Some(elapsed_ns) = timer.elapsed_ns() {
+            let iteration = self.history.len() as u64;
+            self.recorder.record(&Event::ObjectiveEvaluated {
+                iteration,
+                objective: y,
+                bootstrap,
+                elapsed_ns,
+            });
+            if !prev_best.is_some_and(|best| y >= best) {
+                self.recorder.record(&Event::IncumbentImproved {
+                    iteration,
+                    objective: y,
+                });
+            }
+        }
+        self.history.push(cfg, y);
     }
 
     /// Fits and returns the surrogate for the current history — the object
@@ -305,25 +385,52 @@ impl Tuner {
             self.bootstrapped,
             "call run/step first: the surrogate needs bootstrap data"
         );
+        let traced = self.recorder.enabled();
+        let iteration = self.history.len() as u64;
+        let fit_timer = SpanTimer::start(traced);
         let surrogate = self.fit_surrogate();
-        match self.options.strategy {
+        if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
+            self.recorder.record(&Event::SurrogateFit {
+                iteration,
+                n_good: surrogate.n_good() as u64,
+                n_bad: surrogate.n_bad() as u64,
+                threshold: surrogate.threshold(),
+                elapsed_ns,
+            });
+        }
+        let select_timer = SpanTimer::start(traced);
+        let (picked, candidates) = match self.options.strategy {
             SelectionStrategy::Ranking => {
                 let table = surrogate.score_table();
                 let tables = table
                     .discrete_tables()
                     .expect("Ranking requires a fully discrete space");
                 let pool = self.pool();
-                rank_encoded(&tables, &pool.encoding, &pool.seen)
-                    .map(|i| pool.configs[i].clone())
+                let pool_len = pool.configs.len() as u64;
+                let picked = rank_encoded(&tables, &pool.encoding, &pool.seen)
+                    .map(|i| pool.configs[i].clone());
+                (picked, pool_len)
             }
-            SelectionStrategy::Proposal { candidates } => Some(select_by_proposal(
-                &surrogate,
-                &self.space,
-                &self.history,
+            SelectionStrategy::Proposal { candidates } => (
+                Some(select_by_proposal(
+                    &surrogate,
+                    &self.space,
+                    &self.history,
+                    candidates,
+                    &mut self.rng,
+                )),
+                candidates as u64,
+            ),
+        };
+        if let (Some(elapsed_ns), Some(cfg)) = (select_timer.elapsed_ns(), &picked) {
+            self.recorder.record(&Event::SelectionScored {
+                iteration,
                 candidates,
-                &mut self.rng,
-            )),
+                best_ei: surrogate.log_ei(cfg),
+                elapsed_ns,
+            });
         }
+        picked
     }
 
     /// Performs one iteration: bootstrap if needed, otherwise select one
@@ -338,12 +445,17 @@ impl Tuner {
             self.bootstrap(&mut objective);
             return true;
         }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::IterationStart {
+                iteration: self.history.len() as u64,
+                history_len: self.history.len() as u64,
+            });
+        }
         match self.suggest() {
             None => false,
             Some(cfg) => {
                 if !self.history.contains(&cfg) {
-                    let y = objective(&cfg);
-                    self.history.push(cfg, y);
+                    self.evaluate_and_push(cfg, &mut objective, false);
                 }
                 true
             }
@@ -398,6 +510,7 @@ impl Tuner {
             !rules.is_empty() || self.space.is_fully_discrete(),
             "an empty stopping set on a continuous space never terminates"
         );
+        self.emit_run_header();
         if !self.bootstrapped {
             if let Some(cap) = rules.evaluation_cap() {
                 self.options.init_samples = self.options.init_samples.min(cap.max(1));
@@ -419,7 +532,25 @@ impl Tuner {
                 stall_guard = 0;
             }
         }
+        self.finish_run()
+    }
+
+    /// Emits the self-describing [`RunHeader`] event (no-op when untraced).
+    fn emit_run_header(&self) {
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::RunHeader(self.run_header()));
+        }
+    }
+
+    /// Reads off the best observation, emitting `RunFinished` when traced.
+    fn finish_run(&self) -> BestResult {
         let (_, cfg, obj) = self.history.best().expect("bootstrap ran");
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::RunFinished {
+                evaluations: self.history.len() as u64,
+                best_objective: obj,
+            });
+        }
         BestResult {
             config: cfg.clone(),
             objective: obj,
@@ -440,6 +571,7 @@ impl Tuner {
         mut objective: impl FnMut(&Configuration) -> f64,
     ) -> BestResult {
         assert!(budget > 0, "budget must be positive");
+        self.emit_run_header();
         if !self.bootstrapped {
             // A budget smaller than init_samples spends it all on bootstrap.
             let clamped = self.options.init_samples.min(budget);
@@ -462,12 +594,7 @@ impl Tuner {
                 stall_guard = 0;
             }
         }
-        let (_, cfg, obj) = self.history.best().expect("bootstrap ran");
-        BestResult {
-            config: cfg.clone(),
-            objective: obj,
-            evaluations: self.history.len(),
-        }
+        self.finish_run()
     }
 }
 
@@ -509,7 +636,7 @@ mod tests {
             let tpe = tuner.run(40, objective).objective;
 
             // Random baseline: first 40 uniform samples.
-            use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
+            use hiperbot_space::sampling::sample_distinct;
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
             let s = space();
             let rand_best = sample_distinct(&s, 40, &mut rng)
@@ -558,10 +685,8 @@ mod tests {
         let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(5));
         tuner.run(60, objective);
         let h = tuner.history();
-        let boot_avg: f64 =
-            h.objectives()[..20].iter().sum::<f64>() / 20.0;
-        let model_avg: f64 =
-            h.objectives()[20..].iter().sum::<f64>() / (h.len() - 20) as f64;
+        let boot_avg: f64 = h.objectives()[..20].iter().sum::<f64>() / 20.0;
+        let model_avg: f64 = h.objectives()[20..].iter().sum::<f64>() / (h.len() - 20) as f64;
         assert!(
             model_avg < boot_avg,
             "model-driven picks ({model_avg:.2}) should beat random bootstrap ({boot_avg:.2})"
@@ -666,12 +791,14 @@ mod tests {
         first.run(30, objective);
         let saved = serde_json::to_string(first.history()).unwrap();
 
-        let restored: crate::history::ObservationHistory =
-            serde_json::from_str(&saved).unwrap();
+        let restored: crate::history::ObservationHistory = serde_json::from_str(&saved).unwrap();
         let mut resumed = Tuner::resume(space(), TunerOptions::default().with_seed(21), restored);
         let best = resumed.run(45, objective);
         assert_eq!(best.evaluations, 45);
-        assert_eq!(&resumed.history().configs()[..30], first.history().configs());
+        assert_eq!(
+            &resumed.history().configs()[..30],
+            first.history().configs()
+        );
         // resumption must not re-bootstrap
         let boot_like = resumed.history().configs()[30..].to_vec();
         assert_eq!(boot_like.len(), 15);
@@ -749,8 +876,7 @@ mod tests {
         let s = space();
         let all = s.enumerate();
         let objs: Vec<f64> = all.iter().map(objective).collect();
-        let prior =
-            TransferPrior::from_source(&s, &all, &objs, 0.2, 1.0);
+        let prior = TransferPrior::from_source(&s, &all, &objs, 0.2, 1.0);
 
         let mut wins = 0;
         for seed in 0..10u64 {
@@ -765,9 +891,7 @@ mod tests {
             .objective;
             let without = Tuner::new(
                 s.clone(),
-                TunerOptions::default()
-                    .with_seed(seed)
-                    .with_init_samples(5),
+                TunerOptions::default().with_seed(seed).with_init_samples(5),
             )
             .run(12, objective)
             .objective;

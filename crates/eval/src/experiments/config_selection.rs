@@ -61,12 +61,24 @@ pub fn run(dataset: &Dataset, spec: &FigureSpec) -> FigureReport {
         .collect();
 
     let (_, best) = dataset.best();
+    let header = hiperbot_obs::RunHeader::new(
+        dataset.space(),
+        trial.seed,
+        format!(
+            "dataset={} repetitions={} checkpoints={:?} good={:?}",
+            dataset.name(),
+            spec.repetitions,
+            spec.checkpoints,
+            spec.good
+        ),
+    );
     FigureReport {
         id: spec.id.clone(),
         title: spec.title.clone(),
         dataset_size: dataset.len(),
         exhaustive_best: best,
         total_good: spec.good.count(dataset),
+        header: Some(header),
         series,
     }
 }
@@ -129,6 +141,16 @@ mod tests {
             geist <= random + 1e-9,
             "GEIST {geist} should beat Random {random}"
         );
+    }
+
+    #[test]
+    fn report_carries_a_self_describing_header() {
+        let report = run(&toy_dataset(), &quick_spec());
+        let h = report.header.as_ref().expect("header populated");
+        assert_eq!(h.n_params, 2);
+        assert_eq!(h.pool_size, 225);
+        assert!(h.options.contains("repetitions=6"), "{}", h.options);
+        assert!(report.render_text().contains(&h.space_fingerprint));
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn ratio_for(
     let selector = HiPerBOtSelector {
         init_samples,
         alpha,
+        ..HiPerBOtSelector::default()
     };
     let mut seq = SeedSequence::new(seed);
     let seeds: Vec<u64> = (0..repetitions).map(|_| seq.next_seed()).collect();
@@ -128,7 +129,9 @@ impl Fig7Report {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str("## fig7-sensitivity — HiPerBOt hyperparameter sensitivity (paper Fig. 7)\n");
-        out.push_str("metric: best-selected / exhaustive-best (1.0 = optimal), total budget 150\n\n");
+        out.push_str(
+            "metric: best-selected / exhaustive-best (1.0 = optimal), total budget 150\n\n",
+        );
         for (label, series) in [
             ("(a) initial sample size", &self.init_samples),
             ("(b) quantile threshold", &self.threshold),
@@ -202,10 +205,19 @@ mod tests {
         let r = run(&[&d], 6);
         let t = &r.threshold[0];
         let at = |alpha: f64| {
-            let i = t.values.iter().position(|&v| (v - alpha).abs() < 1e-9).unwrap();
+            let i = t
+                .values
+                .iter()
+                .position(|&v| (v - alpha).abs() < 1e-9)
+                .unwrap();
             t.ratio_mean[i]
         };
-        assert!(at(0.2) <= at(0.5) + 0.02, "0.2: {}, 0.5: {}", at(0.2), at(0.5));
+        assert!(
+            at(0.2) <= at(0.5) + 0.02,
+            "0.2: {}, 0.5: {}",
+            at(0.2),
+            at(0.5)
+        );
     }
 
     #[test]

@@ -58,11 +58,7 @@ pub fn budget_for(target: &Dataset) -> usize {
     target.len() / 100 + 100
 }
 
-fn recall_series(
-    name: &str,
-    target: &Dataset,
-    runs: &[SelectionRun],
-) -> TransferSeries {
+fn recall_series(name: &str, target: &Dataset, runs: &[SelectionRun]) -> TransferSeries {
     let mut tolerances = Vec::new();
     let mut good_counts = Vec::new();
     let mut recall_mean = Vec::new();
@@ -133,9 +129,7 @@ pub fn run(
 
     let hb_runs: Vec<SelectionRun> = seeds
         .par_iter()
-        .map(|&s| {
-            hiperbot_transfer_run(target, &prior, TransferPrior::default_weight(), budget, s)
-        })
+        .map(|&s| hiperbot_transfer_run(target, &prior, TransferPrior::default_weight(), budget, s))
         .collect();
 
     let perfnet = PerfNet::default();

@@ -41,8 +41,7 @@ pub fn row(dataset: &Dataset, partial_fraction: f64, seed: u64) -> ImportanceRow
         TunerOptions::default().with_seed(seed),
     );
     tuner.run(budget, |c| dataset.evaluate(c));
-    let partial_ranking =
-        importance_from_surrogate(dataset.space(), &tuner.surrogate());
+    let partial_ranking = importance_from_surrogate(dataset.space(), &tuner.surrogate());
 
     // Full column: all samples as observations.
     let full_ranking = parameter_importance(
@@ -54,7 +53,10 @@ pub fn row(dataset: &Dataset, partial_fraction: f64, seed: u64) -> ImportanceRow
 
     ImportanceRow {
         dataset: dataset.name().to_string(),
-        partial: partial_ranking.into_iter().map(|p| (p.name, p.js)).collect(),
+        partial: partial_ranking
+            .into_iter()
+            .map(|p| (p.name, p.js))
+            .collect(),
         full: full_ranking.into_iter().map(|p| (p.name, p.js)).collect(),
     }
 }
@@ -135,7 +137,10 @@ mod tests {
 
     fn dataset() -> Dataset {
         let space = ParameterSpace::builder()
-            .param(ParamDef::new("decisive", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .param(ParamDef::new(
+                "decisive",
+                Domain::discrete_ints(&[0, 1, 2, 3]),
+            ))
             .param(ParamDef::new("weak", Domain::discrete_ints(&[0, 1, 2, 3])))
             .param(ParamDef::new("inert", Domain::discrete_ints(&[0, 1, 2, 3])))
             .build()

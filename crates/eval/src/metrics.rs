@@ -81,11 +81,14 @@ impl Recall {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+    use hiperbot_space::{Domain, ParamDef, ParameterSpace};
 
     fn dataset() -> Dataset {
         let space = ParameterSpace::builder()
-            .param(ParamDef::new("a", Domain::discrete_ints(&(0..10).collect::<Vec<_>>())))
+            .param(ParamDef::new(
+                "a",
+                Domain::discrete_ints(&(0..10).collect::<Vec<_>>()),
+            ))
             .build()
             .unwrap();
         // objectives 1..=10

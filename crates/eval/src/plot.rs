@@ -111,7 +111,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 impl LineChart {
@@ -279,7 +281,12 @@ impl LineChart {
                 .iter()
                 .enumerate()
                 .map(|(j, &(x, y, _))| {
-                    format!("{}{:.1} {:.1}", if j == 0 { "M" } else { "L" }, px(x), py(y))
+                    format!(
+                        "{}{:.1} {:.1}",
+                        if j == 0 { "M" } else { "L" },
+                        px(x),
+                        py(y)
+                    )
                 })
                 .collect::<Vec<_>>()
                 .join(" ");
@@ -410,7 +417,10 @@ mod tests {
         assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
         let t = ticks(8.3, 18.4, 5);
         assert!(t.len() >= 4, "{t:?}");
-        assert!(t.first().unwrap() >= &6.0 && t.first().unwrap() <= &10.5, "{t:?}");
+        assert!(
+            t.first().unwrap() >= &6.0 && t.first().unwrap() <= &10.5,
+            "{t:?}"
+        );
         assert!(t.last().unwrap() >= &17.0, "{t:?}");
         for w in t.windows(2) {
             assert!(w[1] > w[0]);

@@ -6,6 +6,7 @@
 //! human-readable text and JSON (for downstream plotting).
 
 use crate::runner::CheckpointStats;
+use hiperbot_obs::RunHeader;
 use serde::{Deserialize, Serialize};
 
 /// One method's series over the sample-size checkpoints.
@@ -64,6 +65,10 @@ pub struct FigureReport {
     pub exhaustive_best: f64,
     /// Number of good configurations under the recall criterion.
     pub total_good: usize,
+    /// Self-describing run header (version, seed, space fingerprint,
+    /// options) — the same metadata a trace's `RunHeader` event carries.
+    /// `None` for reports produced before headers existed.
+    pub header: Option<RunHeader>,
     /// Method series.
     pub series: Vec<MethodSeries>,
 }
@@ -74,6 +79,12 @@ impl FigureReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        if let Some(h) = &self.header {
+            out.push_str(&format!(
+                "run: v{} seed={} space={} ({} params, pool {})\noptions: {}\n",
+                h.version, h.seed, h.space_fingerprint, h.n_params, h.pool_size, h.options
+            ));
+        }
         out.push_str(&format!(
             "dataset: {} configs, exhaustive best = {:.4}, good configs = {}\n\n",
             self.dataset_size, self.exhaustive_best, self.total_good
@@ -157,6 +168,7 @@ mod tests {
             dataset_size: 100,
             exhaustive_best: 8.43,
             total_good: 12,
+            header: None,
             series: vec![
                 MethodSeries::from_stats("Random", &fake_stats()),
                 MethodSeries::from_stats("HiPerBOt", &fake_stats()),
@@ -184,6 +196,32 @@ mod tests {
         assert!(text.contains("8.43"));
         assert!(text.lines().any(|l| l.trim_start().starts_with("32")));
         assert!(text.lines().any(|l| l.trim_start().starts_with("64")));
+    }
+
+    #[test]
+    fn header_is_rendered_when_present() {
+        let mut r = report();
+        assert!(!r.render_text().contains("run: v"));
+        r.header = Some(RunHeader {
+            version: "0.1.0".into(),
+            seed: 42,
+            space_fingerprint: "deadbeefdeadbeef".into(),
+            n_params: 2,
+            pool_size: 100,
+            options: "reps=6".into(),
+        });
+        let text = r.render_text();
+        assert!(
+            text.contains("run: v0.1.0 seed=42 space=deadbeefdeadbeef"),
+            "{text}"
+        );
+        assert!(text.contains("options: reps=6"), "{text}");
+        // Headers survive the JSON round trip, and old JSON without one
+        // still deserializes (missing Option -> None).
+        let back: FigureReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.header.unwrap().seed, 42);
+        let old: FigureReport = serde_json::from_str(&report().to_json()).unwrap();
+        assert!(old.header.is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::metrics::{GoodSet, Recall};
 use hiperbot_apps::Dataset;
 use hiperbot_baselines::ConfigSelector;
+use hiperbot_obs::{Event, NoopRecorder, Recorder, SpanTimer};
 use hiperbot_stats::{SeedSequence, Summary};
 use rayon::prelude::*;
 
@@ -74,12 +75,28 @@ pub fn run_trials(
     method: &dyn ConfigSelector,
     config: &TrialConfig,
 ) -> Vec<CheckpointStats> {
+    run_trials_traced(dataset, method, config, &NoopRecorder)
+}
+
+/// [`run_trials`] with per-repetition tracing: emits `TrialStart` /
+/// `TrialFinished` around each repetition and one `CheckpointRecorded`
+/// per checkpoint row. The recorder is shared across rayon workers, so
+/// events from concurrent repetitions interleave — each event carries its
+/// `rep` index for disentangling. With a disabled recorder this is exactly
+/// `run_trials`.
+pub fn run_trials_traced(
+    dataset: &Dataset,
+    method: &dyn ConfigSelector,
+    config: &TrialConfig,
+    recorder: &dyn Recorder,
+) -> Vec<CheckpointStats> {
     let budget = *config
         .checkpoints
         .iter()
         .max()
         .expect("non-empty checkpoints");
     let recall = Recall::new(dataset, config.good);
+    let traced = recorder.enabled();
 
     // Pre-derive per-repetition seeds (order-independent determinism).
     let mut seq = SeedSequence::new(config.seed);
@@ -87,7 +104,16 @@ pub fn run_trials(
 
     let per_rep: Vec<Vec<(f64, f64)>> = seeds
         .par_iter()
-        .map(|&seed| {
+        .enumerate()
+        .map(|(rep, &seed)| {
+            if traced {
+                recorder.record(&Event::TrialStart {
+                    rep: rep as u64,
+                    seed,
+                    method: method.name().to_string(),
+                });
+            }
+            let timer = SpanTimer::start(traced);
             let run = method.select(
                 dataset.space(),
                 dataset.configs(),
@@ -95,11 +121,30 @@ pub fn run_trials(
                 budget,
                 seed,
             );
-            config
+            let rows: Vec<(f64, f64)> = config
                 .checkpoints
                 .iter()
                 .map(|&n| (run.best_within(n), recall.of_prefix(&run.objectives, n)))
-                .collect()
+                .collect();
+            if let Some(elapsed_ns) = timer.elapsed_ns() {
+                for (&n, &(best, rec)) in config.checkpoints.iter().zip(&rows) {
+                    recorder.record(&Event::CheckpointRecorded {
+                        rep: rep as u64,
+                        samples: n as u64,
+                        best,
+                        recall: rec,
+                    });
+                }
+                recorder.record(&Event::TrialFinished {
+                    rep: rep as u64,
+                    seed,
+                    method: method.name().to_string(),
+                    evaluations: run.len() as u64,
+                    best: run.best_within(run.len()),
+                    elapsed_ns,
+                });
+            }
+            rows
         })
         .collect();
 
@@ -204,6 +249,23 @@ mod tests {
             rnd[0].best.mean()
         );
         assert!(hb[0].recall.mean() >= rnd[0].recall.mean());
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_emit_per_trial_events() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![10, 20]).with_repetitions(3);
+        let plain = run_trials(&d, &RandomSelector, &cfg);
+        let recorder = hiperbot_obs::MemoryRecorder::new();
+        let traced = run_trials_traced(&d, &RandomSelector, &cfg, &recorder);
+        assert_eq!(plain[0].best.mean(), traced[0].best.mean());
+        assert_eq!(plain[1].recall.mean(), traced[1].recall.mean());
+        let events = recorder.events();
+        let count = |f: fn(&Event) -> bool| events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, Event::TrialStart { .. })), 3);
+        assert_eq!(count(|e| matches!(e, Event::TrialFinished { .. })), 3);
+        // 3 reps × 2 checkpoints
+        assert_eq!(count(|e| matches!(e, Event::CheckpointRecorded { .. })), 6);
     }
 
     #[test]

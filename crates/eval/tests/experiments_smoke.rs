@@ -40,7 +40,10 @@ fn config_selection_pipeline_end_to_end_on_lulesh() {
         .iter()
         .map(|s| s.points.last().unwrap().best_mean)
         .collect();
-    assert!(best_at_end[2] <= best_at_end[0] + 1e-9, "HiPerBOt vs Random");
+    assert!(
+        best_at_end[2] <= best_at_end[0] + 1e-9,
+        "HiPerBOt vs Random"
+    );
 }
 
 #[test]

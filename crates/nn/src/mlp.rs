@@ -184,8 +184,7 @@ impl Mlp {
             .map(|(&o, &t)| 2.0 * (o - t) / n)
             .collect();
 
-        let mut grads: Vec<DenseGrad> =
-            self.layers.iter().map(DenseGrad::zeros).collect();
+        let mut grads: Vec<DenseGrad> = self.layers.iter().map(DenseGrad::zeros).collect();
         for (li, layer) in self.layers.iter().enumerate().rev() {
             // Through the activation.
             if layer.relu {

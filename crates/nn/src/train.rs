@@ -137,7 +137,13 @@ mod tests {
             .collect();
         let ys: Vec<Vec<f64>> = xs
             .iter()
-            .map(|x| vec![if (x[0] > 0.5) != (x[1] > 0.5) { 1.0 } else { 0.0 }])
+            .map(|x| {
+                vec![if (x[0] > 0.5) != (x[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }]
+            })
             .collect();
         let opts = TrainOptions {
             epochs: 400,

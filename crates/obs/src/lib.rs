@@ -1,0 +1,36 @@
+//! # hiperbot-obs — tuner-loop observability
+//!
+//! Structured tracing, latency metrics, and trace replay for the HiPerBOt
+//! workspace. The design contract is **zero overhead when disabled**:
+//! instrumented code holds an `Arc<dyn Recorder>` (default
+//! [`NoopRecorder`]) and checks [`Recorder::enabled`] before taking a
+//! timestamp or building an [`Event`], so an untraced run does no extra
+//! work beyond one predictable branch per potential event. Because
+//! instrumentation never touches RNG state, a traced run is bit-identical
+//! to an untraced run with the same seed — asserted by the workspace's
+//! `observability` integration test.
+//!
+//! The pieces:
+//!
+//! - [`Event`] / [`RunHeader`] — the typed, serde-serializable event
+//!   schema shared by the tuner, baselines, and eval harness.
+//! - [`Recorder`] — the sink trait, with [`JsonlSink`] (one JSON object
+//!   per line), [`MemoryRecorder`], [`StderrLogger`], and
+//!   [`MultiRecorder`] implementations.
+//! - [`MetricsRegistry`] / [`LogHistogram`] — counters and streaming
+//!   log-bucket latency histograms (p50/p95/p99); [`MetricsRecorder`]
+//!   folds the event stream into a registry.
+//! - [`replay::summarize_trace`] — offline JSONL-trace replay into
+//!   convergence and latency summaries.
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod replay;
+
+pub use event::{space_fingerprint, Event, Level, RunHeader};
+pub use metrics::{format_ns, LogHistogram, MetricsRecorder, MetricsRegistry};
+pub use recorder::{
+    JsonlSink, MemoryRecorder, MultiRecorder, NoopRecorder, Recorder, SpanTimer, StderrLogger,
+};
+pub use replay::{summarize_trace, TraceSummary};

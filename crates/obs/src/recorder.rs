@@ -1,0 +1,303 @@
+//! Recorder sinks: where trace events go.
+//!
+//! Instrumented code holds an `Arc<dyn Recorder>` and guards every event
+//! construction behind [`Recorder::enabled`], so the default
+//! [`NoopRecorder`] costs one predictable virtual call per potential event
+//! — no timestamps are taken, no events are built, nothing allocates. The
+//! hot path stays within measurement noise of uninstrumented code.
+
+use crate::event::{Event, Level};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A destination for trace events. Implementations must be cheap to call
+/// concurrently: the eval runner records from rayon worker threads.
+pub trait Recorder: Send + Sync {
+    /// Whether events should be constructed at all. Instrumentation checks
+    /// this before taking timestamps or building [`Event`] values.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+impl<R: Recorder + ?Sized> Recorder for Arc<R> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&self, event: &Event) {
+        (**self).record(event)
+    }
+
+    fn flush(&self) {
+        (**self).flush()
+    }
+}
+
+/// The default recorder: drops everything and reports itself disabled, so
+/// instrumented code skips event construction entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// A started-or-disabled span timer. When tracing is disabled this is a
+/// `None` and costs nothing; when enabled it captures a start instant and
+/// yields the elapsed nanoseconds once.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Option<Instant>);
+
+impl SpanTimer {
+    /// Starts the timer iff `enabled`.
+    pub fn start(enabled: bool) -> Self {
+        Self(enabled.then(Instant::now))
+    }
+
+    /// Elapsed nanoseconds since start, or `None` when disabled.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0.map(|t| t.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Appends one JSON object per event to a file — the canonical trace
+/// format consumed by `trace_replay` and the `jq` recipes in README.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = serde_json::to_string(event).expect("events serialize");
+        let mut w = self.writer.lock();
+        // A failed trace write must not abort a tuning run mid-flight;
+        // the trailing flush surfaces persistent I/O errors.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Buffers events in memory — the test and replay harness recorder.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all recorded events, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Prints events at or below a verbosity level to stderr.
+#[derive(Debug)]
+pub struct StderrLogger {
+    level: Level,
+}
+
+impl StderrLogger {
+    /// Creates a logger at `level`. [`Level::Off`] reports disabled.
+    pub fn new(level: Level) -> Self {
+        Self { level }
+    }
+}
+
+impl Recorder for StderrLogger {
+    fn enabled(&self) -> bool {
+        self.level > Level::Off
+    }
+
+    fn record(&self, event: &Event) {
+        if event.level() <= self.level {
+            eprintln!("[hiperbot] {}", event.render_line());
+        }
+    }
+}
+
+/// Fans one event stream out to several sinks. Disabled sinks are skipped;
+/// the whole tee reports disabled when every sink is.
+#[derive(Default)]
+pub struct MultiRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl MultiRecorder {
+    /// Creates an empty tee (disabled until a sink is added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink.
+    pub fn with(mut self, sink: Arc<dyn Recorder>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Recorder for MultiRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(i: u64) -> Event {
+        Event::IncumbentImproved {
+            iteration: i,
+            objective: i as f64,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(&sample_event(0)); // must not panic
+    }
+
+    #[test]
+    fn span_timer_respects_enablement() {
+        assert!(SpanTimer::start(false).elapsed_ns().is_none());
+        let t = SpanTimer::start(true);
+        assert!(t.elapsed_ns().is_some());
+    }
+
+    #[test]
+    fn memory_recorder_keeps_order() {
+        let r = MemoryRecorder::new();
+        for i in 0..5 {
+            r.record(&sample_event(i));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[3], sample_event(3));
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for i in 0..10 {
+                sink.record(&sample_event(i));
+            }
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(*e, sample_event(i as u64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_recorder_fans_out_and_reports_enablement() {
+        let empty = MultiRecorder::new();
+        assert!(!empty.enabled());
+        let a = Arc::new(MemoryRecorder::new());
+        let b = Arc::new(MemoryRecorder::new());
+        let tee = MultiRecorder::new()
+            .with(a.clone())
+            .with(Arc::new(NoopRecorder))
+            .with(b.clone());
+        assert!(tee.enabled());
+        tee.record(&sample_event(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn stderr_logger_enablement_follows_level() {
+        assert!(!StderrLogger::new(Level::Off).enabled());
+        assert!(StderrLogger::new(Level::Info).enabled());
+        assert!(StderrLogger::new(Level::Debug).enabled());
+    }
+}

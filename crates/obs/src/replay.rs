@@ -1,0 +1,198 @@
+//! Offline trace replay: turn a JSONL trace back into convergence and
+//! latency summaries without re-running the tuner.
+//!
+//! The replay path reuses [`MetricsRecorder`](crate::metrics::MetricsRecorder)'s
+//! event-to-phase mapping via [`Event::phase`], so the latency table printed
+//! here is definitionally consistent with a live `--metrics-summary`.
+
+use crate::event::{Event, RunHeader};
+use crate::metrics::{format_ns, MetricsRecorder, MetricsRegistry};
+use std::sync::Arc;
+
+/// Everything recoverable from one JSONL trace.
+#[derive(Debug)]
+pub struct TraceSummary {
+    /// The run header, when the trace carries one.
+    pub header: Option<RunHeader>,
+    /// Total parsed events.
+    pub events: u64,
+    /// Model-driven iterations observed.
+    pub iterations: u64,
+    /// Objective evaluations observed (bootstrap + model).
+    pub evaluations: u64,
+    /// `(iteration, objective)` pairs at each incumbent improvement, in
+    /// trace order — the convergence trajectory.
+    pub incumbent_trajectory: Vec<(u64, f64)>,
+    /// Best objective reported by `RunFinished`, falling back to the last
+    /// incumbent improvement.
+    pub final_best: Option<f64>,
+    /// Latency metrics folded from the event stream.
+    pub registry: Arc<MetricsRegistry>,
+}
+
+/// Parses a JSONL trace (one [`Event`] object per line) into a
+/// [`TraceSummary`]. Blank lines are skipped; a malformed line is a hard
+/// error naming its line number, because a trace that half-parses is
+/// worse than no trace.
+pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = MetricsRecorder::new(registry.clone());
+
+    let mut summary = TraceSummary {
+        header: None,
+        events: 0,
+        iterations: 0,
+        evaluations: 0,
+        incumbent_trajectory: Vec::new(),
+        final_best: None,
+        registry,
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: invalid trace event: {e:?}", lineno + 1))?;
+        summary.events += 1;
+        crate::recorder::Recorder::record(&metrics, &event);
+        match &event {
+            Event::RunHeader(h) => summary.header = Some(h.clone()),
+            Event::IterationStart { .. } => summary.iterations += 1,
+            Event::ObjectiveEvaluated { .. } => summary.evaluations += 1,
+            Event::IncumbentImproved {
+                iteration,
+                objective,
+            } => {
+                summary.incumbent_trajectory.push((*iteration, *objective));
+                summary.final_best = Some(*objective);
+            }
+            Event::RunFinished { best_objective, .. } => {
+                summary.final_best = Some(*best_objective);
+            }
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+impl TraceSummary {
+    /// Renders the replay report: header, convergence trajectory, and the
+    /// per-phase latency table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.header {
+            Some(h) => out.push_str(&format!(
+                "trace: v{} seed={} space={} ({} params, pool {})\n  options: {}\n",
+                h.version, h.seed, h.space_fingerprint, h.n_params, h.pool_size, h.options
+            )),
+            None => out.push_str("trace: (no run header)\n"),
+        }
+        out.push_str(&format!(
+            "events: {}  iterations: {}  evaluations: {}\n",
+            self.events, self.iterations, self.evaluations
+        ));
+        if let Some(best) = self.final_best {
+            out.push_str(&format!("best objective: {best:.6}\n"));
+        }
+        if !self.incumbent_trajectory.is_empty() {
+            out.push_str("\nconvergence (iteration -> incumbent):\n");
+            for (it, obj) in &self.incumbent_trajectory {
+                out.push_str(&format!("  {it:>6}  {obj:.6}\n"));
+            }
+        }
+        let table = self.registry.render_summary();
+        if !table.is_empty() {
+            out.push_str("\nlatency by phase:\n");
+            out.push_str(&table);
+        }
+        out
+    }
+
+    /// Compact per-phase p50 latencies, for programmatic consumers.
+    pub fn phase_p50s(&self) -> Vec<(String, String)> {
+        self.registry
+            .histograms()
+            .iter()
+            .filter_map(|(name, h)| h.quantile(0.5).map(|p50| (name.clone(), format_ns(p50))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_text() -> String {
+        let events = vec![
+            Event::IterationStart {
+                iteration: 2,
+                history_len: 2,
+            },
+            Event::SurrogateFit {
+                iteration: 2,
+                n_good: 1,
+                n_bad: 1,
+                threshold: 3.0,
+                elapsed_ns: 1_000,
+            },
+            Event::SelectionScored {
+                iteration: 2,
+                candidates: 9,
+                best_ei: 0.5,
+                elapsed_ns: 2_000,
+            },
+            Event::ObjectiveEvaluated {
+                iteration: 2,
+                objective: 2.0,
+                bootstrap: false,
+                elapsed_ns: 500,
+            },
+            Event::IncumbentImproved {
+                iteration: 2,
+                objective: 2.0,
+            },
+            Event::RunFinished {
+                evaluations: 3,
+                best_objective: 2.0,
+            },
+        ];
+        events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn summarizes_a_well_formed_trace() {
+        let s = summarize_trace(&trace_text()).unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.iterations, 1);
+        assert_eq!(s.evaluations, 1);
+        assert_eq!(s.incumbent_trajectory, vec![(2, 2.0)]);
+        assert_eq!(s.final_best, Some(2.0));
+        assert_eq!(s.registry.histogram("tuner.fit").unwrap().count(), 1);
+        assert_eq!(s.registry.histogram("tuner.select").unwrap().count(), 1);
+        let rendered = s.render();
+        assert!(rendered.contains("best objective: 2.000000"), "{rendered}");
+        assert!(rendered.contains("tuner.fit"), "{rendered}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_is_an_error() {
+        let ok = format!("\n{}\n\n", trace_text());
+        assert_eq!(summarize_trace(&ok).unwrap().events, 6);
+        let bad = format!("{}\nnot json\n", trace_text());
+        let err = summarize_trace(&bad).unwrap_err();
+        assert!(err.contains("line 7"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid_but_empty() {
+        let s = summarize_trace("").unwrap();
+        assert_eq!(s.events, 0);
+        assert!(s.header.is_none());
+        assert!(s.render().contains("(no run header)"));
+    }
+}

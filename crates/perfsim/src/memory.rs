@@ -122,8 +122,7 @@ mod tests {
 
     #[test]
     fn all_six_layouts_are_distinct_names() {
-        let names: std::collections::HashSet<_> =
-            Nesting::ALL.iter().map(|n| n.name()).collect();
+        let names: std::collections::HashSet<_> = Nesting::ALL.iter().map(|n| n.name()).collect();
         assert_eq!(names.len(), 6);
     }
 

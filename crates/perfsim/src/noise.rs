@@ -82,10 +82,7 @@ mod tests {
     #[test]
     fn empirical_mean_is_close_to_one() {
         let n = 50_000u64;
-        let mean: f64 = (0..n)
-            .map(|i| lognormal_factor(&[7, i], 0.05))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|i| lognormal_factor(&[7, i], 0.05)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.005, "mean = {mean}");
     }
 

@@ -37,9 +37,7 @@ pub fn freq_scale_at_cap(cap_w: f64, machine: &MachineSpec) -> f64 {
 pub fn power_at(freq_scale: f64, util: f64, machine: &MachineSpec) -> f64 {
     assert!((0.0..=1.0).contains(&util));
     assert!(freq_scale > 0.0 && freq_scale <= 1.0 + 1e-9);
-    let dynamic = (machine.max_power_w - machine.static_power_w)
-        * util
-        * freq_scale.powi(3);
+    let dynamic = (machine.max_power_w - machine.static_power_w) * util * freq_scale.powi(3);
     machine.static_power_w + dynamic
 }
 

@@ -26,7 +26,11 @@ fn roofline_and_layout_compose_monotonically() {
             for cf in [0.25, 0.5, 1.0] {
                 let t_good = kernel_time(50.0, 0.2, &m, eff, fs, cf);
                 let t_perfect = kernel_time(50.0, 0.2, &m, 1.0, fs, cf);
-                assert!(t_perfect <= t_good + 1e-12, "{}: {t_perfect} vs {t_good}", nesting.name());
+                assert!(
+                    t_perfect <= t_good + 1e-12,
+                    "{}: {t_perfect} vs {t_good}",
+                    nesting.name()
+                );
             }
         }
     }
@@ -82,7 +86,10 @@ fn topology_scaled_allreduce_stays_ordered() {
         };
         let ft = cost(Topology::FatTree { radix: 36 });
         let torus = cost(Topology::Torus3D { dims: [32, 32, 32] });
-        assert!(ft <= torus + 1e-12, "{nodes} nodes: fat-tree {ft} vs torus {torus}");
+        assert!(
+            ft <= torus + 1e-12,
+            "{nodes} nodes: fat-tree {ft} vs torus {torus}"
+        );
     }
 }
 

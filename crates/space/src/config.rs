@@ -130,9 +130,7 @@ impl Configuration {
     pub fn numeric_value(&self, i: usize, def: &ParamDef) -> f64 {
         match self.values[i] {
             ParamValue::Real(r) => r,
-            ParamValue::Index(idx) => def.values()[idx]
-                .as_f64()
-                .unwrap_or(idx as f64),
+            ParamValue::Index(idx) => def.values()[idx].as_f64().unwrap_or(idx as f64),
         }
     }
 

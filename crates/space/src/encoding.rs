@@ -136,7 +136,10 @@ mod tests {
 
     fn space() -> ParameterSpace {
         ParameterSpace::builder()
-            .param(ParamDef::new("layout", Domain::categorical(&["DGZ", "DZG", "GDZ"])))
+            .param(ParamDef::new(
+                "layout",
+                Domain::categorical(&["DGZ", "DZG", "GDZ"]),
+            ))
             .param(ParamDef::new("omp", Domain::discrete_ints(&[1, 2, 4, 8])))
             .param(ParamDef::new("cap", Domain::continuous(50.0, 100.0)))
             .build()

@@ -30,6 +30,6 @@ pub mod space;
 
 pub use config::{Configuration, ParamValue};
 pub use encoding::{Encoder, EncodingKind};
-pub use param::{Domain, DiscreteValue, ParamDef};
+pub use param::{DiscreteValue, Domain, ParamDef};
 pub use pool::{IndexBuffer, PoolEncoding, PoolIndex, PoolMask};
 pub use space::{ParameterSpace, SpaceBuilder, SpaceError};

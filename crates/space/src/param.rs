@@ -142,7 +142,10 @@ impl ParamDef {
         match &self.domain {
             Domain::Discrete(v) => v,
             Domain::Continuous { .. } => {
-                panic!("parameter '{}' is continuous and has no value list", self.name)
+                panic!(
+                    "parameter '{}' is continuous and has no value list",
+                    self.name
+                )
             }
         }
     }

@@ -136,8 +136,8 @@ pub fn latin_hypercube<R: Rng + ?Sized>(
             crate::param::Domain::Discrete(vals) => {
                 // Map stratum s of n onto the value grid.
                 let m = vals.len();
-                let pos = ((stratum as f64 + rng.gen_range(0.0..1.0)) / n as f64 * m as f64)
-                    .floor() as usize;
+                let pos = ((stratum as f64 + rng.gen_range(0.0..1.0)) / n as f64 * m as f64).floor()
+                    as usize;
                 ParamValue::Index(pos.min(m - 1))
             }
             crate::param::Domain::Continuous { lo, hi } => {
@@ -283,8 +283,14 @@ mod tests {
         // n == cardinality of each domain ⇒ every value appears exactly once
         // per parameter (the defining LHS property).
         let s = ParameterSpace::builder()
-            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2, 3, 4, 5])))
-            .param(ParamDef::new("b", Domain::discrete_ints(&[0, 1, 2, 3, 4, 5])))
+            .param(ParamDef::new(
+                "a",
+                Domain::discrete_ints(&[0, 1, 2, 3, 4, 5]),
+            ))
+            .param(ParamDef::new(
+                "b",
+                Domain::discrete_ints(&[0, 1, 2, 3, 4, 5]),
+            ))
             .build()
             .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(8);

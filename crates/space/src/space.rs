@@ -46,7 +46,9 @@ impl Constraint {
 
 impl fmt::Debug for Constraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Constraint").field("name", &self.name).finish()
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -116,9 +118,7 @@ impl SpaceBuilder {
                 Domain::Discrete(v) if v.is_empty() => {
                     return Err(SpaceError::EmptyDomain(p.name().to_string()))
                 }
-                Domain::Continuous { lo, hi }
-                    if !(lo.is_finite() && hi.is_finite() && lo < hi) =>
-                {
+                Domain::Continuous { lo, hi } if !(lo.is_finite() && hi.is_finite() && lo < hi) => {
                     return Err(SpaceError::InvalidRange(p.name().to_string()))
                 }
                 _ => {}
@@ -242,7 +242,10 @@ impl ParameterSpace {
     /// # Panics
     /// Panics if the space has continuous parameters.
     pub fn neighbors(&self, cfg: &Configuration) -> Vec<Configuration> {
-        assert!(self.is_fully_discrete(), "neighbors require a discrete space");
+        assert!(
+            self.is_fully_discrete(),
+            "neighbors require a discrete space"
+        );
         let mut out = Vec::new();
         for (i, p) in self.params.iter().enumerate() {
             let card = p.domain().cardinality().expect("discrete");

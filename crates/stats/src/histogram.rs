@@ -219,7 +219,10 @@ mod tests {
         let h = SmoothedHistogram::from_observations(2, 0.01, &[0; 99]);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let hits = (0..1000).filter(|_| h.sample(&mut rng) == 0).count();
-        assert!(hits > 950, "expected ~99% of samples in category 0, got {hits}");
+        assert!(
+            hits > 950,
+            "expected ~99% of samples in category 0, got {hits}"
+        );
     }
 
     proptest! {

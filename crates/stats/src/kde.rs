@@ -49,7 +49,11 @@ impl GaussianKde {
     /// or all weights are zero.
     pub fn fit_weighted(points: &[f64], weights: &[f64], bandwidth: Bandwidth) -> Self {
         assert!(!points.is_empty(), "KDE requires at least one point");
-        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        assert_eq!(
+            points.len(),
+            weights.len(),
+            "points/weights length mismatch"
+        );
         assert!(
             weights.iter().all(|&w| w >= 0.0),
             "KDE weights must be non-negative"
@@ -135,11 +139,7 @@ pub fn silverman_bandwidth(points: &[f64]) -> f64 {
     let iqr = crate::quantile::quantile_sorted(&sorted, 0.75)
         - crate::quantile::quantile_sorted(&sorted, 0.25);
 
-    let spread = if iqr > 0.0 {
-        std.min(iqr / 1.34)
-    } else {
-        std
-    };
+    let spread = if iqr > 0.0 { std.min(iqr / 1.34) } else { std };
     let h = 0.9 * spread * n.powf(-0.2);
     // Floor: degenerate samples (all identical) still need a usable kernel.
     let scale = sorted.last().unwrap().abs().max(1.0);

@@ -35,7 +35,9 @@ pub mod rng;
 pub mod summary;
 
 pub use correlation::{kendall_tau, pearson, spearman};
-pub use divergence::{hellinger, js_divergence, js_divergence_continuous, kl_divergence, total_variation};
+pub use divergence::{
+    hellinger, js_divergence, js_divergence_continuous, kl_divergence, total_variation,
+};
 pub use histogram::SmoothedHistogram;
 pub use kde::GaussianKde;
 pub use linalg::Matrix;

@@ -158,7 +158,12 @@ impl Matrix {
     /// Returns `self + rhs`.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 

@@ -127,7 +127,11 @@ impl Summary {
             2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
             2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
         ];
-        let t = if df <= 30 { T[df - 1] } else { 1.96 + 2.4 / df as f64 };
+        let t = if df <= 30 {
+            T[df - 1]
+        } else {
+            1.96 + 2.4 / df as f64
+        };
         t * self.sample_std_dev() / (self.count as f64).sqrt()
     }
 

@@ -14,7 +14,10 @@ use hiperbot::core::importance::{importance_from_surrogate, parameter_importance
 use hiperbot::core::{Tuner, TunerOptions};
 
 fn main() {
-    for dataset in [lulesh::dataset(Scale::Target), openatom::dataset(Scale::Target)] {
+    for dataset in [
+        lulesh::dataset(Scale::Target),
+        openatom::dataset(Scale::Target),
+    ] {
         println!("=== {} ({} configs) ===", dataset.name(), dataset.len());
 
         // Cheap column: 10% of the space, selected by the tuner itself.

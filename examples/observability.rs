@@ -1,0 +1,89 @@
+//! Tracing and profiling a tuning run.
+//!
+//! Attaches a recorder tee to the tuner — a JSONL trace file plus a live
+//! metrics registry — runs a short tuning session, then prints the
+//! incumbent trajectory and the per-phase latency table, and finally
+//! replays the written trace offline.
+//!
+//! Run with: `cargo run --example observability`
+
+use hiperbot::core::{Tuner, TunerOptions};
+use hiperbot::obs::{
+    summarize_trace, Event, JsonlSink, MemoryRecorder, MetricsRecorder, MetricsRegistry,
+    MultiRecorder, Recorder,
+};
+use hiperbot::space::{Configuration, Domain, ParamDef, ParameterSpace};
+use std::sync::Arc;
+
+fn main() {
+    let space = ParameterSpace::builder()
+        .param(ParamDef::new(
+            "threads",
+            Domain::discrete_ints(&[1, 2, 4, 8, 16, 32]),
+        ))
+        .param(ParamDef::new(
+            "block",
+            Domain::discrete_ints(&[16, 32, 64, 128, 256]),
+        ))
+        .param(ParamDef::new(
+            "unroll",
+            Domain::discrete_ints(&[1, 2, 4, 8]),
+        ))
+        .build()
+        .unwrap();
+
+    // A synthetic objective with an optimum at (8 threads, block 64, unroll 4).
+    let defs = space.params().to_vec();
+    let objective = |cfg: &Configuration| {
+        let t = cfg.numeric_value(0, &defs[0]);
+        let b = cfg.numeric_value(1, &defs[1]);
+        let u = cfg.numeric_value(2, &defs[2]);
+        (t - 8.0).abs() / 4.0 + (b - 64.0).abs() / 64.0 + (u - 4.0).abs() / 2.0 + 1.0
+    };
+
+    // The tee: JSONL file + in-memory event log + latency metrics.
+    let trace_path = std::env::temp_dir().join("hiperbot-example-trace.jsonl");
+    let sink = Arc::new(JsonlSink::create(&trace_path).expect("create trace file"));
+    let memory = Arc::new(MemoryRecorder::new());
+    let registry = Arc::new(MetricsRegistry::new());
+    let tee = MultiRecorder::new()
+        .with(sink.clone())
+        .with(memory.clone())
+        .with(Arc::new(MetricsRecorder::new(registry.clone())));
+
+    let mut tuner =
+        Tuner::new(space, TunerOptions::default().with_seed(42)).with_recorder(Arc::new(tee));
+    let best = tuner.run(50, objective);
+    sink.flush();
+
+    println!(
+        "best objective {:.4} after {} evaluations\n",
+        best.objective, best.evaluations
+    );
+
+    println!("incumbent trajectory:");
+    for event in memory.events() {
+        if let Event::IncumbentImproved {
+            iteration,
+            objective,
+        } = event
+        {
+            println!("  evaluation {iteration:>3}: {objective:.4}");
+        }
+    }
+
+    println!("\nlatency by phase:\n{}", registry.render_summary());
+
+    // Offline replay of the written trace reconstructs the same picture.
+    let text = std::fs::read_to_string(&trace_path).expect("read trace");
+    let summary = summarize_trace(&text).expect("trace parses");
+    println!(
+        "replayed {} events from {}: {} iterations, {} evaluations, best {:?}",
+        summary.events,
+        trace_path.display(),
+        summary.iterations,
+        summary.evaluations,
+        summary.final_best,
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}

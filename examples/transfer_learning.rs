@@ -44,10 +44,7 @@ fn main() {
     let best_with = with.run(budget, |c| target.evaluate(c));
 
     // Without (plain HiPerBOt on the target).
-    let mut without = Tuner::new(
-        target.space().clone(),
-        TunerOptions::default().with_seed(5),
-    );
+    let mut without = Tuner::new(target.space().clone(), TunerOptions::default().with_seed(5));
     let best_without = without.run(budget, |c| target.evaluate(c));
 
     println!("\nexhaustive best on target:  {exhaustive:.0} J");

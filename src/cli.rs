@@ -13,8 +13,10 @@
 //! wall-clock seconds instead.
 
 use crate::core::{SelectionStrategy, Tuner, TunerOptions};
+use crate::obs::{JsonlSink, Level, MetricsRecorder, MetricsRegistry, MultiRecorder, StderrLogger};
 use crate::space::{Configuration, Domain, ParamDef, ParameterSpace};
 use serde::Deserialize;
+use std::sync::Arc;
 
 /// One parameter in the JSON space specification.
 #[derive(Debug, Clone, Deserialize)]
@@ -99,11 +101,7 @@ impl SpaceSpec {
 
 /// Substitutes `{name}` placeholders in a command template with the
 /// configuration's values.
-pub fn render_command(
-    template: &str,
-    cfg: &Configuration,
-    space: &ParameterSpace,
-) -> String {
+pub fn render_command(template: &str, cfg: &Configuration, space: &ParameterSpace) -> String {
     let mut out = template.to_string();
     for (i, def) in space.params().iter().enumerate() {
         let value = match cfg.value(i) {
@@ -139,18 +137,28 @@ pub struct CliOptions {
     pub measure: Measure,
     /// Bootstrap sample count.
     pub init_samples: usize,
+    /// Where to write the JSONL trace (`None` = tracing off).
+    pub trace_out: Option<String>,
+    /// Stderr event verbosity.
+    pub log_level: Level,
+    /// Whether to print the per-phase latency table after the run.
+    pub metrics_summary: bool,
 }
 
 /// Parses `argv[1..]`. Returns `Err(usage)` on any problem.
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let usage = "usage: hiperbot --space <spec.json> --command <template> \
-                 [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time]";
+                 [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time] \
+                 [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary]";
     let mut space_path = None;
     let mut command = None;
     let mut budget = 50usize;
     let mut seed = 0u64;
     let mut init_samples = 20usize;
     let mut measure = Measure::Stdout;
+    let mut trace_out = None;
+    let mut log_level = Level::Off;
+    let mut metrics_summary = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -184,6 +192,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     other => return Err(format!("unknown measure '{other}'\n{usage}")),
                 }
             }
+            "--trace-out" => trace_out = Some(take("--trace-out")?),
+            "--log-level" => {
+                log_level = take("--log-level")?
+                    .parse()
+                    .map_err(|e| format!("{e}\n{usage}"))?
+            }
+            "--metrics-summary" => metrics_summary = true,
             "--help" | "-h" => return Err(usage.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{usage}")),
         }
@@ -200,6 +215,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         seed,
         measure,
         init_samples,
+        trace_out,
+        log_level,
+        metrics_summary,
     })
 }
 
@@ -252,6 +270,31 @@ pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
         .with_strategy(strategy);
     let mut tuner = Tuner::new(space.clone(), tuner_options);
 
+    // Assemble the observability tee: JSONL trace file, stderr logger, and
+    // a metrics registry, each only if requested. With none requested the
+    // tee is empty and reports disabled, so the tuner skips instrumentation.
+    let mut tee = MultiRecorder::new();
+    let sink = match &options.trace_out {
+        Some(path) => {
+            let sink = Arc::new(
+                JsonlSink::create(path).map_err(|e| format!("cannot create trace {path}: {e}"))?,
+            );
+            tee = tee.with(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    if options.log_level > Level::Off {
+        tee = tee.with(Arc::new(StderrLogger::new(options.log_level)));
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    if options.metrics_summary {
+        tee = tee.with(Arc::new(MetricsRecorder::new(registry.clone())));
+    }
+    if !tee.is_empty() {
+        tuner.set_recorder(Arc::new(tee));
+    }
+
     let mut failures = Vec::new();
     let best = tuner.run(options.budget, |cfg| {
         let rendered = render_command(&options.command, cfg, &space);
@@ -270,6 +313,12 @@ pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
     });
     for f in &failures {
         eprintln!("warning: {f}");
+    }
+    if let Some(sink) = &sink {
+        crate::obs::Recorder::flush(sink.as_ref());
+    }
+    if options.metrics_summary {
+        println!("\n== metrics summary ==\n{}", registry.render_summary());
     }
     Ok((
         render_command(&options.command, &best.config, &space),
@@ -324,8 +373,18 @@ mod tests {
     #[test]
     fn arg_parsing_happy_path() {
         let args: Vec<String> = [
-            "--space", "s.json", "--command", "echo 1", "--budget", "9",
-            "--seed", "3", "--measure", "time", "--init", "4",
+            "--space",
+            "s.json",
+            "--command",
+            "echo 1",
+            "--budget",
+            "9",
+            "--seed",
+            "3",
+            "--measure",
+            "time",
+            "--init",
+            "4",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -336,6 +395,38 @@ mod tests {
         assert_eq!(o.seed, 3);
         assert_eq!(o.init_samples, 4);
         assert_eq!(o.measure, Measure::Time);
+        // observability flags default off
+        assert_eq!(o.trace_out, None);
+        assert_eq!(o.log_level, Level::Off);
+        assert!(!o.metrics_summary);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let args: Vec<String> = [
+            "--space",
+            "s.json",
+            "--command",
+            "echo 1",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--log-level",
+            "debug",
+            "--metrics-summary",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&args).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(o.log_level, Level::Debug);
+        assert!(o.metrics_summary);
+
+        let bad: Vec<String> = ["--space", "s", "--command", "c", "--log-level", "loud"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&bad).is_err());
     }
 
     #[test]
@@ -343,7 +434,15 @@ mod tests {
         let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         assert!(parse_args(&to_args(&["--space"])).is_err()); // missing value
         assert!(parse_args(&to_args(&["--bogus", "x"])).is_err());
-        assert!(parse_args(&to_args(&["--space", "s", "--command", "c", "--budget", "no"])).is_err());
+        assert!(parse_args(&to_args(&[
+            "--space",
+            "s",
+            "--command",
+            "c",
+            "--budget",
+            "no"
+        ]))
+        .is_err());
         assert!(parse_args(&to_args(&["--command", "c"])).is_err()); // no space
         assert!(parse_args(&to_args(&["--space", "s"])).is_err()); // no command
     }
@@ -387,10 +486,65 @@ mod tests {
             seed: 1,
             measure: Measure::Stdout,
             init_samples: 4,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
         };
         let (cmd, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
         assert!(cmd.contains("2"), "best command: {cmd}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_cli_run_writes_a_parseable_jsonl_trace() {
+        use crate::obs::Event;
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("space.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"params": [
+                {"type": "ints", "name": "a", "values": [0, 1, 2, 3, 4, 5]},
+                {"type": "ints", "name": "b", "values": [0, 1, 2, 3, 4, 5]}
+            ]}"#,
+        )
+        .unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        let options = CliOptions {
+            space_path: spec_path.to_string_lossy().into_owned(),
+            command: "echo $(( {a} + {b} ))".into(),
+            budget: 12,
+            seed: 2,
+            measure: Measure::Stdout,
+            init_samples: 6,
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            log_level: Level::Off,
+            metrics_summary: true,
+        };
+        let (_, best) = run(&options).unwrap();
+        assert_eq!(best, 0.0);
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("trace line parses"))
+            .collect();
+        assert!(matches!(events.first(), Some(Event::RunHeader(_))));
+        assert!(matches!(events.last(), Some(Event::RunFinished { .. })));
+        let evals = events
+            .iter()
+            .filter(|e| matches!(e, Event::ObjectiveEvaluated { .. }))
+            .count();
+        assert_eq!(evals, 12);
+        // 6 model-driven iterations, each with a fit and a selection
+        for pat in [
+            |e: &Event| matches!(e, Event::IterationStart { .. }),
+            |e: &Event| matches!(e, Event::SurrogateFit { .. }),
+            |e: &Event| matches!(e, Event::SelectionScored { .. }),
+        ] {
+            assert_eq!(events.iter().filter(|e| pat(e)).count(), 6);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,6 +15,8 @@
 //! - [`nn`] — the neural-network substrate behind the PerfNet baseline.
 //! - [`baselines`] — GEIST, random search, exhaustive best, PerfNet, GP-EI.
 //! - [`eval`] — metrics, repeated-trial runner, and the paper's experiments.
+//! - [`obs`] — tuner-loop observability: structured trace events, recorder
+//!   sinks (JSONL, stderr), latency metrics, and offline trace replay.
 //! - [`cli`] — the `hiperbot` command-line autotuner (JSON space spec +
 //!   command template).
 //!
@@ -56,6 +58,7 @@ pub use hiperbot_baselines as baselines;
 pub use hiperbot_core as core;
 pub use hiperbot_eval as eval;
 pub use hiperbot_nn as nn;
+pub use hiperbot_obs as obs;
 pub use hiperbot_perfsim as perfsim;
 pub use hiperbot_space as space;
 pub use hiperbot_stats as stats;

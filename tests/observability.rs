@@ -1,0 +1,155 @@
+//! Observability contract tests.
+//!
+//! The central invariant: attaching a recorder must not change what the
+//! tuner does. Instrumentation never touches RNG state, so a traced run
+//! and an untraced run with the same seed must walk the exact same
+//! incumbent trajectory. The rest checks event coverage: every iteration
+//! of a traced run is visible in the trace.
+
+use hiperbot::core::{Tuner, TunerOptions};
+use hiperbot::obs::{
+    summarize_trace, Event, JsonlSink, MemoryRecorder, MetricsRecorder, MetricsRegistry,
+    MultiRecorder, Recorder,
+};
+use hiperbot::space::{Configuration, Domain, ParamDef, ParameterSpace};
+use std::sync::Arc;
+
+fn space() -> ParameterSpace {
+    let vals: Vec<i64> = (0..10).collect();
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+        .build()
+        .unwrap()
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.value(0).index() as f64;
+    let y = cfg.value(1).index() as f64;
+    (x - 7.0).powi(2) + (y - 3.0).powi(2) + 1.0
+}
+
+/// Budget 60 with the default 20 bootstrap samples = 40 model iterations.
+const BUDGET: usize = 60;
+const BOOTSTRAP: usize = 20;
+const ITERATIONS: usize = BUDGET - BOOTSTRAP;
+
+fn run_history(seed: u64, recorder: Option<Arc<dyn Recorder>>) -> Vec<(Configuration, f64)> {
+    let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(seed));
+    if let Some(r) = recorder {
+        tuner.set_recorder(r);
+    }
+    tuner.run(BUDGET, objective);
+    tuner
+        .history()
+        .configs()
+        .iter()
+        .cloned()
+        .zip(tuner.history().objectives().iter().copied())
+        .collect()
+}
+
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    for seed in [0u64, 7, 42] {
+        let untraced = run_history(seed, None);
+        let recorder = Arc::new(MemoryRecorder::new());
+        let traced = run_history(seed, Some(recorder.clone()));
+        assert_eq!(
+            untraced, traced,
+            "tracing perturbed the run for seed {seed}"
+        );
+        assert!(!recorder.is_empty(), "recorder saw no events");
+    }
+}
+
+#[test]
+fn trace_covers_every_iteration_and_phase() {
+    let recorder = Arc::new(MemoryRecorder::new());
+    run_history(3, Some(recorder.clone()));
+    let events = recorder.events();
+
+    let count = |f: fn(&Event) -> bool| events.iter().filter(|e| f(e)).count();
+    assert_eq!(count(|e| matches!(e, Event::RunHeader(_))), 1);
+    assert_eq!(count(|e| matches!(e, Event::RunFinished { .. })), 1);
+    assert_eq!(
+        count(|e| matches!(e, Event::IterationStart { .. })),
+        ITERATIONS
+    );
+    assert_eq!(
+        count(|e| matches!(e, Event::SurrogateFit { .. })),
+        ITERATIONS
+    );
+    assert_eq!(
+        count(|e| matches!(e, Event::SelectionScored { .. })),
+        ITERATIONS
+    );
+    assert_eq!(
+        count(|e| matches!(e, Event::ObjectiveEvaluated { .. })),
+        BUDGET
+    );
+    assert!(count(|e| matches!(e, Event::IncumbentImproved { .. })) >= 1);
+
+    // The header leads and describes the space.
+    match events.first() {
+        Some(Event::RunHeader(h)) => {
+            assert_eq!(h.seed, 3);
+            assert_eq!(h.n_params, 2);
+            assert_eq!(h.pool_size, 100);
+        }
+        other => panic!("first event should be the run header, got {other:?}"),
+    }
+}
+
+#[test]
+fn jsonl_trace_round_trips_and_replays() {
+    let dir = std::env::temp_dir().join(format!("hiperbot-obs-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(JsonlSink::create(&path).unwrap());
+    let tee = MultiRecorder::new()
+        .with(sink.clone())
+        .with(Arc::new(MetricsRecorder::new(registry.clone())));
+    run_history(11, Some(Arc::new(tee)));
+    sink.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let summary = summarize_trace(&text).unwrap();
+    assert_eq!(summary.iterations as usize, ITERATIONS);
+    assert_eq!(summary.evaluations as usize, BUDGET);
+    let header = summary.header.as_ref().expect("trace has a header");
+    assert_eq!(header.seed, 11);
+
+    // Offline replay recovers the same latency counts the live metrics
+    // registry accumulated, because both fold the same event stream.
+    for phase in ["tuner.fit", "tuner.select", "tuner.evaluate"] {
+        let live = registry.histogram(phase).expect("live phase").count();
+        let replayed = summary.registry.histogram(phase).expect("replayed").count();
+        assert_eq!(live, replayed, "{phase}");
+    }
+
+    // The final incumbent matches the actual best of an identical run.
+    let history = run_history(11, None);
+    let best = history
+        .iter()
+        .map(|(_, y)| *y)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(summary.final_best, Some(best));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_summary_has_all_tuner_phases() {
+    let registry = Arc::new(MetricsRegistry::new());
+    run_history(5, Some(Arc::new(MetricsRecorder::new(registry.clone()))));
+    let table = registry.render_summary();
+    for phase in ["tuner.fit", "tuner.select", "tuner.evaluate"] {
+        assert!(table.contains(phase), "missing {phase} in:\n{table}");
+        let h = registry.histogram(phase).unwrap();
+        assert!(h.quantile(0.95).unwrap() >= h.quantile(0.5).unwrap());
+    }
+    assert_eq!(registry.counter("tuner.iterations"), ITERATIONS as u64);
+}
