@@ -7,6 +7,7 @@
 //! value, generated deterministically from an analytic model plus hash-
 //! seeded noise (so the exhaustive best is a fixed, reproducible value).
 
+use hiperbot_perfsim::faults::{FaultModel, SimOutcome};
 use hiperbot_space::{Configuration, ParameterSpace};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -149,6 +150,28 @@ impl Dataset {
         }
     }
 
+    /// Evaluates `cfg` under a fault model: attempt `attempt` (0-based)
+    /// of this configuration may crash (transient — a retry redraws) or
+    /// time out (when the looked-up objective exceeds the model's
+    /// threshold; deterministic, so retries are futile). The fault draw is
+    /// keyed on the configuration's table position, making a full tuning
+    /// run — failures and retries included — reproducible from the seeds.
+    /// With [`FaultModel::none`] this is `Completed(evaluate(cfg))`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is not in the dataset (i.e. infeasible).
+    pub fn evaluate_outcome(
+        &self,
+        cfg: &Configuration,
+        faults: &FaultModel,
+        attempt: u32,
+    ) -> SimOutcome {
+        match self.position(cfg) {
+            Some(i) => faults.attempt_outcome(&[i as u64], attempt, self.objectives[i]),
+            None => panic!("configuration not in dataset (infeasible?): {cfg:?}"),
+        }
+    }
+
     /// The exhaustive-best row: `(position, objective)` of the minimum.
     pub fn best(&self) -> (usize, f64) {
         self.objectives
@@ -261,6 +284,55 @@ mod tests {
             let ratio = noisy.objective(i) / clean.objective(i);
             assert!(ratio > 0.85 && ratio < 1.18, "ratio {ratio}");
         }
+    }
+
+    #[test]
+    fn fault_free_outcome_matches_plain_evaluation() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        let m = FaultModel::none();
+        for cfg in d.configs() {
+            assert_eq!(
+                d.evaluate_outcome(cfg, &m, 0),
+                SimOutcome::Completed(d.evaluate(cfg))
+            );
+        }
+    }
+
+    #[test]
+    fn fault_outcomes_are_deterministic_and_mixed() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        let m = FaultModel::new(9, 0.5);
+        let first: Vec<SimOutcome> = d
+            .configs()
+            .iter()
+            .map(|c| d.evaluate_outcome(c, &m, 0))
+            .collect();
+        let second: Vec<SimOutcome> = d
+            .configs()
+            .iter()
+            .map(|c| d.evaluate_outcome(c, &m, 0))
+            .collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|o| o.is_completed()));
+    }
+
+    #[test]
+    fn timeout_channel_uses_the_looked_up_objective() {
+        let d = Dataset::generate("t", "time", space(), 1, 0.0, linear_model);
+        // objectives span 1..=6; threshold 3.5 times out the slow half.
+        let m = FaultModel::new(0, 0.0).with_timeout(3.5);
+        let timed_out = d
+            .configs()
+            .iter()
+            .filter(|c| d.evaluate_outcome(c, &m, 0) == SimOutcome::TimedOut)
+            .count();
+        assert_eq!(
+            timed_out,
+            d.count_within(f64::INFINITY) - d.count_within(3.5)
+        );
+        // Timeouts are retry-proof.
+        let slow = d.config(d.len() - 1);
+        assert_eq!(d.evaluate_outcome(slow, &m, 5), SimOutcome::TimedOut);
     }
 
     #[test]

@@ -389,6 +389,7 @@ impl ConfigSelector for GeistSelector {
                 .iter()
                 .map(|&v| observed[v as usize].unwrap())
                 .collect(),
+            failures: 0,
         }
     }
 }

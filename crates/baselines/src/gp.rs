@@ -197,6 +197,7 @@ impl ConfigSelector for GpEiSelector {
         SelectionRun {
             configs: order.iter().map(|&v| pool[v].clone()).collect(),
             objectives: ys,
+            failures: 0,
         }
     }
 }

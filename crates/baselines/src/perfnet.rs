@@ -169,6 +169,7 @@ impl PerfNet {
         SelectionRun {
             configs: order.iter().map(|&v| pool[v].clone()).collect(),
             objectives,
+            failures: 0,
         }
     }
 }

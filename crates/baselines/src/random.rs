@@ -34,6 +34,7 @@ impl ConfigSelector for RandomSelector {
         SelectionRun {
             configs,
             objectives,
+            failures: 0,
         }
     }
 }

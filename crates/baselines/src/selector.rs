@@ -1,9 +1,9 @@
 //! The common interface the evaluation harness drives all methods through.
 
-use hiperbot_core::{SelectionStrategy, Tuner, TunerOptions};
+use hiperbot_core::{EvalOutcome, SelectionStrategy, Tuner, TunerOptions};
 use hiperbot_obs::{Event, NoopRecorder, Recorder, SpanTimer};
 use hiperbot_space::{Configuration, ParameterSpace};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A method's evaluation trace: configurations in the order they were
@@ -16,6 +16,11 @@ pub struct SelectionRun {
     pub configs: Vec<Configuration>,
     /// Objective values, parallel to `configs`.
     pub objectives: Vec<f64>,
+    /// Trials that permanently failed (consumed budget, produced no
+    /// observation). Methods without native failure handling fold the
+    /// `f64::INFINITY` sentinel into `objectives` instead and leave this 0
+    /// unless driven through [`ConfigSelector::select_fallible`].
+    pub failures: usize,
 }
 
 impl SelectionRun {
@@ -53,6 +58,33 @@ pub trait ConfigSelector: Sync {
         budget: usize,
         seed: u64,
     ) -> SelectionRun;
+
+    /// Runs the method against a *fallible* objective. The default
+    /// implementation is the classic baseline treatment: a failed trial is
+    /// scored `f64::INFINITY` (worst possible) and stays in the trace, so
+    /// methods with no notion of failure still steer away from crashing
+    /// regions. Failure-aware methods (HiPerBOt) override this to
+    /// quarantine failures from their density estimates instead.
+    fn select_fallible(
+        &self,
+        space: &ParameterSpace,
+        pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> EvalOutcome + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        let failures = AtomicUsize::new(0);
+        let sentinel = |cfg: &Configuration| match objective(cfg).normalized().value() {
+            Some(y) => y,
+            None => {
+                failures.fetch_add(1, Ordering::Relaxed);
+                f64::INFINITY
+            }
+        };
+        let mut run = self.select(space, pool, &sentinel, budget, seed);
+        run.failures = failures.load(Ordering::Relaxed);
+        run
+    }
 }
 
 /// HiPerBOt wrapped as a [`ConfigSelector`].
@@ -101,8 +133,28 @@ impl ConfigSelector for HiPerBOtSelector {
     fn select(
         &self,
         space: &ParameterSpace,
-        _pool: &[Configuration],
+        pool: &[Configuration],
         objective: &(dyn Fn(&Configuration) -> f64 + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        self.select_fallible(
+            space,
+            pool,
+            &|c| EvalOutcome::from_value(objective(c)),
+            budget,
+            seed,
+        )
+    }
+
+    /// Failure-aware variant: failed trials are quarantined in the tuner's
+    /// history (folded into the *bad* density, never the trace), not
+    /// scored with a sentinel value.
+    fn select_fallible(
+        &self,
+        space: &ParameterSpace,
+        _pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> EvalOutcome + Sync),
         budget: usize,
         seed: u64,
     ) -> SelectionRun {
@@ -113,10 +165,11 @@ impl ConfigSelector for HiPerBOtSelector {
             .with_strategy(SelectionStrategy::Ranking);
         let mut tuner =
             Tuner::new(space.clone(), options).with_recorder(Arc::clone(&self.recorder));
-        tuner.run(budget, |c| objective(c));
+        let _ = tuner.run_fallible(budget, |c| objective(c));
         SelectionRun {
             configs: tuner.history().configs().to_vec(),
             objectives: tuner.history().objectives().to_vec(),
+            failures: tuner.history().n_failures(),
         }
     }
 }
@@ -177,6 +230,54 @@ impl<S: ConfigSelector> ConfigSelector for TracedSelector<S> {
         let run = self
             .inner
             .select(space, pool, &traced_objective, budget, seed);
+        self.recorder.record(&Event::SelectorRun {
+            method: self.inner.name().to_string(),
+            evaluations: run.len() as u64,
+            best: run.best_within(run.len()),
+            elapsed_ns: timer.elapsed_ns().unwrap_or(0),
+        });
+        run
+    }
+
+    fn select_fallible(
+        &self,
+        space: &ParameterSpace,
+        pool: &[Configuration],
+        objective: &(dyn Fn(&Configuration) -> EvalOutcome + Sync),
+        budget: usize,
+        seed: u64,
+    ) -> SelectionRun {
+        if !self.recorder.enabled() {
+            return self
+                .inner
+                .select_fallible(space, pool, objective, budget, seed);
+        }
+        let counter = AtomicU64::new(0);
+        let recorder = &self.recorder;
+        let traced_objective = move |cfg: &Configuration| {
+            let timer = SpanTimer::start(true);
+            let out = objective(cfg).normalized();
+            let elapsed_ns = timer.elapsed_ns().unwrap_or(0);
+            let iteration = counter.fetch_add(1, Ordering::Relaxed);
+            match out.value() {
+                Some(y) => recorder.record(&Event::ObjectiveEvaluated {
+                    iteration,
+                    objective: y,
+                    bootstrap: false,
+                    elapsed_ns,
+                }),
+                None => recorder.record(&Event::TrialFailed {
+                    iteration,
+                    reason: out.failure_reason().unwrap_or_default(),
+                    elapsed_ns,
+                }),
+            }
+            out
+        };
+        let timer = SpanTimer::start(true);
+        let run = self
+            .inner
+            .select_fallible(space, pool, &traced_objective, budget, seed);
         self.recorder.record(&Event::SelectorRun {
             method: self.inner.name().to_string(),
             evaluations: run.len() as u64,
@@ -268,6 +369,95 @@ mod tests {
         let run = TracedSelector::new(RandomSelector, Arc::new(NoopRecorder))
             .select(&s, &pool, &objective, 10, 6);
         assert_eq!(run.len(), 10);
+    }
+
+    #[test]
+    fn default_select_fallible_scores_failures_as_infinity() {
+        use crate::random::RandomSelector;
+        let s = space();
+        let pool = s.enumerate();
+        // Configurations with x == 0 crash; the rest succeed.
+        let fallible = |c: &Configuration| {
+            if c.value(0).index() == 0 {
+                EvalOutcome::Failed {
+                    reason: "injected".into(),
+                }
+            } else {
+                EvalOutcome::Ok(objective(c))
+            }
+        };
+        let run = RandomSelector.select_fallible(&s, &pool, &fallible, 64, 7);
+        assert_eq!(
+            run.len(),
+            64,
+            "sentinel scoring keeps failures in the trace"
+        );
+        assert_eq!(run.failures, 8, "one crash per y value of x == 0");
+        let sentinels = run
+            .objectives
+            .iter()
+            .filter(|o| **o == f64::INFINITY)
+            .count();
+        assert_eq!(sentinels, run.failures);
+        assert!(run.best_within(64).is_finite());
+    }
+
+    #[test]
+    fn hiperbot_select_fallible_quarantines_failures() {
+        let s = space();
+        let pool = s.enumerate();
+        let fallible = |c: &Configuration| {
+            if c.value(0).index() == 0 {
+                EvalOutcome::Failed {
+                    reason: "injected".into(),
+                }
+            } else {
+                EvalOutcome::Ok(objective(c))
+            }
+        };
+        let run = HiPerBOtSelector::default().select_fallible(&s, &pool, &fallible, 40, 7);
+        assert!(run.failures > 0, "the bootstrap must have hit x == 0");
+        assert_eq!(
+            run.len() + run.failures,
+            40,
+            "observations + failures consume the whole budget"
+        );
+        assert!(
+            run.objectives.iter().all(|o| o.is_finite()),
+            "no sentinel values in a failure-aware trace"
+        );
+    }
+
+    #[test]
+    fn traced_select_fallible_is_transparent_and_counts_failures() {
+        use crate::random::RandomSelector;
+        let s = space();
+        let pool = s.enumerate();
+        let fallible = |c: &Configuration| {
+            if c.value(1).index() == 3 {
+                EvalOutcome::Timeout
+            } else {
+                EvalOutcome::Ok(objective(c))
+            }
+        };
+        let plain = RandomSelector.select_fallible(&s, &pool, &fallible, 20, 5);
+        let recorder = Arc::new(hiperbot_obs::MemoryRecorder::new());
+        let traced = TracedSelector::new(RandomSelector, recorder.clone())
+            .select_fallible(&s, &pool, &fallible, 20, 5);
+        assert_eq!(plain.configs, traced.configs);
+        assert_eq!(plain.objectives, traced.objectives);
+        assert_eq!(plain.failures, traced.failures);
+        let events = recorder.events();
+        let failed = events
+            .iter()
+            .filter(|e| matches!(e, Event::TrialFailed { .. }))
+            .count();
+        assert_eq!(failed, traced.failures);
+        let ok = events
+            .iter()
+            .filter(|e| matches!(e, Event::ObjectiveEvaluated { .. }))
+            .count();
+        assert_eq!(ok + failed, 20);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
         SelectionRun {
             configs: tuner.history().configs().to_vec(),
             objectives: tuner.history().objectives().to_vec(),
+            failures: tuner.history().n_failures(),
         }
     }));
 

@@ -272,6 +272,7 @@ impl hiperbot_baselines::ConfigSelector for TransferWeightSelector {
         hiperbot_baselines::SelectionRun {
             configs: tuner.history().configs().to_vec(),
             objectives: tuner.history().objectives().to_vec(),
+            failures: tuner.history().n_failures(),
         }
     }
 }

@@ -4,18 +4,37 @@ use hiperbot_space::Configuration;
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 
+/// A permanently failed evaluation: the configuration was tried (possibly
+/// several times) and never produced a finite objective. Failed
+/// configurations never enter the objective table — they are quarantined
+/// here so the surrogate can fold them into the *bad* density and the
+/// selector never re-suggests them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// The configuration that failed.
+    pub config: Configuration,
+    /// Why the final attempt failed (`"timeout"` or a crash reason).
+    pub reason: String,
+}
+
 /// The set of `(configuration, objective)` pairs observed so far, in
-/// evaluation order. Order matters: the evaluation harness reads prefixes
+/// evaluation order, plus the quarantined permanently-failed
+/// configurations. Order matters: the evaluation harness reads prefixes
 /// of the history to score a tuner at intermediate sample budgets.
 ///
-/// Serializes as the plain `(configs, objectives)` table (the dedup index
-/// is rebuilt on load), so long tuning campaigns can be checkpointed and
-/// resumed — see [`Tuner::resume`](crate::tuner::Tuner::resume).
+/// Objectives are always finite — a non-finite measurement must be
+/// reported as a failure ([`push_failure`](Self::push_failure)), never
+/// pushed as an observation.
+///
+/// Serializes as the plain `(configs, objectives, failures)` tables (the
+/// dedup index is rebuilt on load), so long tuning campaigns can be
+/// checkpointed and resumed — see [`Tuner::resume`](crate::tuner::Tuner::resume).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 #[serde(try_from = "SavedHistory", into = "SavedHistory")]
 pub struct ObservationHistory {
     configs: Vec<Configuration>,
     objectives: Vec<f64>,
+    failures: Vec<FailureRecord>,
     seen: FxHashSet<Configuration>,
 }
 
@@ -26,6 +45,10 @@ pub struct SavedHistory {
     pub configs: Vec<Configuration>,
     /// Objective values, parallel to `configs`.
     pub objectives: Vec<f64>,
+    /// Permanently failed configurations (absent in pre-failure-aware
+    /// checkpoints, which load as failure-free).
+    #[serde(default)]
+    pub failures: Vec<FailureRecord>,
 }
 
 impl From<ObservationHistory> for SavedHistory {
@@ -33,6 +56,7 @@ impl From<ObservationHistory> for SavedHistory {
         Self {
             configs: h.configs,
             objectives: h.objectives,
+            failures: h.failures,
         }
     }
 }
@@ -53,6 +77,12 @@ impl TryFrom<SavedHistory> for ObservationHistory {
                 return Err("saved history contains duplicate configurations".into());
             }
             h.push(c, y);
+        }
+        for f in s.failures {
+            if h.contains(&f.config) {
+                return Err("saved history contains duplicate configurations".into());
+            }
+            h.push_failure(f.config, f.reason);
         }
         Ok(h)
     }
@@ -80,9 +110,42 @@ impl ObservationHistory {
         self.objectives.push(objective);
     }
 
+    /// Records a permanently failed evaluation. The configuration is
+    /// deduplicated exactly like a successful one: it will never be
+    /// suggested again.
+    ///
+    /// # Panics
+    /// Panics if the configuration was already observed or already failed.
+    pub fn push_failure(&mut self, config: Configuration, reason: impl Into<String>) {
+        assert!(
+            self.seen.insert(config.clone()),
+            "duplicate configuration pushed to history"
+        );
+        self.failures.push(FailureRecord {
+            config,
+            reason: reason.into(),
+        });
+    }
+
     /// Number of observations `t`.
     pub fn len(&self) -> usize {
         self.configs.len()
+    }
+
+    /// Number of permanently failed evaluations.
+    pub fn n_failures(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// The quarantined failures, in failure order.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
+    }
+
+    /// Total trials that consumed evaluation budget: successful
+    /// observations plus permanent failures.
+    pub fn trials(&self) -> usize {
+        self.configs.len() + self.failures.len()
     }
 
     /// Whether the history is empty.
@@ -187,6 +250,49 @@ mod tests {
         assert!(serde_json::from_str::<ObservationHistory>(dup).is_err());
         let mismatched = r#"{"configs":[{"values":[{"Index":0}]}],"objectives":[1.0,2.0]}"#;
         assert!(serde_json::from_str::<ObservationHistory>(mismatched).is_err());
+    }
+
+    #[test]
+    fn failures_are_quarantined_and_deduplicated() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), 1.0);
+        h.push_failure(cfg(1), "crash");
+        assert_eq!(h.len(), 1, "failures never count as observations");
+        assert_eq!(h.n_failures(), 1);
+        assert_eq!(h.trials(), 2);
+        assert!(h.contains(&cfg(1)), "failed configs are still 'seen'");
+        assert_eq!(h.failures()[0].reason, "crash");
+        assert_eq!(h.best().map(|(i, _, v)| (i, v)), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_failures() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), 1.0);
+        h.push_failure(cfg(1), "timeout");
+        let json = serde_json::to_string(&h).unwrap();
+        let back: ObservationHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.failures(), h.failures());
+        assert!(back.contains(&cfg(1)));
+        // Pre-failure-aware checkpoints (no `failures` key) still load.
+        let legacy = r#"{"configs":[{"values":[{"Index":0}]}],"objectives":[1.0]}"#;
+        let old: ObservationHistory = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.n_failures(), 0);
+        assert_eq!(old.len(), 1);
+    }
+
+    #[test]
+    fn saved_failure_duplicating_an_observation_is_rejected() {
+        let bad = r#"{"configs":[{"values":[{"Index":0}]}],"objectives":[1.0],"failures":[{"config":{"values":[{"Index":0}]},"reason":"crash"}]}"#;
+        assert!(serde_json::from_str::<ObservationHistory>(bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn failing_an_observed_config_panics() {
+        let mut h = ObservationHistory::new();
+        h.push(cfg(0), 1.0);
+        h.push_failure(cfg(0), "crash");
     }
 
     #[test]

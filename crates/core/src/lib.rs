@@ -24,14 +24,16 @@
 
 pub mod history;
 pub mod importance;
+pub mod outcome;
 pub mod selection;
 pub mod stopping;
 pub mod surrogate;
 pub mod transfer;
 pub mod tuner;
 
-pub use history::ObservationHistory;
+pub use history::{FailureRecord, ObservationHistory};
 pub use importance::{parameter_importance, DivergenceMeasure, ParameterImportance};
+pub use outcome::EvalOutcome;
 pub use selection::SelectionStrategy;
 pub use stopping::{StoppingRule, StoppingSet};
 pub use surrogate::TpeSurrogate;

@@ -1,0 +1,134 @@
+//! The result of one objective evaluation attempt.
+//!
+//! Real HPC measurements fail — configurations OOM, crash, or run past a
+//! wall-clock limit — and the paper's measured datasets contain such
+//! infeasible rows. [`EvalOutcome`] makes that explicit at the tuner
+//! boundary: a fallible objective returns an outcome instead of smuggling
+//! failures through sentinel values (NaN, `f64::MAX`), which either panic
+//! the surrogate or poison the good/bad quantile split.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of evaluating the objective on one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalOutcome {
+    /// The evaluation completed with a finite objective value.
+    Ok(f64),
+    /// The evaluation failed (crash, OOM, non-zero exit, non-finite
+    /// measurement) with a human-readable reason.
+    Failed {
+        /// Why the evaluation failed.
+        reason: String,
+    },
+    /// The evaluation exceeded its time budget.
+    Timeout,
+}
+
+impl EvalOutcome {
+    /// Classifies a raw measurement: finite values are [`EvalOutcome::Ok`],
+    /// NaN/±∞ are [`EvalOutcome::Failed`]. This is the adapter the
+    /// infallible objective API goes through, so a sloppy objective that
+    /// returns NaN degrades into a recorded failure instead of a panic
+    /// deep inside the surrogate.
+    pub fn from_value(value: f64) -> Self {
+        if value.is_finite() {
+            EvalOutcome::Ok(value)
+        } else {
+            EvalOutcome::Failed {
+                reason: format!("non-finite objective value ({value})"),
+            }
+        }
+    }
+
+    /// Re-classifies `Ok(non-finite)` as a failure, so every construction
+    /// path upholds the "`Ok` is finite" invariant even when callers build
+    /// the variant by hand.
+    pub fn normalized(self) -> Self {
+        match self {
+            EvalOutcome::Ok(v) => EvalOutcome::from_value(v),
+            other => other,
+        }
+    }
+
+    /// The finite objective value, if the evaluation succeeded.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            EvalOutcome::Ok(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the evaluation succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalOutcome::Ok(_))
+    }
+
+    /// A short human-readable failure reason (`None` for `Ok`).
+    pub fn failure_reason(&self) -> Option<String> {
+        match self {
+            EvalOutcome::Ok(_) => None,
+            EvalOutcome::Failed { reason } => Some(reason.clone()),
+            EvalOutcome::Timeout => Some("timeout".to_string()),
+        }
+    }
+
+    /// Whether a retry could plausibly change the outcome. Crashes are
+    /// treated as transient; timeouts are a property of the configuration
+    /// (the same run will exceed the same budget again), so retrying them
+    /// wastes the trial budget.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EvalOutcome::Failed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_value_classifies_finiteness() {
+        assert_eq!(EvalOutcome::from_value(1.5), EvalOutcome::Ok(1.5));
+        assert!(!EvalOutcome::from_value(f64::NAN).is_ok());
+        assert!(!EvalOutcome::from_value(f64::INFINITY).is_ok());
+        assert!(!EvalOutcome::from_value(f64::NEG_INFINITY).is_ok());
+    }
+
+    #[test]
+    fn normalized_repairs_handmade_non_finite_ok() {
+        let sneaky = EvalOutcome::Ok(f64::NAN).normalized();
+        assert!(!sneaky.is_ok());
+        assert_eq!(EvalOutcome::Ok(2.0).normalized(), EvalOutcome::Ok(2.0));
+        assert_eq!(EvalOutcome::Timeout.normalized(), EvalOutcome::Timeout);
+    }
+
+    #[test]
+    fn reasons_and_retryability() {
+        assert_eq!(EvalOutcome::Ok(1.0).failure_reason(), None);
+        assert_eq!(
+            EvalOutcome::Timeout.failure_reason(),
+            Some("timeout".to_string())
+        );
+        let failed = EvalOutcome::Failed {
+            reason: "exit 137".into(),
+        };
+        assert_eq!(failed.failure_reason(), Some("exit 137".to_string()));
+        assert!(failed.is_retryable());
+        assert!(!EvalOutcome::Timeout.is_retryable());
+        assert!(!EvalOutcome::Ok(1.0).is_retryable());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for o in [
+            EvalOutcome::Ok(2.5),
+            EvalOutcome::Failed {
+                reason: "crash".into(),
+            },
+            EvalOutcome::Timeout,
+        ] {
+            let json = serde_json::to_string(&o).unwrap();
+            let back: EvalOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, o);
+        }
+    }
+}

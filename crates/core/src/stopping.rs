@@ -11,7 +11,8 @@ use crate::history::ObservationHistory;
 /// When to stop the tuning loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StoppingRule {
-    /// Stop after this many total evaluations.
+    /// Stop after this many total trials — permanently-failed evaluations
+    /// count too, since they consume the same machine-time budget.
     MaxEvaluations(usize),
     /// Stop when this many consecutive evaluations fail to improve the
     /// best observed objective by more than `min_delta`.
@@ -29,7 +30,7 @@ impl StoppingRule {
     /// Whether the loop should stop given the current history.
     pub fn should_stop(&self, history: &ObservationHistory) -> bool {
         match *self {
-            StoppingRule::MaxEvaluations(n) => history.len() >= n,
+            StoppingRule::MaxEvaluations(n) => history.trials() >= n,
             StoppingRule::TargetValue(target) => history
                 .best()
                 .map(|(_, _, best)| best <= target)
@@ -109,6 +110,15 @@ mod tests {
         assert!(!rule.should_stop(&history_of(&[5.0, 4.0])));
         assert!(rule.should_stop(&history_of(&[5.0, 4.0, 3.0])));
         assert_eq!(rule.evaluation_cap(), Some(3));
+    }
+
+    #[test]
+    fn max_evaluations_counts_failed_trials() {
+        let rule = StoppingRule::MaxEvaluations(3);
+        let mut h = history_of(&[5.0, 4.0]);
+        assert!(!rule.should_stop(&h));
+        h.push_failure(Configuration::from_indices(&[99]), "crash");
+        assert!(rule.should_stop(&h), "failures consume budget too");
     }
 
     #[test]

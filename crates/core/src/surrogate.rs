@@ -90,6 +90,7 @@ pub struct TpeSurrogate {
     threshold: f64,
     n_good: usize,
     n_bad: usize,
+    n_failed: usize,
 }
 
 impl TpeSurrogate {
@@ -103,6 +104,28 @@ impl TpeSurrogate {
         space: &ParameterSpace,
         configs: &[Configuration],
         objectives: &[f64],
+        options: &SurrogateOptions,
+        prior: Option<(&TransferPrior, f64)>,
+    ) -> Self {
+        Self::fit_with_failures(space, configs, objectives, &[], options, prior)
+    }
+
+    /// Like [`fit`](Self::fit), but additionally folds permanently-failed
+    /// configurations into the **bad** density as pseudo-evidence, unit
+    /// weight each. Failed configurations carry no objective value, so they
+    /// are quarantined from the good/bad quantile split (the threshold is
+    /// computed over successful observations only) — but their parameter
+    /// values still inflate `p_b`, which lowers the EI ratio `p_g/p_b`
+    /// around crashing regions and makes the selector actively steer away
+    /// from them.
+    ///
+    /// # Panics
+    /// Panics if `configs` is empty or lengths mismatch.
+    pub fn fit_with_failures(
+        space: &ParameterSpace,
+        configs: &[Configuration],
+        objectives: &[f64],
+        failed: &[Configuration],
         options: &SurrogateOptions,
         prior: Option<(&TransferPrior, f64)>,
     ) -> Self {
@@ -125,6 +148,9 @@ impl TpeSurrogate {
                     for &i in &bad_idx {
                         bad.observe(configs[i].value(p).index());
                     }
+                    for f in failed {
+                        bad.observe(f.value(p).index());
+                    }
                     if let Some((prior, w)) = prior {
                         let (pg, pb) = prior.discrete(p);
                         good = good.with_prior(pg, w);
@@ -142,6 +168,10 @@ impl TpeSurrogate {
                     };
                     let (mut gpts, mut gwts) = collect(&good_idx);
                     let (mut bpts, mut bwts) = collect(&bad_idx);
+                    for f in failed {
+                        bpts.push(f.value(p).as_f64());
+                        bwts.push(1.0);
+                    }
                     if let Some((prior, w)) = prior {
                         let (pg, pb) = prior.continuous(p);
                         gpts.extend_from_slice(pg);
@@ -170,6 +200,7 @@ impl TpeSurrogate {
             threshold,
             n_good: good_idx.len(),
             n_bad: bad_idx.len(),
+            n_failed: failed.len(),
         }
     }
 
@@ -228,6 +259,11 @@ impl TpeSurrogate {
     /// Number of observations classified bad.
     pub fn n_bad(&self) -> usize {
         self.n_bad
+    }
+
+    /// Number of failed configurations folded into the bad density.
+    pub fn n_failed(&self) -> usize {
+        self.n_failed
     }
 
     /// The per-parameter densities (used by the importance analysis).
@@ -475,6 +511,89 @@ mod tests {
         for _ in 0..200 {
             let c = sur.sample_good(&s, &mut rng);
             assert_ne!(c.value(0).index(), 0, "infeasible proposal escaped");
+        }
+    }
+
+    #[test]
+    fn failed_configs_depress_ei_in_their_region() {
+        let s = discrete_space();
+        let (configs, objs) = polarized_history();
+        // Without failures, a=1 and a=2 are symmetric unseen values.
+        let base = TpeSurrogate::fit(&s, &configs, &objs, &SurrogateOptions::default(), None);
+        let c1 = Configuration::from_indices(&[1, 0]);
+        let c2 = Configuration::from_indices(&[2, 0]);
+        assert!((base.log_ei(&c1) - base.log_ei(&c2)).abs() < 1e-12);
+        // Crashes at a=1 must push its EI below a=2's.
+        let failed = vec![
+            Configuration::from_indices(&[1, 0]),
+            Configuration::from_indices(&[1, 1]),
+        ];
+        let sur = TpeSurrogate::fit_with_failures(
+            &s,
+            &configs,
+            &objs,
+            &failed,
+            &SurrogateOptions::default(),
+            None,
+        );
+        assert_eq!(sur.n_failed(), 2);
+        assert!(
+            sur.log_ei(&c1) < sur.log_ei(&c2),
+            "failures must lower EI: {} vs {}",
+            sur.log_ei(&c1),
+            sur.log_ei(&c2)
+        );
+        // Quarantine: the quantile split (threshold, counts) ignores them.
+        assert_eq!(sur.threshold(), base.threshold());
+        assert_eq!(sur.n_good(), base.n_good());
+        assert_eq!(sur.n_bad(), base.n_bad());
+    }
+
+    #[test]
+    fn failed_configs_depress_continuous_ei_too() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("x", Domain::continuous(0.0, 10.0)))
+            .build()
+            .unwrap();
+        let configs: Vec<Configuration> = (0..10)
+            .map(|i| Configuration::new(vec![ParamValue::Real(2.0 + 0.1 * i as f64)]))
+            .collect();
+        let objs: Vec<f64> = (0..10).map(|i| 1.0 + i as f64).collect();
+        let failed: Vec<Configuration> = (0..5)
+            .map(|i| Configuration::new(vec![ParamValue::Real(8.0 + 0.1 * i as f64)]))
+            .collect();
+        let base = TpeSurrogate::fit(&s, &configs, &objs, &SurrogateOptions::default(), None);
+        let sur = TpeSurrogate::fit_with_failures(
+            &s,
+            &configs,
+            &objs,
+            &failed,
+            &SurrogateOptions::default(),
+            None,
+        );
+        let crash_zone = Configuration::new(vec![ParamValue::Real(8.2)]);
+        assert!(sur.log_ei(&crash_zone) < base.log_ei(&crash_zone));
+    }
+
+    #[test]
+    fn score_table_matches_log_ei_with_failures() {
+        let s = discrete_space();
+        let (configs, objs) = polarized_history();
+        let failed = vec![Configuration::from_indices(&[2, 1])];
+        let sur = TpeSurrogate::fit_with_failures(
+            &s,
+            &configs,
+            &objs,
+            &failed,
+            &SurrogateOptions::default(),
+            None,
+        );
+        let table = sur.score_table();
+        for a in 0..4 {
+            for b in 0..2 {
+                let cfg = Configuration::from_indices(&[a, b]);
+                assert_eq!(table.score(&cfg).to_bits(), sur.log_ei(&cfg).to_bits());
+            }
         }
     }
 

@@ -10,12 +10,13 @@
 //!    budget is exhausted (or, for Ranking, the space is).
 
 use crate::history::ObservationHistory;
+use crate::outcome::EvalOutcome;
 use crate::selection::{rank_encoded, select_by_proposal, SelectionStrategy};
 use crate::surrogate::{SurrogateOptions, TpeSurrogate};
 use crate::transfer::TransferPrior;
 use hiperbot_obs::{Event, NoopRecorder, Recorder, RunHeader, SpanTimer};
 use hiperbot_space::pool::{PoolEncoding, PoolMask};
-use hiperbot_space::sampling::{latin_hypercube, sample_distinct};
+use hiperbot_space::sampling::{latin_hypercube, sample_distinct, sample_uniform};
 use hiperbot_space::{Configuration, ParameterSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -128,9 +129,11 @@ impl TunerOptions {
 pub struct BestResult {
     /// The best configuration found.
     pub config: Configuration,
-    /// Its objective value.
+    /// Its objective value (always finite — failed trials never become the
+    /// incumbent).
     pub objective: f64,
-    /// How many evaluations were actually spent.
+    /// How many trials were actually spent, permanently-failed evaluations
+    /// included (they consume real machine time and budget too).
     pub evaluations: usize,
 }
 
@@ -146,9 +149,13 @@ struct RankingPool {
     /// Seen bitset over pool positions, maintained incrementally: each
     /// history entry is hashed into it exactly once, instead of the old
     /// per-candidate `history.contains` hash inside the ranking loop.
+    /// Permanently-failed configurations are folded in too, so the argmax
+    /// never re-suggests a config that will only fail again.
     seen: PoolMask,
-    /// History prefix already folded into `seen`.
-    synced: usize,
+    /// Observation prefix already folded into `seen`.
+    synced_ok: usize,
+    /// Failure prefix already folded into `seen`.
+    synced_failed: usize,
 }
 
 impl RankingPool {
@@ -167,18 +174,26 @@ impl RankingPool {
             encoding,
             position,
             seen,
-            synced: 0,
+            synced_ok: 0,
+            synced_failed: 0,
         }
     }
 
-    /// Folds history entries `synced..` into the seen bitset.
+    /// Folds unsynced history entries — observations and permanent
+    /// failures — into the seen bitset.
     fn sync(&mut self, history: &ObservationHistory) {
-        for cfg in &history.configs()[self.synced..] {
+        for cfg in &history.configs()[self.synced_ok..] {
             if let Some(&i) = self.position.get(cfg) {
                 self.seen.set(i as usize);
             }
         }
-        self.synced = history.len();
+        self.synced_ok = history.len();
+        for f in &history.failures()[self.synced_failed..] {
+            if let Some(&i) = self.position.get(&f.config) {
+                self.seen.set(i as usize);
+            }
+        }
+        self.synced_failed = history.n_failures();
     }
 }
 
@@ -279,6 +294,14 @@ impl Tuner {
         &self.history
     }
 
+    /// The options this tuner was built with. Runs never mutate them:
+    /// budget clamping of the bootstrap happens on a per-run local, so the
+    /// run header and any later run on the same tuner see the configured
+    /// values.
+    pub fn options(&self) -> &TunerOptions {
+        &self.options
+    }
+
     /// Builds (once) and returns the Ranking pool state, with the seen
     /// bitset synced to the current history.
     fn pool(&mut self) -> &RankingPool {
@@ -297,27 +320,40 @@ impl Tuner {
             bandwidth_fraction: self.options.bandwidth_fraction,
         };
         let prior = self.options.prior.as_ref().map(|(p, w)| (p, *w));
-        TpeSurrogate::fit(
+        let failed: Vec<Configuration> = self
+            .history
+            .failures()
+            .iter()
+            .map(|f| f.config.clone())
+            .collect();
+        TpeSurrogate::fit_with_failures(
             &self.space,
             self.history.configs(),
             self.history.objectives(),
+            &failed,
             &opts,
             prior,
         )
     }
 
     /// Runs the bootstrap phase if it has not happened yet: evaluates
-    /// `init_samples` distinct uniform random configurations.
-    fn bootstrap(&mut self, objective: &mut impl FnMut(&Configuration) -> f64) {
+    /// `init_samples` distinct uniform random configurations. The count is
+    /// a parameter (not read from `self.options`) so budget-driven clamping
+    /// never mutates the configured options.
+    fn bootstrap(
+        &mut self,
+        objective: &mut impl FnMut(&Configuration) -> EvalOutcome,
+        init_samples: usize,
+    ) {
         if self.bootstrapped {
             return;
         }
         let n = if self.space.is_fully_discrete() {
             // Never ask for more distinct samples than exist.
             let pool_len = self.pool().configs.len();
-            self.options.init_samples.min(pool_len)
+            init_samples.min(pool_len)
         } else {
-            self.options.init_samples
+            init_samples
         };
         let samples = match self.options.init_design {
             InitDesign::UniformRandom => sample_distinct(&self.space, n, &mut self.rng),
@@ -329,16 +365,20 @@ impl Tuner {
         self.bootstrapped = true;
     }
 
-    /// Evaluates `objective` on `cfg` and appends the observation, tracing
-    /// the evaluation (and any incumbent improvement) when a recorder is
-    /// attached. The untraced path is byte-for-byte the old
-    /// `history.push(cfg, objective(&cfg))`.
+    /// Evaluates `objective` on `cfg` and appends either the observation or
+    /// the failure record, tracing when a recorder is attached. Returns
+    /// whether the evaluation succeeded. The untraced success path is
+    /// byte-for-byte the old `history.push(cfg, objective(&cfg))`.
+    ///
+    /// Failed trials never emit `IncumbentImproved` (and the guard also
+    /// re-checks finiteness, so no construction path can smuggle a NaN
+    /// incumbent into a trace).
     fn evaluate_and_push(
         &mut self,
         cfg: Configuration,
-        objective: &mut impl FnMut(&Configuration) -> f64,
+        objective: &mut impl FnMut(&Configuration) -> EvalOutcome,
         bootstrap: bool,
-    ) {
+    ) -> bool {
         let traced = self.recorder.enabled();
         let prev_best = if traced {
             self.history.best().map(|(_, _, y)| y)
@@ -346,23 +386,61 @@ impl Tuner {
             None
         };
         let timer = SpanTimer::start(traced);
-        let y = objective(&cfg);
-        if let Some(elapsed_ns) = timer.elapsed_ns() {
-            let iteration = self.history.len() as u64;
-            self.recorder.record(&Event::ObjectiveEvaluated {
-                iteration,
-                objective: y,
-                bootstrap,
-                elapsed_ns,
-            });
-            if !prev_best.is_some_and(|best| y >= best) {
-                self.recorder.record(&Event::IncumbentImproved {
-                    iteration,
-                    objective: y,
-                });
+        let outcome = objective(&cfg).normalized();
+        match outcome {
+            EvalOutcome::Ok(y) => {
+                if let Some(elapsed_ns) = timer.elapsed_ns() {
+                    let iteration = self.history.trials() as u64;
+                    self.recorder.record(&Event::ObjectiveEvaluated {
+                        iteration,
+                        objective: y,
+                        bootstrap,
+                        elapsed_ns,
+                    });
+                    if y.is_finite() && !prev_best.is_some_and(|best| y >= best) {
+                        self.recorder.record(&Event::IncumbentImproved {
+                            iteration,
+                            objective: y,
+                        });
+                    }
+                }
+                self.history.push(cfg, y);
+                true
+            }
+            outcome => {
+                let reason = outcome.failure_reason().expect("non-Ok outcome");
+                if let Some(elapsed_ns) = timer.elapsed_ns() {
+                    self.recorder.record(&Event::TrialFailed {
+                        iteration: self.history.trials() as u64,
+                        reason: reason.clone(),
+                        elapsed_ns,
+                    });
+                }
+                self.history.push_failure(cfg, reason);
+                false
             }
         }
-        self.history.push(cfg, y);
+    }
+
+    /// A configuration to evaluate when the surrogate cannot be fit because
+    /// every trial so far failed: uniform random restarts (deduplicated
+    /// against the history), falling back to a pool scan on small discrete
+    /// spaces where rejection sampling keeps colliding. `None` when the
+    /// whole space has been tried.
+    fn recovery_config(&mut self) -> Option<Configuration> {
+        for _ in 0..64 {
+            let cfg = sample_uniform(&self.space, &mut self.rng);
+            if !self.history.contains(&cfg) {
+                return Some(cfg);
+            }
+        }
+        if self.space.is_fully_discrete() {
+            let pool = self.pool();
+            return (0..pool.configs.len())
+                .find(|&i| !pool.seen.get(i))
+                .map(|i| pool.configs[i].clone());
+        }
+        None
     }
 
     /// Fits and returns the surrogate for the current history — the object
@@ -380,13 +458,22 @@ impl Tuner {
 
     /// Selects the next configuration to evaluate, without evaluating it.
     /// Returns `None` when a Ranking pool is exhausted.
+    ///
+    /// # Panics
+    /// Panics before bootstrap, or when every trial so far failed (no
+    /// observation to fit the surrogate on — the run loops recover from
+    /// that state via uniform restarts instead of suggesting).
     pub fn suggest(&mut self) -> Option<Configuration> {
         assert!(
             self.bootstrapped,
             "call run/step first: the surrogate needs bootstrap data"
         );
+        assert!(
+            !self.history.is_empty(),
+            "no successful observations to fit the surrogate on"
+        );
         let traced = self.recorder.enabled();
-        let iteration = self.history.len() as u64;
+        let iteration = self.history.trials() as u64;
         let fit_timer = SpanTimer::start(traced);
         let surrogate = self.fit_surrogate();
         if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
@@ -441,15 +528,41 @@ impl Tuner {
     /// design: sampling may re-draw a seen configuration) is *not*
     /// re-evaluated; the iteration is simply skipped.
     pub fn step(&mut self, mut objective: impl FnMut(&Configuration) -> f64) -> bool {
+        self.step_fallible(|cfg| EvalOutcome::from_value(objective(cfg)))
+    }
+
+    /// Fallible variant of [`step`](Self::step): the objective reports an
+    /// [`EvalOutcome`] per evaluation. A failed trial still counts as
+    /// progress (it consumed budget and taught the surrogate something);
+    /// only pool/space exhaustion returns `false`.
+    ///
+    /// When every trial so far has failed there is nothing to fit the
+    /// surrogate on, so the iteration falls back to a uniform random
+    /// restart instead of model-driven selection.
+    pub fn step_fallible(
+        &mut self,
+        mut objective: impl FnMut(&Configuration) -> EvalOutcome,
+    ) -> bool {
         if !self.bootstrapped {
-            self.bootstrap(&mut objective);
+            let init = self.options.init_samples;
+            self.bootstrap(&mut objective, init);
             return true;
         }
         if self.recorder.enabled() {
             self.recorder.record(&Event::IterationStart {
-                iteration: self.history.len() as u64,
+                iteration: self.history.trials() as u64,
                 history_len: self.history.len() as u64,
             });
+        }
+        if self.history.is_empty() {
+            // All trials failed so far: no surrogate, recover by restart.
+            return match self.recovery_config() {
+                None => false,
+                Some(cfg) => {
+                    self.evaluate_and_push(cfg, &mut objective, false);
+                    true
+                }
+            };
         }
         match self.suggest() {
             None => false,
@@ -489,9 +602,14 @@ impl Tuner {
             .filter(|&(i, _)| !pool.seen.get(i))
             .map(|(_, c)| (table.score(c), c))
             .collect();
+        // A NaN score (possible with degenerate density options, e.g. a
+        // zero pseudo-count making an unseen value -inf in both densities)
+        // is uninformative: drop the candidate rather than panic or let it
+        // poison the sort.
+        scored.retain(|(s, _)| !s.is_nan());
         // Stable sort: equal scores keep pool order, extending the ranking
         // tie-break contract (lowest pool index first) to batches.
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite EI"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         scored.into_iter().take(k).map(|(_, c)| c.clone()).collect()
     }
 
@@ -506,24 +624,44 @@ impl Tuner {
         rules: &crate::stopping::StoppingSet,
         mut objective: impl FnMut(&Configuration) -> f64,
     ) -> BestResult {
+        self.run_until_fallible(rules, |cfg| EvalOutcome::from_value(objective(cfg)))
+            .expect("every evaluation failed; use run_until_fallible to handle this")
+    }
+
+    /// Fallible variant of [`run_until`](Self::run_until). Returns `None`
+    /// when the run ends with zero successful observations (every trial
+    /// failed).
+    ///
+    /// # Panics
+    /// Panics if `rules` is empty and the space is continuous (the loop
+    /// would never terminate).
+    pub fn run_until_fallible(
+        &mut self,
+        rules: &crate::stopping::StoppingSet,
+        mut objective: impl FnMut(&Configuration) -> EvalOutcome,
+    ) -> Option<BestResult> {
         assert!(
             !rules.is_empty() || self.space.is_fully_discrete(),
             "an empty stopping set on a continuous space never terminates"
         );
         self.emit_run_header();
         if !self.bootstrapped {
+            // Clamp on a local: the stored options stay as configured (the
+            // run header and later runs on this tuner must not see a
+            // budget-mangled init_samples).
+            let mut init = self.options.init_samples;
             if let Some(cap) = rules.evaluation_cap() {
-                self.options.init_samples = self.options.init_samples.min(cap.max(1));
+                init = init.min(cap.max(1));
             }
-            self.bootstrap(&mut objective);
+            self.bootstrap(&mut objective, init);
         }
         let mut stall_guard = 0usize;
         while !rules.should_stop(&self.history) {
-            let before = self.history.len();
-            if !self.step(&mut objective) {
+            let before = self.history.trials();
+            if !self.step_fallible(&mut objective) {
                 break; // pool exhausted
             }
-            if self.history.len() == before {
+            if self.history.trials() == before {
                 stall_guard += 1;
                 if stall_guard > 10_000 {
                     break; // proposal duplicates only; treat as converged
@@ -543,48 +681,68 @@ impl Tuner {
     }
 
     /// Reads off the best observation, emitting `RunFinished` when traced.
-    fn finish_run(&self) -> BestResult {
-        let (_, cfg, obj) = self.history.best().expect("bootstrap ran");
+    /// `None` when every trial failed (nothing to report as best).
+    fn finish_run(&self) -> Option<BestResult> {
+        let (_, cfg, obj) = self.history.best()?;
         if self.recorder.enabled() {
             self.recorder.record(&Event::RunFinished {
-                evaluations: self.history.len() as u64,
+                evaluations: self.history.trials() as u64,
                 best_objective: obj,
             });
         }
-        BestResult {
+        Some(BestResult {
             config: cfg.clone(),
             objective: obj,
-            evaluations: self.history.len(),
-        }
+            evaluations: self.history.trials(),
+        })
     }
 
     /// Runs until `budget` total evaluations have been spent (bootstrap
     /// included) or the space is exhausted, and returns the best found.
+    /// An objective returning NaN/±∞ is recorded as a failed trial, not an
+    /// observation; use [`run_fallible`](Self::run_fallible) to report
+    /// failures explicitly.
+    ///
+    /// A `budget < init_samples` is not an error — the bootstrap is clamped
+    /// to `budget` (on a per-run local, never the stored options),
+    /// mirroring the paper's fixed-total-sample experiments.
     ///
     /// # Panics
-    /// Panics if `budget < init_samples` would leave the surrogate unfit —
-    /// the bootstrap is clamped to `budget` instead, mirroring the paper's
-    /// fixed-total-sample experiments.
+    /// Panics when the run ends with zero successful observations.
     pub fn run(
         &mut self,
         budget: usize,
         mut objective: impl FnMut(&Configuration) -> f64,
     ) -> BestResult {
+        self.run_fallible(budget, |cfg| EvalOutcome::from_value(objective(cfg)))
+            .expect("every evaluation failed; use run_fallible to handle this")
+    }
+
+    /// Fallible variant of [`run`](Self::run): the objective reports an
+    /// [`EvalOutcome`] per evaluation, and `budget` counts **trials** —
+    /// successes plus permanent failures — since a crashed run consumes
+    /// machine time exactly like a successful one. Returns `None` when the
+    /// run ends with zero successful observations.
+    pub fn run_fallible(
+        &mut self,
+        budget: usize,
+        mut objective: impl FnMut(&Configuration) -> EvalOutcome,
+    ) -> Option<BestResult> {
         assert!(budget > 0, "budget must be positive");
         self.emit_run_header();
         if !self.bootstrapped {
             // A budget smaller than init_samples spends it all on bootstrap.
-            let clamped = self.options.init_samples.min(budget);
-            self.options.init_samples = clamped;
-            self.bootstrap(&mut objective);
+            // Clamp on a local: the stored options stay as configured.
+            let init = self.options.init_samples.min(budget);
+            self.bootstrap(&mut objective, init);
         }
         let mut stall_guard = 0usize;
-        while self.history.len() < budget {
-            let before = self.history.len();
-            if !self.step(&mut objective) {
+        while self.history.trials() < budget {
+            let before = self.history.trials();
+            if !self.step_fallible(&mut objective) {
                 break; // pool exhausted
             }
-            if self.history.len() == before {
+            if self.history.trials() == before {
                 // Proposal duplicate; tolerate a bounded number of stalls.
                 stall_guard += 1;
                 if stall_guard > 100 * budget {
@@ -868,6 +1026,149 @@ mod tests {
         let best = tuner.run_until(&rules, objective);
         assert!(best.objective <= 1.0);
         assert!(best.evaluations <= 100);
+    }
+
+    // Regression (S3): `run`/`run_until` used to write the budget-clamped
+    // bootstrap size back into `self.options.init_samples`, corrupting the
+    // run header and any later run on the same tuner.
+    #[test]
+    fn small_budget_run_leaves_options_unchanged() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(4));
+        let header_before = tuner.run_header();
+        tuner.run(5, objective);
+        assert_eq!(
+            tuner.options().init_samples,
+            20,
+            "run(5) must not overwrite the configured init_samples"
+        );
+        assert_eq!(tuner.run_header(), header_before);
+    }
+
+    #[test]
+    fn small_cap_run_until_leaves_options_unchanged() {
+        use crate::stopping::{StoppingRule, StoppingSet};
+        let rules = StoppingSet::new().with(StoppingRule::MaxEvaluations(5));
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(4));
+        tuner.run_until(&rules, objective);
+        assert_eq!(tuner.options().init_samples, 20);
+        assert!(tuner.run_header().options.contains("init_samples=20"));
+    }
+
+    // Regression (S4): non-finite EI scores (e.g. pseudo_count = 0 making
+    // an unseen value -inf in both densities, so the score is NaN) used to
+    // panic `suggest_batch` on `partial_cmp(..).expect("finite EI")`.
+    #[test]
+    fn suggest_batch_survives_nan_scores() {
+        let mut opts = TunerOptions::default().with_seed(15).with_init_samples(3);
+        opts.pseudo_count = 0.0;
+        let mut tuner = Tuner::new(space(), opts);
+        tuner.run(3, objective);
+        let batch = tuner.suggest_batch(5);
+        assert!(!batch.is_empty());
+        for c in &batch {
+            assert!(!tuner.history().contains(c));
+        }
+    }
+
+    #[test]
+    fn failed_trials_are_recorded_and_never_best() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(16));
+        // Fail every config with even x; others succeed.
+        let best = tuner
+            .run_fallible(40, |c| {
+                if c.value(0).index() % 2 == 0 {
+                    EvalOutcome::Failed {
+                        reason: "injected".into(),
+                    }
+                } else {
+                    EvalOutcome::Ok(objective(c))
+                }
+            })
+            .expect("odd-x configs succeed");
+        assert_eq!(best.evaluations, 40, "budget counts trials, not successes");
+        assert_eq!(tuner.history().trials(), 40);
+        assert!(tuner.history().n_failures() > 0, "some trials must fail");
+        assert!(best.objective.is_finite());
+        assert_eq!(best.config.value(0).index() % 2, 1);
+        // Failed configs are never re-suggested and never in the objective
+        // table.
+        for f in tuner.history().failures() {
+            assert_eq!(f.config.value(0).index() % 2, 0);
+        }
+        for c in tuner.history().configs() {
+            assert_eq!(c.value(0).index() % 2, 1);
+        }
+    }
+
+    #[test]
+    fn infallible_run_converts_nan_to_failures() {
+        // Pre-PR this panicked inside history.push / split_by_quantile.
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(17));
+        let best = tuner.run(30, |c| {
+            if c.value(0).index() == 5 {
+                f64::NAN
+            } else {
+                objective(c)
+            }
+        });
+        assert!(best.objective.is_finite());
+        assert!(tuner.history().objectives().iter().all(|y| y.is_finite()));
+        for f in tuner.history().failures() {
+            assert_eq!(f.config.value(0).index(), 5);
+        }
+    }
+
+    #[test]
+    fn all_failed_run_returns_none_and_spends_budget() {
+        let mut tuner = Tuner::new(space(), TunerOptions::default().with_seed(18));
+        let out = tuner.run_fallible(25, |_| EvalOutcome::Timeout);
+        assert!(out.is_none());
+        assert_eq!(tuner.history().trials(), 25);
+        assert_eq!(tuner.history().len(), 0);
+        // Recovery restarts keep drawing distinct configs, not re-failing
+        // the same one.
+        let distinct: std::collections::HashSet<_> = tuner
+            .history()
+            .failures()
+            .iter()
+            .map(|f| f.config.clone())
+            .collect();
+        assert_eq!(distinct.len(), 25);
+    }
+
+    #[test]
+    fn all_failed_exhausts_small_discrete_spaces() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .build()
+            .unwrap();
+        let mut tuner = Tuner::new(s, TunerOptions::default().with_seed(19));
+        let out = tuner.run_fallible(50, |_| EvalOutcome::Failed {
+            reason: "always".into(),
+        });
+        assert!(out.is_none());
+        assert_eq!(tuner.history().trials(), 3, "stops after trying the space");
+    }
+
+    #[test]
+    fn fallible_history_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = Tuner::new(space(), TunerOptions::default().with_seed(seed));
+            t.run_fallible(30, |c| {
+                if (c.value(0).index() + c.value(1).index()) % 3 == 0 {
+                    EvalOutcome::Failed {
+                        reason: "mod3".into(),
+                    }
+                } else {
+                    EvalOutcome::Ok(objective(c))
+                }
+            });
+            (
+                t.history().objectives().to_vec(),
+                t.history().failures().to_vec(),
+            )
+        };
+        assert_eq!(run(7), run(7));
     }
 
     #[test]

@@ -99,6 +99,7 @@ fn hiperbot_transfer_run(
     SelectionRun {
         configs: tuner.history().configs().to_vec(),
         objectives: tuner.history().objectives().to_vec(),
+        failures: tuner.history().n_failures(),
     }
 }
 

@@ -1,0 +1,422 @@
+//! Retry/backoff handling for fallible objective evaluations.
+//!
+//! A real tuning campaign on a shared machine sees transient failures —
+//! node crashes, OOM kills, launcher hiccups — that have nothing to do
+//! with the configuration being measured. Giving up immediately wastes a
+//! trial of the evaluation budget on noise; retrying forever wastes
+//! wall-clock on configurations that genuinely cannot run. [`RetryPolicy`]
+//! is the standard compromise: a bounded number of retries with
+//! exponential backoff and jitter.
+//!
+//! Two properties matter for this repository's reproducibility contract:
+//!
+//! - **Only transient failures are retried.** [`EvalOutcome::Timeout`] is
+//!   deterministic per configuration (the same run exceeds the same
+//!   budget again), so it is reported immediately; see
+//!   [`EvalOutcome::is_retryable`].
+//! - **The jitter is seeded, not sampled.** Each wait derives from
+//!   `(policy seed, trial, attempt)` via the same hash machinery as the
+//!   simulators' noise and fault draws, so an entire run — failures,
+//!   retries, and backoff durations included — replays bit-identically
+//!   from its seeds, and retrying never perturbs the tuner's RNG stream.
+
+use hiperbot_core::EvalOutcome;
+use hiperbot_obs::{Event, NoopRecorder, Recorder};
+use hiperbot_perfsim::faults::SimOutcome;
+use hiperbot_space::Configuration;
+use hiperbot_stats::rng::{mix_words, u64_to_unit_open};
+use std::sync::Arc;
+
+/// Domain-separation tag for backoff jitter draws.
+const JITTER_TAG: u64 = 0xBACC_0FF5_0000_0001;
+
+/// Converts a simulator outcome into the tuner-facing [`EvalOutcome`]:
+/// crashes become retryable failures, timeouts stay timeouts, and a
+/// completed measurement is classified by finiteness.
+pub fn outcome_from_sim(sim: SimOutcome) -> EvalOutcome {
+    match sim {
+        SimOutcome::Completed(v) => EvalOutcome::from_value(v),
+        SimOutcome::Crashed => EvalOutcome::Failed {
+            reason: "simulated crash".to_string(),
+        },
+        SimOutcome::TimedOut => EvalOutcome::Timeout,
+    }
+}
+
+/// How (and how often) to retry a failed evaluation attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 disables retrying).
+    pub max_retries: u32,
+    /// Wait before the first retry, in seconds.
+    pub base_backoff: f64,
+    /// Exponential growth factor between consecutive waits.
+    pub multiplier: f64,
+    /// Cap on any single wait, in seconds.
+    pub max_backoff: f64,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+    /// Cap on the *total* backoff spent within one trial, in seconds:
+    /// retrying stops early once the next wait would exceed it.
+    pub trial_budget: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+            max_backoff: 30.0,
+            jitter: 0.5,
+            seed: 0,
+            trial_budget: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure is final).
+    pub fn no_retries() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the retry count.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-trial total-backoff budget in seconds.
+    pub fn with_trial_budget(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "trial budget must be finite and non-negative"
+        );
+        self.trial_budget = Some(seconds);
+        self
+    }
+
+    /// The wait in seconds before retry number `attempt + 1` of trial
+    /// `trial`: `min(base · multiplier^attempt, max_backoff)` scaled by a
+    /// deterministic jitter factor in `[1 - jitter, 1 + jitter]` derived
+    /// from `(seed, trial, attempt)`. Pure — calling it never advances any
+    /// RNG state.
+    pub fn backoff_seconds(&self, trial: u64, attempt: u32) -> f64 {
+        assert!(
+            self.base_backoff >= 0.0 && self.multiplier >= 1.0 && self.max_backoff >= 0.0,
+            "backoff parameters must be non-negative with multiplier >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "jitter must be a fraction in [0, 1]"
+        );
+        let raw = (self.base_backoff * self.multiplier.powi(attempt as i32)).min(self.max_backoff);
+        let u = u64_to_unit_open(mix_words(&[self.seed, JITTER_TAG, trial, attempt as u64]));
+        raw * (1.0 + self.jitter * (2.0 * u - 1.0))
+    }
+}
+
+/// Wraps an attempt-aware fallible objective with a [`RetryPolicy`],
+/// exposing the single-shot interface the tuner consumes.
+///
+/// The inner objective receives `(configuration, attempt)` — attempt
+/// numbers restart at 0 for every trial — so fault models whose crash
+/// draws are keyed on the attempt index (see
+/// [`FaultModel::attempt_outcome`](hiperbot_perfsim::faults::FaultModel::attempt_outcome))
+/// genuinely redraw on retry. Each retry emits an
+/// [`Event::TrialRetried`] to the attached recorder, and the optional
+/// sleeper is invoked with the backoff in seconds (simulated campaigns
+/// leave it unset: the wait is recorded but not performed).
+pub struct RetryingObjective<F> {
+    inner: F,
+    policy: RetryPolicy,
+    recorder: Arc<dyn Recorder>,
+    sleeper: Option<Box<dyn FnMut(f64)>>,
+    trial: u64,
+    retries: u64,
+}
+
+impl<F: FnMut(&Configuration, u32) -> EvalOutcome> RetryingObjective<F> {
+    /// Wraps `inner` with `policy`. No events are recorded until a
+    /// recorder is attached.
+    pub fn new(inner: F, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            recorder: Arc::new(NoopRecorder),
+            sleeper: None,
+            trial: 0,
+            retries: 0,
+        }
+    }
+
+    /// Attaches a trace recorder for [`Event::TrialRetried`] events.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a sleeper called with each backoff duration in seconds
+    /// (e.g. `std::thread::sleep` for real campaigns).
+    pub fn with_sleeper(mut self, sleeper: impl FnMut(f64) + 'static) -> Self {
+        self.sleeper = Some(Box::new(sleeper));
+        self
+    }
+
+    /// Number of trials evaluated so far.
+    pub fn trials(&self) -> u64 {
+        self.trial
+    }
+
+    /// Total retries performed across all trials.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Evaluates one trial: attempts the inner objective, retrying
+    /// retryable failures per the policy, and returns the final outcome
+    /// (the last failure if every attempt failed).
+    pub fn evaluate(&mut self, cfg: &Configuration) -> EvalOutcome {
+        let trial = self.trial;
+        self.trial += 1;
+        let mut spent = 0.0;
+        let mut attempt: u32 = 0;
+        loop {
+            let out = (self.inner)(cfg, attempt).normalized();
+            if !out.is_retryable() || attempt >= self.policy.max_retries {
+                return out;
+            }
+            let wait = self.policy.backoff_seconds(trial, attempt);
+            if let Some(budget) = self.policy.trial_budget {
+                if spent + wait > budget {
+                    return out;
+                }
+            }
+            spent += wait;
+            self.retries += 1;
+            self.recorder.record(&Event::TrialRetried {
+                iteration: trial,
+                attempt: (attempt + 1) as u64,
+                backoff_ns: (wait * 1e9) as u64,
+                reason: out.failure_reason().unwrap_or_default(),
+            });
+            if let Some(sleep) = &mut self.sleeper {
+                sleep(wait);
+            }
+            attempt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiperbot_obs::MemoryRecorder;
+
+    fn cfg(i: usize) -> Configuration {
+        Configuration::from_indices(&[i])
+    }
+
+    #[test]
+    fn sim_outcomes_convert_to_eval_outcomes() {
+        assert_eq!(
+            outcome_from_sim(SimOutcome::Completed(2.5)),
+            EvalOutcome::Ok(2.5)
+        );
+        assert!(!outcome_from_sim(SimOutcome::Completed(f64::NAN)).is_ok());
+        assert!(outcome_from_sim(SimOutcome::Crashed).is_retryable());
+        assert_eq!(outcome_from_sim(SimOutcome::TimedOut), EvalOutcome::Timeout);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert!((p.backoff_seconds(0, 0) - 1.0).abs() < 1e-12);
+        assert!((p.backoff_seconds(0, 1) - 2.0).abs() < 1e-12);
+        assert!((p.backoff_seconds(0, 2) - 4.0).abs() < 1e-12);
+        assert!((p.backoff_seconds(0, 10) - 30.0).abs() < 1e-12, "capped");
+    }
+
+    #[test]
+    fn jitter_is_bounded_deterministic_and_trial_dependent() {
+        let p = RetryPolicy::default().with_seed(9);
+        for trial in 0..50u64 {
+            for attempt in 0..4u32 {
+                let w = p.backoff_seconds(trial, attempt);
+                let raw = (p.base_backoff * p.multiplier.powi(attempt as i32)).min(p.max_backoff);
+                assert!(w >= raw * 0.5 && w <= raw * 1.5, "wait {w} vs raw {raw}");
+                assert_eq!(w, p.backoff_seconds(trial, attempt), "deterministic");
+            }
+        }
+        assert_ne!(p.backoff_seconds(0, 0), p.backoff_seconds(1, 0));
+        assert_ne!(
+            p.backoff_seconds(0, 0),
+            p.with_seed(10).backoff_seconds(0, 0)
+        );
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut retrying = RetryingObjective::new(
+            |_c: &Configuration, attempt: u32| {
+                if attempt < 2 {
+                    EvalOutcome::Failed {
+                        reason: "flaky".into(),
+                    }
+                } else {
+                    EvalOutcome::Ok(1.5)
+                }
+            },
+            RetryPolicy::default().with_max_retries(2),
+        )
+        .with_recorder(recorder.clone());
+        assert_eq!(retrying.evaluate(&cfg(0)), EvalOutcome::Ok(1.5));
+        assert_eq!(retrying.retries(), 2);
+        let retried = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::TrialRetried { .. }))
+            .count();
+        assert_eq!(retried, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_last_failure() {
+        let mut calls = 0u32;
+        let mut retrying = RetryingObjective::new(
+            |_c: &Configuration, _attempt: u32| {
+                calls += 1;
+                EvalOutcome::Failed {
+                    reason: "always".into(),
+                }
+            },
+            RetryPolicy::default().with_max_retries(3),
+        );
+        let out = retrying.evaluate(&cfg(1));
+        assert!(!out.is_ok());
+        drop(retrying);
+        assert_eq!(calls, 4, "1 initial attempt + 3 retries");
+    }
+
+    #[test]
+    fn timeouts_are_never_retried() {
+        let mut calls = 0u32;
+        let mut retrying = RetryingObjective::new(
+            |_c: &Configuration, _attempt: u32| {
+                calls += 1;
+                EvalOutcome::Timeout
+            },
+            RetryPolicy::default().with_max_retries(5),
+        );
+        assert_eq!(retrying.evaluate(&cfg(2)), EvalOutcome::Timeout);
+        assert_eq!(retrying.retries(), 0);
+        drop(retrying);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn no_retries_policy_fails_fast() {
+        let mut retrying = RetryingObjective::new(
+            |_c: &Configuration, _attempt: u32| EvalOutcome::Failed {
+                reason: "crash".into(),
+            },
+            RetryPolicy::no_retries(),
+        );
+        assert!(!retrying.evaluate(&cfg(0)).is_ok());
+        assert_eq!(retrying.retries(), 0);
+    }
+
+    #[test]
+    fn trial_budget_stops_retrying_early() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+            max_backoff: 100.0,
+            jitter: 0.0,
+            seed: 0,
+            trial_budget: None,
+        }
+        // waits would be 1, 2, 4, 8, ...; a 3.5 s budget allows only 1 + 2.
+        .with_trial_budget(3.5);
+        let mut calls = 0u32;
+        let mut retrying = RetryingObjective::new(
+            |_c: &Configuration, _attempt: u32| {
+                calls += 1;
+                EvalOutcome::Failed {
+                    reason: "slow crash".into(),
+                }
+            },
+            policy,
+        );
+        let _ = retrying.evaluate(&cfg(0));
+        assert_eq!(retrying.retries(), 2);
+        drop(retrying);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn sleeper_receives_each_backoff() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let waits: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&waits);
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut retrying = RetryingObjective::new(
+            |_c: &Configuration, _attempt: u32| EvalOutcome::Failed {
+                reason: "crash".into(),
+            },
+            policy,
+        )
+        .with_sleeper(move |s| sink.borrow_mut().push(s));
+        let _ = retrying.evaluate(&cfg(0));
+        drop(retrying);
+        assert_eq!(&*waits.borrow(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn retried_runs_replay_identically_per_seed() {
+        use hiperbot_perfsim::faults::FaultModel;
+        let model = FaultModel::new(13, 0.4);
+        let run = |policy_seed: u64| {
+            let recorder = Arc::new(MemoryRecorder::new());
+            let mut retrying = RetryingObjective::new(
+                |c: &Configuration, attempt: u32| {
+                    let words = [c.value(0).index() as u64];
+                    outcome_from_sim(model.attempt_outcome(&words, attempt, 1.0))
+                },
+                RetryPolicy::default().with_seed(policy_seed),
+            )
+            .with_recorder(recorder.clone());
+            let outcomes: Vec<EvalOutcome> = (0..40).map(|i| retrying.evaluate(&cfg(i))).collect();
+            let events: Vec<String> = recorder
+                .events()
+                .iter()
+                .map(|e| serde_json::to_string(e).unwrap())
+                .collect();
+            (outcomes, events)
+        };
+        assert_eq!(run(1), run(1), "same seeds replay bit-identically");
+        assert_ne!(run(1).1, run(2).1, "jitter seed changes the backoffs");
+    }
+}

@@ -19,10 +19,12 @@
 //! them.
 
 pub mod experiments;
+pub mod faults;
 pub mod metrics;
 pub mod plot;
 pub mod report;
 pub mod runner;
 
+pub use faults::{outcome_from_sim, RetryPolicy, RetryingObjective};
 pub use metrics::{GoodSet, Recall};
 pub use runner::{run_trials, CheckpointStats, TrialConfig};

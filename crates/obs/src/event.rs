@@ -94,6 +94,28 @@ pub enum Event {
         /// Objective wall time.
         elapsed_ns: u64,
     },
+    /// An objective evaluation failed permanently (every retry exhausted,
+    /// or none allowed). The configuration is quarantined as bad evidence
+    /// and never enters the observation history.
+    TrialFailed {
+        /// Trial index (history length + failures when the trial started).
+        iteration: u64,
+        /// Why the final attempt failed (`"timeout"` or a crash reason).
+        reason: String,
+        /// Wall time across all attempts of the trial.
+        elapsed_ns: u64,
+    },
+    /// An objective evaluation attempt failed and is about to be retried.
+    TrialRetried {
+        /// Trial index the retry belongs to.
+        iteration: u64,
+        /// The attempt that just failed (0-based), i.e. attempt+1 is next.
+        attempt: u64,
+        /// Backoff delay scheduled before the next attempt.
+        backoff_ns: u64,
+        /// Why the attempt failed.
+        reason: String,
+    },
     /// The best-so-far objective improved.
     IncumbentImproved {
         /// Evaluation index of the improving observation.
@@ -197,6 +219,7 @@ impl Event {
         match self {
             Event::RunHeader(_)
             | Event::IncumbentImproved { .. }
+            | Event::TrialFailed { .. }
             | Event::RunFinished { .. }
             | Event::TrialFinished { .. }
             | Event::SelectorRun { .. } => Level::Info,
@@ -256,6 +279,23 @@ impl Event {
                 "iter {iteration} evaluate{} -> {objective:.6} ({:.3} ms)",
                 if *bootstrap { " [bootstrap]" } else { "" },
                 ms(*elapsed_ns)
+            ),
+            Event::TrialFailed {
+                iteration,
+                reason,
+                elapsed_ns,
+            } => format!(
+                "iter {iteration} evaluate FAILED: {reason} ({:.3} ms)",
+                ms(*elapsed_ns)
+            ),
+            Event::TrialRetried {
+                iteration,
+                attempt,
+                backoff_ns,
+                reason,
+            } => format!(
+                "iter {iteration} attempt {attempt} failed ({reason}), retrying after {:.3} ms",
+                ms(*backoff_ns)
             ),
             Event::IncumbentImproved {
                 iteration,
@@ -375,6 +415,17 @@ mod tests {
                 objective: 2.5,
                 bootstrap: false,
                 elapsed_ns: 88,
+            },
+            Event::TrialFailed {
+                iteration: 4,
+                reason: "crash".into(),
+                elapsed_ns: 1234,
+            },
+            Event::TrialRetried {
+                iteration: 4,
+                attempt: 0,
+                backoff_ns: 500_000,
+                reason: "timeout".into(),
             },
             Event::IncumbentImproved {
                 iteration: 3,

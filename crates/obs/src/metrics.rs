@@ -275,6 +275,29 @@ impl MetricsRegistry {
             for (name, v) in &inner.counters {
                 out.push_str(&format!("{name:<26} {v}\n"));
             }
+            // Derived failure rate: permanent failures over all trials that
+            // consumed budget (successes + failures).
+            let failed = inner.counters.get("tuner.evaluations.failed").copied();
+            if let Some(failed) = failed {
+                let ok = inner
+                    .counters
+                    .get("tuner.evaluations.bootstrap")
+                    .copied()
+                    .unwrap_or(0)
+                    + inner
+                        .counters
+                        .get("tuner.evaluations.model")
+                        .copied()
+                        .unwrap_or(0);
+                let total = ok + failed;
+                if total > 0 {
+                    out.push_str(&format!(
+                        "{:<26} {:.1}% ({failed}/{total})\n",
+                        "tuner.failure_rate",
+                        100.0 * failed as f64 / total as f64
+                    ));
+                }
+            }
         }
         out
     }
@@ -331,6 +354,11 @@ impl Recorder for MetricsRecorder {
                     "tuner.evaluations.model"
                 });
             }
+            Event::TrialFailed { elapsed_ns, .. } => {
+                self.registry.incr("tuner.evaluations.failed");
+                self.registry.observe_ns("tuner.evaluate", *elapsed_ns);
+            }
+            Event::TrialRetried { .. } => self.registry.incr("tuner.retries"),
             Event::PropagationRound { .. } => self.registry.incr("geist.rounds"),
             Event::TrialFinished { .. } => self.registry.incr("eval.trials"),
             _ => {}
@@ -500,6 +528,38 @@ mod tests {
         assert_eq!(registry.histogram("tuner.evaluate").unwrap().count(), 1);
         assert_eq!(registry.counter("tuner.evaluations.bootstrap"), 1);
         assert_eq!(registry.counter("tuner.improvements"), 1);
+    }
+
+    #[test]
+    fn failure_events_feed_counters_and_rate() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let rec = MetricsRecorder::new(registry.clone());
+        for i in 0..3 {
+            rec.record(&Event::ObjectiveEvaluated {
+                iteration: i,
+                objective: 1.0,
+                bootstrap: false,
+                elapsed_ns: 100,
+            });
+        }
+        rec.record(&Event::TrialRetried {
+            iteration: 3,
+            attempt: 0,
+            backoff_ns: 1_000,
+            reason: "crash".into(),
+        });
+        rec.record(&Event::TrialFailed {
+            iteration: 3,
+            reason: "crash".into(),
+            elapsed_ns: 2_000,
+        });
+        assert_eq!(registry.counter("tuner.evaluations.failed"), 1);
+        assert_eq!(registry.counter("tuner.retries"), 1);
+        // Failed trials still contribute an evaluate latency sample.
+        assert_eq!(registry.histogram("tuner.evaluate").unwrap().count(), 4);
+        let s = registry.render_summary();
+        assert!(s.contains("tuner.failure_rate"), "{s}");
+        assert!(s.contains("25.0% (1/4)"), "{s}");
     }
 
     #[test]

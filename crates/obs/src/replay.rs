@@ -20,6 +20,10 @@ pub struct TraceSummary {
     pub iterations: u64,
     /// Objective evaluations observed (bootstrap + model).
     pub evaluations: u64,
+    /// Permanently failed trials observed (`TrialFailed` events).
+    pub failures: u64,
+    /// Retry attempts observed (`TrialRetried` events).
+    pub retries: u64,
     /// `(iteration, objective)` pairs at each incumbent improvement, in
     /// trace order — the convergence trajectory.
     pub incumbent_trajectory: Vec<(u64, f64)>,
@@ -43,6 +47,8 @@ pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
         events: 0,
         iterations: 0,
         evaluations: 0,
+        failures: 0,
+        retries: 0,
         incumbent_trajectory: Vec::new(),
         final_best: None,
         registry,
@@ -60,6 +66,8 @@ pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
             Event::RunHeader(h) => summary.header = Some(h.clone()),
             Event::IterationStart { .. } => summary.iterations += 1,
             Event::ObjectiveEvaluated { .. } => summary.evaluations += 1,
+            Event::TrialFailed { .. } => summary.failures += 1,
+            Event::TrialRetried { .. } => summary.retries += 1,
             Event::IncumbentImproved {
                 iteration,
                 objective,
@@ -92,6 +100,12 @@ impl TraceSummary {
             "events: {}  iterations: {}  evaluations: {}\n",
             self.events, self.iterations, self.evaluations
         ));
+        if self.failures > 0 || self.retries > 0 {
+            out.push_str(&format!(
+                "failed trials: {}  retries: {}\n",
+                self.failures, self.retries
+            ));
+        }
         if let Some(best) = self.final_best {
             out.push_str(&format!("best objective: {best:.6}\n"));
         }
@@ -177,6 +191,36 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("best objective: 2.000000"), "{rendered}");
         assert!(rendered.contains("tuner.fit"), "{rendered}");
+    }
+
+    #[test]
+    fn failures_and_retries_are_counted() {
+        let extra = [
+            Event::TrialRetried {
+                iteration: 3,
+                attempt: 0,
+                backoff_ns: 1_000,
+                reason: "crash".into(),
+            },
+            Event::TrialFailed {
+                iteration: 3,
+                reason: "crash".into(),
+                elapsed_ns: 2_000,
+            },
+        ]
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap())
+        .collect::<Vec<_>>()
+        .join("\n");
+        let s = summarize_trace(&format!("{}\n{extra}", trace_text())).unwrap();
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.registry.counter("tuner.evaluations.failed"), 1);
+        let rendered = s.render();
+        assert!(
+            rendered.contains("failed trials: 1  retries: 1"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   runtime dilation and energy (Kripke's `PKG_LIMIT` parameter).
 //! - [`noise`] — deterministic, hash-seeded lognormal run-to-run noise so
 //!   generated datasets are exactly reproducible.
+//! - [`faults`] — deterministic, seeded fault injection (per-region crash
+//!   probability, runtime timeout threshold) so failure-aware tuning is
+//!   testable end-to-end with exact reproducibility.
 //!
 //! The application simulators in `hiperbot-apps` compose these models into
 //! full configuration → (runtime, energy) maps. See `DESIGN.md` §2 for the
@@ -30,6 +33,7 @@
 //! *shape* of the objective landscape, which these models control.
 
 pub mod comm;
+pub mod faults;
 pub mod machine;
 pub mod memory;
 pub mod noise;

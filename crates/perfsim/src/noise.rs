@@ -7,15 +7,7 @@
 //! reproducible value. Each configuration therefore gets a multiplicative
 //! lognormal factor derived by hashing `(dataset seed, configuration id)`.
 
-use hiperbot_stats::rng::mix_words;
-
-/// Converts a hash to a uniform in the open interval (0, 1).
-#[inline]
-fn u64_to_unit_open(h: u64) -> f64 {
-    // 53 mantissa bits, then nudge off exact 0.
-    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-    u.clamp(1e-16, 1.0 - 1e-16)
-}
+use hiperbot_stats::rng::{mix_words, u64_to_unit_open};
 
 /// Domain-separation tag appended when deriving the second Box–Muller
 /// uniform, so it is independent of the first.

@@ -21,15 +21,19 @@ pub struct SmoothedHistogram {
 
 impl SmoothedHistogram {
     /// Creates an empty histogram over `n_categories` values with the given
-    /// Laplace `pseudo_count` (must be > 0 so the pmf is strictly positive).
+    /// Laplace `pseudo_count`. A positive pseudo-count keeps the pmf
+    /// strictly positive; `0` disables smoothing, so unseen categories get
+    /// probability exactly zero and downstream density *ratios* may be
+    /// non-finite — consumers that allow a zero pseudo-count must tolerate
+    /// `-inf`/NaN in log space (see the NaN guards in the tuner's ranking).
     ///
     /// # Panics
-    /// Panics if `n_categories == 0` or `pseudo_count <= 0`.
+    /// Panics if `n_categories == 0` or `pseudo_count` is negative or NaN.
     pub fn new(n_categories: usize, pseudo_count: f64) -> Self {
         assert!(n_categories > 0, "histogram needs at least one category");
         assert!(
-            pseudo_count > 0.0,
-            "pseudo-count must be positive to keep the pmf strictly positive"
+            pseudo_count >= 0.0,
+            "pseudo-count must be non-negative and not NaN"
         );
         Self {
             counts: vec![0.0; n_categories],
@@ -147,9 +151,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pseudo-count must be positive")]
-    fn zero_pseudo_count_panics() {
-        let _ = SmoothedHistogram::new(3, 0.0);
+    #[should_panic(expected = "pseudo-count must be non-negative")]
+    fn negative_pseudo_count_panics() {
+        let _ = SmoothedHistogram::new(3, -0.5);
+    }
+
+    #[test]
+    fn zero_pseudo_count_disables_smoothing() {
+        let h = SmoothedHistogram::from_observations(3, 0.0, &[0, 0, 1]);
+        assert!((h.pmf(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.pmf(2), 0.0, "unseen category gets zero mass");
     }
 
     #[test]

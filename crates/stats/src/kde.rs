@@ -89,8 +89,43 @@ impl GaussianKde {
 
     /// Evaluates the log-density at `x` (useful for products over many
     /// parameters without underflow).
+    ///
+    /// Computed by log-sum-exp over the kernel log-densities rather than
+    /// `ln(pdf(x))`: `pdf(x)` underflows to 0 beyond `z ≈ 38` bandwidths,
+    /// which would floor every far-tail candidate at the same value and
+    /// collapse EI ranking among them. With LSE the result stays exact (and
+    /// distance-ordered) out to `z ≈ 1e154`. Returns `-inf` only when the
+    /// density is a true zero in exact arithmetic (e.g. `x = ±inf`).
     pub fn log_pdf(&self, x: f64) -> f64 {
-        self.pdf(x).max(f64::MIN_POSITIVE).ln()
+        let h = self.bandwidth;
+        // Terms of ln Σ w_i · exp(-z_i²/2): t_i = ln(w_i) - z_i²/2.
+        // Pass 1: the max term anchors the exponent rescaling.
+        let mut max_t = f64::NEG_INFINITY;
+        for (&p, &w) in self.points.iter().zip(&self.weights) {
+            if w == 0.0 {
+                continue;
+            }
+            let z = (x - p) / h;
+            let t = w.ln() - 0.5 * z * z;
+            if t > max_t {
+                max_t = t;
+            }
+        }
+        if !max_t.is_finite() {
+            // Every term is -inf (x infinite, or all usable weights zero):
+            // the density is zero everywhere we can resolve.
+            return f64::NEG_INFINITY;
+        }
+        // Pass 2: Σ exp(t_i - max_t) ∈ [1, n], so the ln is exact.
+        let mut acc = 0.0;
+        for (&p, &w) in self.points.iter().zip(&self.weights) {
+            if w == 0.0 {
+                continue;
+            }
+            let z = (x - p) / h;
+            acc += ((w.ln() - 0.5 * z * z) - max_t).exp();
+        }
+        max_t + acc.ln() + INV_SQRT_2PI.ln() - (self.total_weight * h).ln()
     }
 
     /// Draws one sample: pick a kernel center proportionally to its weight,
@@ -239,6 +274,61 @@ mod tests {
     fn log_pdf_is_finite_far_from_data() {
         let kde = GaussianKde::fit(&[0.0], Bandwidth::Fixed(0.01));
         assert!(kde.log_pdf(1e6).is_finite());
+    }
+
+    // Regression: `log_pdf` used to compute `ln(pdf(x))`, which underflows
+    // to `ln(MIN_POSITIVE)` for any point beyond ~38 bandwidths — all
+    // far-tail candidates collapsed to the same log-density and EI could no
+    // longer rank them. LSE keeps them in distance order.
+    #[test]
+    fn log_pdf_ranks_far_points_in_distance_order() {
+        let kde = GaussianKde::fit(&[0.0], Bandwidth::Fixed(1.0));
+        // Both of these underflow pdf() to exactly 0.0.
+        assert_eq!(kde.pdf(50.0), 0.0);
+        assert_eq!(kde.pdf(60.0), 0.0);
+        let near = kde.log_pdf(50.0);
+        let far = kde.log_pdf(60.0);
+        assert!(near.is_finite() && far.is_finite());
+        assert!(
+            near > far,
+            "closer point must have higher log-density: {near} vs {far}"
+        );
+        // And the values are the analytic ones, not a floor.
+        let expect = |z: f64| -0.5 * z * z + INV_SQRT_2PI.ln();
+        assert!((near - expect(50.0)).abs() < 1e-9);
+        assert!((far - expect(60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_matches_ln_pdf_where_pdf_is_healthy() {
+        let kde = GaussianKde::fit_weighted(
+            &[0.0, 1.0, 5.0, 5.5],
+            &[1.0, 2.0, 0.5, 1.5],
+            Bandwidth::Fixed(0.5),
+        );
+        for x in [-2.0, 0.0, 0.7, 3.0, 5.2, 8.0] {
+            let direct = kde.pdf(x).ln();
+            let lse = kde.log_pdf(x);
+            assert!((direct - lse).abs() < 1e-12, "x={x}: {direct} vs {lse}");
+        }
+    }
+
+    #[test]
+    fn log_pdf_skips_zero_weight_kernels() {
+        // A zero-weight kernel at the query point must not contribute
+        // (ln(0) would poison the max pass).
+        let kde = GaussianKde::fit_weighted(&[0.0, 10.0], &[0.0, 1.0], Bandwidth::Fixed(1.0));
+        let at_dead_kernel = kde.log_pdf(0.0);
+        assert!(at_dead_kernel.is_finite());
+        let expect = -0.5 * 100.0 + INV_SQRT_2PI.ln();
+        assert!((at_dead_kernel - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_at_infinity_is_neg_infinity() {
+        let kde = GaussianKde::fit(&[0.0, 1.0], Bandwidth::Fixed(1.0));
+        assert_eq!(kde.log_pdf(f64::INFINITY), f64::NEG_INFINITY);
+        assert_eq!(kde.log_pdf(f64::NEG_INFINITY), f64::NEG_INFINITY);
     }
 
     proptest! {

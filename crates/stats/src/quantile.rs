@@ -9,8 +9,12 @@
 
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` by linear interpolation.
 ///
-/// The input does not need to be sorted. Returns `None` when `values` is
-/// empty or `q` is outside `[0, 1]` or NaN.
+/// The input does not need to be sorted. **NaN values are ignored**: the
+/// quantile is computed over the non-NaN subset, so a failed measurement
+/// leaking into an objective vector degrades gracefully instead of
+/// poisoning the estimate (±∞ still participates, ordered by
+/// [`f64::total_cmp`]). Returns `None` when there are no non-NaN values,
+/// or `q` is outside `[0, 1]` or NaN.
 ///
 /// # Examples
 /// ```
@@ -19,13 +23,18 @@
 /// assert_eq!(quantile(&v, 0.0), Some(1.0));
 /// assert_eq!(quantile(&v, 1.0), Some(4.0));
 /// assert_eq!(quantile(&v, 0.5), Some(2.5));
+/// // NaNs are filtered, not propagated:
+/// assert_eq!(quantile(&[1.0, f64::NAN, 3.0], 0.5), Some(2.0));
 /// ```
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
-    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+    if !(0.0..=1.0).contains(&q) {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN objective value"));
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(f64::total_cmp);
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -52,12 +61,19 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Splits `values` into (good, bad) index sets at the `alpha`-quantile.
 ///
 /// An index `i` is *good* when `values[i] < threshold`, where the threshold
-/// is the `alpha`-quantile — except that at least one observation is always
-/// classified good (the best one), since the surrogate model needs a
-/// non-empty good density. Returns `(good_indices, bad_indices, threshold)`.
+/// is the `alpha`-quantile over the **non-NaN** values — NaN entries (failed
+/// measurements) always classify as *bad*, never panic, and never shift the
+/// threshold. At least one observation is always classified good (the best
+/// under [`f64::total_cmp`], which prefers any finite value over NaN), since
+/// the surrogate model needs a non-empty good density. Returns
+/// `(good_indices, bad_indices, threshold)`; the threshold is NaN when every
+/// value is NaN.
 pub fn split_by_quantile(values: &[f64], alpha: f64) -> (Vec<usize>, Vec<usize>, f64) {
     assert!(!values.is_empty(), "cannot split an empty observation set");
-    let threshold = quantile(values, alpha).expect("valid alpha");
+    // `None` only when every value is NaN; `v < NaN` below is then false for
+    // every entry, so everything lands in `bad` and the best-promotion path
+    // still yields exactly one good index.
+    let threshold = quantile(values, alpha).unwrap_or(f64::NAN);
     let mut good = Vec::new();
     let mut bad = Vec::new();
     for (i, &v) in values.iter().enumerate() {
@@ -69,11 +85,17 @@ pub fn split_by_quantile(values: &[f64], alpha: f64) -> (Vec<usize>, Vec<usize>,
     }
     if good.is_empty() {
         // Degenerate case (e.g. all values equal, or alpha = 0): promote the
-        // single best observation so p_g is always defined.
+        // single best observation so p_g is always defined. NaN never wins
+        // against a non-NaN value (total_cmp alone would rank a negative-sign
+        // NaN below -inf).
         let best = values
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective value"))
+            .min_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+                (false, true) => core::cmp::Ordering::Less,
+                (true, false) => core::cmp::Ordering::Greater,
+                _ => a.1.total_cmp(b.1),
+            })
             .map(|(i, _)| i)
             .expect("non-empty");
         good.push(best);
@@ -141,6 +163,58 @@ mod tests {
         let values = [9.0, 5.0, 7.0];
         let (good, _, _) = split_by_quantile(&values, 0.0);
         assert_eq!(good, vec![1]); // index of the best value
+    }
+
+    // Regression: a NaN objective (failed measurement) used to panic inside
+    // `sort_by(partial_cmp .. expect)`; the contract is now to filter NaN.
+    #[test]
+    fn quantile_ignores_nan_values() {
+        let v = [1.0, f64::NAN, 2.0, 3.0, f64::NAN, 4.0];
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_of_all_nan_is_none() {
+        assert_eq!(quantile(&[f64::NAN, f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_keeps_infinities_ordered() {
+        let v = [f64::NEG_INFINITY, 0.0, f64::INFINITY];
+        assert_eq!(quantile(&v, 0.0), Some(f64::NEG_INFINITY));
+        assert_eq!(quantile(&v, 1.0), Some(f64::INFINITY));
+    }
+
+    // Regression: `split_by_quantile` used to panic on NaN; NaN entries now
+    // classify as bad without shifting the threshold.
+    #[test]
+    fn split_sends_nan_to_bad_without_panicking() {
+        let values = [5.0, f64::NAN, 1.0, 4.0, 2.0, 3.0];
+        let (good, bad, thr) = split_by_quantile(&values, 0.4);
+        // threshold over the non-NaN subset [1..5] at q=0.4 is 2.6
+        assert!((thr - 2.6).abs() < 1e-12);
+        assert_eq!(good, vec![2, 4]);
+        assert_eq!(bad, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn split_of_all_nan_promotes_one_good() {
+        let values = [f64::NAN, f64::NAN, f64::NAN];
+        let (good, bad, thr) = split_by_quantile(&values, 0.2);
+        assert!(thr.is_nan());
+        assert_eq!(good.len(), 1);
+        assert_eq!(bad.len(), 2);
+    }
+
+    #[test]
+    fn split_promotion_prefers_finite_over_nan() {
+        // All values >= threshold (alpha = 0): the promoted best must be the
+        // finite value, not a NaN (total_cmp orders NaN above +inf).
+        let values = [f64::NAN, 7.0, f64::NAN];
+        let (good, _, _) = split_by_quantile(&values, 0.0);
+        assert_eq!(good, vec![1]);
     }
 
     proptest! {

@@ -38,6 +38,19 @@ pub fn mix_words(words: &[u64]) -> u64 {
     splitmix64(&mut state)
 }
 
+/// Converts a hash to a uniform in the open interval (0, 1).
+///
+/// The top 53 bits become the mantissa (the full precision of an `f64` in
+/// `[0, 1)`), then the value is nudged off exact 0 and 1 so callers can
+/// take logarithms or odds ratios without guarding the endpoints. Used for
+/// every hash-derived probability draw (noise, fault injection, backoff
+/// jitter), keeping those draws independent of any stateful RNG stream.
+#[inline]
+pub fn u64_to_unit_open(h: u64) -> f64 {
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u.clamp(1e-16, 1.0 - 1e-16)
+}
+
 /// A splittable source of seeds.
 ///
 /// `SeedSequence` hands out an unbounded stream of 64-bit seeds derived from

@@ -1,19 +1,37 @@
 //! Command-line autotuner plumbing.
 //!
-//! Backs the `hiperbot` binary: a JSON space specification plus a command
-//! template turn any external program into a tuning objective —
+//! Backs the `hiperbot` binary in two modes:
 //!
-//! ```sh
-//! hiperbot --space space.json --budget 60 --seed 1 \
-//!          --command "./app --threads {threads} --block {block}"
-//! ```
+//! - **Command mode** — a JSON space specification plus a command template
+//!   turn any external program into a tuning objective:
 //!
-//! The command is run through `sh -c`; its last stdout line must be the
-//! objective value (smaller = better), or pass `--measure time` to use
-//! wall-clock seconds instead.
+//!   ```sh
+//!   hiperbot --space space.json --budget 60 --seed 1 \
+//!            --command "./app --threads {threads} --block {block}"
+//!   ```
+//!
+//!   The command is run through `sh -c`; its last stdout line must be the
+//!   objective value (smaller = better), or pass `--measure time` to use
+//!   wall-clock seconds instead. A command that exits non-zero (or prints
+//!   garbage) is a *failed trial*: it is retried per `--max-retries`, and a
+//!   permanent failure is quarantined in the tuner's history instead of
+//!   being scored with a sentinel value.
+//!
+//! - **App mode** — `--app kripke` tunes one of the built-in simulated
+//!   datasets, with optional deterministic fault injection
+//!   (`--fail-prob`, `--timeout-factor`) for exercising the
+//!   failure-handling path end to end:
+//!
+//!   ```sh
+//!   hiperbot --app kripke --budget 60 --seed 1 --fail-prob 0.2 --max-retries 2
+//!   ```
 
-use crate::core::{SelectionStrategy, Tuner, TunerOptions};
-use crate::obs::{JsonlSink, Level, MetricsRecorder, MetricsRegistry, MultiRecorder, StderrLogger};
+use crate::core::{EvalOutcome, SelectionStrategy, Tuner, TunerOptions};
+use crate::eval::{outcome_from_sim, RetryPolicy, RetryingObjective};
+use crate::obs::{
+    JsonlSink, Level, MetricsRecorder, MetricsRegistry, MultiRecorder, Recorder, StderrLogger,
+};
+use crate::perfsim::faults::FaultModel;
 use crate::space::{Configuration, Domain, ParamDef, ParameterSpace};
 use serde::Deserialize;
 use std::sync::Arc;
@@ -125,10 +143,13 @@ pub enum Measure {
 /// Parsed CLI options.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
-    /// Path to the JSON space spec.
+    /// Path to the JSON space spec (command mode).
     pub space_path: String,
-    /// Command template with `{param}` placeholders.
+    /// Command template with `{param}` placeholders (command mode).
     pub command: String,
+    /// Built-in simulated dataset to tune instead of a command
+    /// (`kripke`, `kripke-energy`, `hypre`, `lulesh`, `openatom`).
+    pub app: Option<String>,
     /// Evaluation budget.
     pub budget: usize,
     /// RNG seed.
@@ -137,6 +158,13 @@ pub struct CliOptions {
     pub measure: Measure,
     /// Bootstrap sample count.
     pub init_samples: usize,
+    /// Retries per failed trial (transient failures only).
+    pub max_retries: u32,
+    /// App mode: base crash probability injected per attempt.
+    pub fail_prob: f64,
+    /// App mode: timeout threshold as a multiple of the dataset's median
+    /// objective (`None` = no timeout channel).
+    pub timeout_factor: Option<f64>,
     /// Where to write the JSONL trace (`None` = tracing off).
     pub trace_out: Option<String>,
     /// Stderr event verbosity.
@@ -149,13 +177,20 @@ pub struct CliOptions {
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let usage = "usage: hiperbot --space <spec.json> --command <template> \
                  [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time] \
-                 [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary]";
+                 [--max-retries N=0] \
+                 [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary]\n\
+                 \x20      hiperbot --app kripke|kripke-energy|hypre|lulesh|openatom \
+                 [--fail-prob P=0] [--timeout-factor F] [common flags]";
     let mut space_path = None;
     let mut command = None;
+    let mut app = None;
     let mut budget = 50usize;
     let mut seed = 0u64;
     let mut init_samples = 20usize;
     let mut measure = Measure::Stdout;
+    let mut max_retries = 0u32;
+    let mut fail_prob = 0.0f64;
+    let mut timeout_factor = None;
     let mut trace_out = None;
     let mut log_level = Level::Off;
     let mut metrics_summary = false;
@@ -192,6 +227,23 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     other => return Err(format!("unknown measure '{other}'\n{usage}")),
                 }
             }
+            "--app" => app = Some(take("--app")?),
+            "--max-retries" => {
+                max_retries = take("--max-retries")?
+                    .parse()
+                    .map_err(|_| format!("--max-retries must be a non-negative integer\n{usage}"))?
+            }
+            "--fail-prob" => {
+                fail_prob = take("--fail-prob")?
+                    .parse()
+                    .map_err(|_| format!("--fail-prob must be a number\n{usage}"))?
+            }
+            "--timeout-factor" => {
+                let f: f64 = take("--timeout-factor")?
+                    .parse()
+                    .map_err(|_| format!("--timeout-factor must be a number\n{usage}"))?;
+                timeout_factor = Some(f);
+            }
             "--trace-out" => trace_out = Some(take("--trace-out")?),
             "--log-level" => {
                 log_level = take("--log-level")?
@@ -203,18 +255,42 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             other => return Err(format!("unknown argument '{other}'\n{usage}")),
         }
     }
-    let space_path = space_path.ok_or_else(|| format!("--space is required\n{usage}"))?;
-    let command = command.ok_or_else(|| format!("--command is required\n{usage}"))?;
+    let (space_path, command) = if app.is_some() {
+        if space_path.is_some() || command.is_some() {
+            return Err(format!("--app excludes --space/--command\n{usage}"));
+        }
+        (String::new(), String::new())
+    } else {
+        (
+            space_path.ok_or_else(|| format!("--space is required\n{usage}"))?,
+            command.ok_or_else(|| format!("--command is required\n{usage}"))?,
+        )
+    };
     if budget == 0 || init_samples == 0 {
         return Err(format!("budget and init must be positive\n{usage}"));
+    }
+    if !(0.0..=1.0).contains(&fail_prob) {
+        return Err(format!("--fail-prob must be in [0, 1]\n{usage}"));
+    }
+    if timeout_factor.is_some_and(|f| !(f.is_finite() && f > 0.0)) {
+        return Err(format!("--timeout-factor must be positive\n{usage}"));
+    }
+    if app.is_none() && (fail_prob > 0.0 || timeout_factor.is_some()) {
+        return Err(format!(
+            "--fail-prob/--timeout-factor only apply to --app mode\n{usage}"
+        ));
     }
     Ok(CliOptions {
         space_path,
         command,
+        app,
         budget,
         seed,
         measure,
         init_samples,
+        max_retries,
+        fail_prob,
+        timeout_factor,
         trace_out,
         log_level,
         metrics_summary,
@@ -252,8 +328,89 @@ pub fn evaluate_command(rendered: &str, measure: Measure) -> Result<f64, String>
     }
 }
 
-/// The whole CLI flow; returns (best rendered command, best objective).
+/// Renders a configuration as `name=value` pairs (app-mode report format).
+pub fn render_config(cfg: &Configuration, space: &ParameterSpace) -> String {
+    space
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(i, def)| {
+            let value = match cfg.value(i) {
+                crate::space::ParamValue::Index(idx) => def.values()[idx].to_string(),
+                crate::space::ParamValue::Real(x) => format!("{x}"),
+            };
+            format!("{}={value}", def.name())
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The observability tee: JSONL trace file, stderr logger, and a metrics
+/// registry, each only if requested. With none requested the recorder is
+/// `None` and the tuner skips instrumentation entirely.
+struct Observability {
+    recorder: Option<Arc<dyn Recorder>>,
+    sink: Option<Arc<JsonlSink>>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Observability {
+    fn from_options(options: &CliOptions) -> Result<Self, String> {
+        let mut tee = MultiRecorder::new();
+        let sink = match &options.trace_out {
+            Some(path) => {
+                let sink = Arc::new(
+                    JsonlSink::create(path)
+                        .map_err(|e| format!("cannot create trace {path}: {e}"))?,
+                );
+                tee = tee.with(sink.clone());
+                Some(sink)
+            }
+            None => None,
+        };
+        if options.log_level > Level::Off {
+            tee = tee.with(Arc::new(StderrLogger::new(options.log_level)));
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        if options.metrics_summary {
+            tee = tee.with(Arc::new(MetricsRecorder::new(registry.clone())));
+        }
+        let recorder: Option<Arc<dyn Recorder>> = if tee.is_empty() {
+            None
+        } else {
+            Some(Arc::new(tee))
+        };
+        Ok(Self {
+            recorder,
+            sink,
+            registry,
+        })
+    }
+
+    fn finish(&self, options: &CliOptions) {
+        if let Some(sink) = &self.sink {
+            Recorder::flush(sink.as_ref());
+        }
+        if options.metrics_summary {
+            println!(
+                "\n== metrics summary ==\n{}",
+                self.registry.render_summary()
+            );
+        }
+    }
+}
+
+/// The whole CLI flow; returns (best rendered command or configuration,
+/// best objective). Fails when every trial in the budget failed.
 pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
+    match &options.app {
+        Some(app) => run_app_mode(options, app),
+        None => run_command_mode(options),
+    }
+}
+
+/// Command mode: tune an external program via its command template.
+fn run_command_mode(options: &CliOptions) -> Result<(String, f64), String> {
     let json = std::fs::read_to_string(&options.space_path)
         .map_err(|e| format!("cannot read {}: {e}", options.space_path))?;
     let spec = SpaceSpec::from_json(&json)?;
@@ -270,60 +427,112 @@ pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
         .with_strategy(strategy);
     let mut tuner = Tuner::new(space.clone(), tuner_options);
 
-    // Assemble the observability tee: JSONL trace file, stderr logger, and
-    // a metrics registry, each only if requested. With none requested the
-    // tee is empty and reports disabled, so the tuner skips instrumentation.
-    let mut tee = MultiRecorder::new();
-    let sink = match &options.trace_out {
-        Some(path) => {
-            let sink = Arc::new(
-                JsonlSink::create(path).map_err(|e| format!("cannot create trace {path}: {e}"))?,
-            );
-            tee = tee.with(sink.clone());
-            Some(sink)
-        }
-        None => None,
-    };
-    if options.log_level > Level::Off {
-        tee = tee.with(Arc::new(StderrLogger::new(options.log_level)));
-    }
-    let registry = Arc::new(MetricsRegistry::new());
-    if options.metrics_summary {
-        tee = tee.with(Arc::new(MetricsRecorder::new(registry.clone())));
-    }
-    if !tee.is_empty() {
-        tuner.set_recorder(Arc::new(tee));
+    let obs = Observability::from_options(options)?;
+    if let Some(recorder) = &obs.recorder {
+        tuner.set_recorder(Arc::clone(recorder));
     }
 
-    let mut failures = Vec::new();
-    let best = tuner.run(options.budget, |cfg| {
-        let rendered = render_command(&options.command, cfg, &space);
-        match evaluate_command(&rendered, options.measure) {
-            Ok(y) => {
-                eprintln!("  {rendered} -> {y}");
-                y
+    let policy = RetryPolicy::default()
+        .with_max_retries(options.max_retries)
+        .with_seed(options.seed);
+    let mut retrying = RetryingObjective::new(
+        |cfg: &Configuration, _attempt: u32| {
+            let rendered = render_command(&options.command, cfg, &space);
+            match evaluate_command(&rendered, options.measure) {
+                Ok(y) => {
+                    eprintln!("  {rendered} -> {y}");
+                    EvalOutcome::Ok(y)
+                }
+                Err(e) => {
+                    eprintln!("  {rendered} -> FAILED");
+                    eprintln!("warning: {e}");
+                    EvalOutcome::Failed { reason: e }
+                }
             }
-            Err(e) => {
-                // A failed run is a terrible configuration, not a crash of
-                // the tuner: score it far beyond anything observed.
-                failures.push(e);
-                f64::MAX / 1e6
-            }
-        }
-    });
-    for f in &failures {
-        eprintln!("warning: {f}");
+        },
+        policy,
+    )
+    .with_sleeper(|seconds| std::thread::sleep(std::time::Duration::from_secs_f64(seconds)));
+    if let Some(recorder) = &obs.recorder {
+        retrying = retrying.with_recorder(Arc::clone(recorder));
     }
-    if let Some(sink) = &sink {
-        crate::obs::Recorder::flush(sink.as_ref());
-    }
-    if options.metrics_summary {
-        println!("\n== metrics summary ==\n{}", registry.render_summary());
-    }
+
+    let best = tuner
+        .run_fallible(options.budget, |cfg| retrying.evaluate(cfg))
+        .ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
+    report_failures(tuner.history());
+    obs.finish(options);
     Ok((
         render_command(&options.command, &best.config, &space),
         best.objective,
     ))
+}
+
+/// App mode: tune a built-in simulated dataset with optional deterministic
+/// fault injection.
+fn run_app_mode(options: &CliOptions, app: &str) -> Result<(String, f64), String> {
+    use crate::apps::Scale;
+    let dataset = match app {
+        "kripke" | "kripke-exec" => crate::apps::kripke::exec_dataset(Scale::Target),
+        "kripke-energy" => crate::apps::kripke::energy_dataset(Scale::Target),
+        "hypre" => crate::apps::hypre::dataset(Scale::Target),
+        "lulesh" => crate::apps::lulesh::dataset(Scale::Target),
+        "openatom" => crate::apps::openatom::dataset(Scale::Target),
+        other => {
+            return Err(format!(
+                "unknown app '{other}' (expected kripke, kripke-energy, hypre, lulesh, openatom)"
+            ))
+        }
+    };
+    let space = dataset.space().clone();
+
+    let mut model = FaultModel::new(options.seed, options.fail_prob);
+    if let Some(factor) = options.timeout_factor {
+        model = model.with_timeout(factor * dataset.percentile_value(0.5));
+    }
+
+    let tuner_options = TunerOptions::default()
+        .with_seed(options.seed)
+        .with_init_samples(options.init_samples)
+        .with_strategy(SelectionStrategy::Ranking);
+    let mut tuner = Tuner::new(space.clone(), tuner_options);
+
+    let obs = Observability::from_options(options)?;
+    if let Some(recorder) = &obs.recorder {
+        tuner.set_recorder(Arc::clone(recorder));
+    }
+
+    let policy = RetryPolicy::default()
+        .with_max_retries(options.max_retries)
+        .with_seed(options.seed);
+    // Simulated evaluations: backoffs are recorded, not slept.
+    let mut retrying = RetryingObjective::new(
+        |cfg: &Configuration, attempt: u32| {
+            outcome_from_sim(dataset.evaluate_outcome(cfg, &model, attempt))
+        },
+        policy,
+    );
+    if let Some(recorder) = &obs.recorder {
+        retrying = retrying.with_recorder(Arc::clone(recorder));
+    }
+
+    let best = tuner
+        .run_fallible(options.budget, |cfg| retrying.evaluate(cfg))
+        .ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
+    report_failures(tuner.history());
+    obs.finish(options);
+    Ok((render_config(&best.config, &space), best.objective))
+}
+
+/// Prints a one-line failure summary when any trial permanently failed.
+fn report_failures(history: &crate::core::ObservationHistory) {
+    let n = history.n_failures();
+    if n > 0 {
+        eprintln!(
+            "warning: {n} of {} trials permanently failed",
+            history.trials()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -482,10 +691,14 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))".into(),
+            app: None,
             budget: 4,
             seed: 1,
             measure: Measure::Stdout,
             init_samples: 4,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
             trace_out: None,
             log_level: Level::Off,
             metrics_summary: false,
@@ -514,10 +727,14 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo $(( {a} + {b} ))".into(),
+            app: None,
             budget: 12,
             seed: 2,
             measure: Measure::Stdout,
             init_samples: 6,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
             log_level: Level::Off,
             metrics_summary: true,
@@ -545,6 +762,192 @@ mod tests {
         ] {
             assert_eq!(events.iter().filter(|e| pat(e)).count(), 6);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn to_args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let o = parse_args(&to_args(&[
+            "--app",
+            "kripke",
+            "--fail-prob",
+            "0.2",
+            "--max-retries",
+            "2",
+            "--timeout-factor",
+            "3.0",
+        ]))
+        .unwrap();
+        assert_eq!(o.app.as_deref(), Some("kripke"));
+        assert_eq!(o.fail_prob, 0.2);
+        assert_eq!(o.max_retries, 2);
+        assert_eq!(o.timeout_factor, Some(3.0));
+        // fault defaults: everything off
+        let o = parse_args(&to_args(&["--space", "s", "--command", "c"])).unwrap();
+        assert_eq!(o.app, None);
+        assert_eq!(o.max_retries, 0);
+        assert_eq!(o.fail_prob, 0.0);
+        assert_eq!(o.timeout_factor, None);
+        // --max-retries is a common flag, valid in command mode too
+        let o = parse_args(&to_args(&[
+            "--space",
+            "s",
+            "--command",
+            "c",
+            "--max-retries",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.max_retries, 3);
+    }
+
+    #[test]
+    fn fault_flags_reject_bad_combinations() {
+        // fault injection flags require app mode
+        assert!(parse_args(&to_args(&[
+            "--space",
+            "s",
+            "--command",
+            "c",
+            "--fail-prob",
+            "0.2"
+        ]))
+        .is_err());
+        assert!(parse_args(&to_args(&[
+            "--space",
+            "s",
+            "--command",
+            "c",
+            "--timeout-factor",
+            "2.0"
+        ]))
+        .is_err());
+        // app mode excludes the command-mode flags
+        assert!(parse_args(&to_args(&["--app", "kripke", "--space", "s"])).is_err());
+        assert!(parse_args(&to_args(&["--app", "kripke", "--command", "c"])).is_err());
+        // out-of-range values
+        assert!(parse_args(&to_args(&["--app", "kripke", "--fail-prob", "1.5"])).is_err());
+        assert!(parse_args(&to_args(&["--app", "kripke", "--fail-prob", "-0.1"])).is_err());
+        assert!(parse_args(&to_args(&["--app", "kripke", "--timeout-factor", "0"])).is_err());
+        assert!(parse_args(&to_args(&["--app", "kripke", "--timeout-factor", "inf"])).is_err());
+    }
+
+    #[test]
+    fn app_mode_end_to_end_with_fault_injection() {
+        let options = CliOptions {
+            space_path: String::new(),
+            command: String::new(),
+            app: Some("kripke".into()),
+            budget: 30,
+            seed: 7,
+            measure: Measure::Stdout,
+            init_samples: 10,
+            max_retries: 2,
+            fail_prob: 0.2,
+            timeout_factor: Some(4.0),
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+        };
+        let (cfg, best) = run(&options).unwrap();
+        assert!(best.is_finite() && best > 0.0, "best objective: {best}");
+        assert!(cfg.contains('='), "rendered config: {cfg}");
+        // Deterministic under faults: the same options reproduce the run,
+        // retries included.
+        let (cfg2, best2) = run(&options).unwrap();
+        assert_eq!(cfg, cfg2);
+        assert_eq!(best, best2);
+    }
+
+    #[test]
+    fn app_mode_rejects_unknown_dataset() {
+        let options = CliOptions {
+            space_path: String::new(),
+            command: String::new(),
+            app: Some("nbody".into()),
+            budget: 10,
+            seed: 0,
+            measure: Measure::Stdout,
+            init_samples: 5,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(err.contains("unknown app"), "{err}");
+    }
+
+    #[test]
+    fn command_mode_quarantines_failing_commands() {
+        // The optimum (threads=2) always crashes; the tuner must survive the
+        // failures and settle on the best *feasible* configuration instead of
+        // panicking or reporting a sentinel.
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("space.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"params": [{"type": "ints", "name": "threads", "values": [1, 2, 4, 8]}]}"#,
+        )
+        .unwrap();
+        let options = CliOptions {
+            space_path: spec_path.to_string_lossy().into_owned(),
+            command: "if [ {threads} -eq 2 ]; then exit 1; fi; \
+                      echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))"
+                .into(),
+            app: None,
+            budget: 8,
+            seed: 3,
+            measure: Measure::Stdout,
+            init_samples: 4,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+        };
+        let (cmd, best) = run(&options).unwrap();
+        // Best feasible: threads=1 or threads=4, both scoring 1 (never the
+        // crashed optimum's 0, never a sentinel).
+        assert_eq!(best, 1.0, "best command: {cmd}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn command_mode_reports_total_failure() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-allfail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("space.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"params": [{"type": "ints", "name": "threads", "values": [1, 2]}]}"#,
+        )
+        .unwrap();
+        let options = CliOptions {
+            space_path: spec_path.to_string_lossy().into_owned(),
+            command: "exit 1".into(),
+            app: None,
+            budget: 3,
+            seed: 0,
+            measure: Measure::Stdout,
+            init_samples: 2,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(err.contains("every evaluation"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,9 @@
 //!   fields, with serde's externally-tagged representation,
 //! - container attributes `try_from = "..."` / `into = "..."` (proxy
 //!   conversion) and `tag = "..."` + `rename_all = "snake_case"`
-//!   (internally tagged deserialization).
+//!   (internally tagged deserialization),
+//! - the field attribute `#[serde(default)]` (missing keys deserialize
+//!   via `Default::default()`, so old payloads load under newer schemas).
 //!
 //! Unsupported shapes panic at compile time with a clear message rather
 //! than silently generating wrong code.
@@ -40,7 +42,13 @@ struct ContainerAttrs {
 enum VariantShape {
     Unit,
     Newtype,
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+/// One named field: its identifier and whether `#[serde(default)]` is set.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 fn expand(input: TokenStream, ser: bool) -> TokenStream {
@@ -168,14 +176,19 @@ fn parse_outer_attr(g: &Group, attrs: &mut ContainerAttrs) {
     }
 }
 
-/// Field names of a named-field body `{ a: T, b: U, ... }`.
-fn parse_named_fields(body: &Group) -> Vec<String> {
+/// Fields of a named-field body `{ a: T, b: U, ... }`, with their
+/// `#[serde(default)]` markers.
+fn parse_named_fields(body: &Group) -> Vec<Field> {
     let toks: Vec<TokenTree> = body.stream().into_iter().collect();
     let mut names = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        // Skip field attributes and doc comments.
+        // Scan field attributes and doc comments for `#[serde(default)]`.
+        let mut default = false;
         while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                default |= attr_is_serde_default(g);
+            }
             i += 2;
         }
         // Skip visibility.
@@ -187,7 +200,10 @@ fn parse_named_fields(body: &Group) -> Vec<String> {
             }
         }
         match &toks[i] {
-            TokenTree::Ident(id) => names.push(id.to_string()),
+            TokenTree::Ident(id) => names.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             other => panic!("serde derive (vendored): expected field name, got `{other}`"),
         }
         i += 2; // name + ':'
@@ -248,6 +264,22 @@ fn parse_variants(body: &Group) -> Vec<(String, VariantShape)> {
     variants
 }
 
+/// Whether an outer-attribute group is exactly `serde(... default ...)`.
+fn attr_is_serde_default(g: &Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(inner)) if inner.delimiter() == Delimiter::Parenthesis => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
 /// Number of comma-separated entries at angle-depth 0 in a paren group.
 fn count_top_level_fields(g: &Group) -> usize {
     let mut depth = 0i32;
@@ -290,12 +322,20 @@ fn string_from(lit: &str) -> String {
     format!("::std::string::String::from(\"{lit}\")")
 }
 
-/// `match`-expression deserializing field `field` from `__obj`.
-fn de_field_expr(field: &str, container: &str) -> String {
+/// `match`-expression deserializing field `field` from `__obj`. Fields
+/// marked `#[serde(default)]` fall back to `Default::default()` when the
+/// key is absent (schema-evolution escape hatch for old payloads).
+fn de_field_expr(field: &Field, container: &str) -> String {
+    let name = &field.name;
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!("::serde::Deserialize::__missing_field(\"{name}\", \"{container}\")?")
+    };
     format!(
-        "match ::serde::__field(__obj, \"{field}\") {{ \
+        "match ::serde::__field(__obj, \"{name}\") {{ \
            ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
-           ::std::option::Option::None => ::serde::Deserialize::__missing_field(\"{field}\", \"{container}\")?, \
+           ::std::option::Option::None => {missing}, \
          }}"
     )
 }
@@ -323,13 +363,14 @@ fn de_via_try_from(name: &str, proxy: &str) -> String {
     )
 }
 
-fn ser_struct(name: &str, fields: &[String]) -> String {
+fn ser_struct(name: &str, fields: &[Field]) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
             format!(
-                "({}, ::serde::Serialize::to_value(&self.{f}))",
-                string_from(f)
+                "({}, ::serde::Serialize::to_value(&self.{}))",
+                string_from(&f.name),
+                f.name
             )
         })
         .collect();
@@ -343,10 +384,10 @@ fn ser_struct(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn de_struct(name: &str, fields: &[String]) -> String {
+fn de_struct(name: &str, fields: &[Field]) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: {}", de_field_expr(f, name)))
+        .map(|f| format!("{}: {}", f.name, de_field_expr(f, name)))
         .collect();
     format!(
         "impl ::serde::Deserialize for {name} {{ \
@@ -373,11 +414,18 @@ fn ser_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
             VariantShape::Struct(fields) => {
                 let entries: Vec<String> = fields
                     .iter()
-                    .map(|f| format!("({}, ::serde::Serialize::to_value({f}))", string_from(f)))
+                    .map(|f| {
+                        format!(
+                            "({}, ::serde::Serialize::to_value({}))",
+                            string_from(&f.name),
+                            f.name
+                        )
+                    })
                     .collect();
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                 format!(
                     "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![({}, ::serde::Value::Object(::std::vec![{}]))]),",
-                    fields.join(", "),
+                    bindings.join(", "),
                     string_from(v),
                     entries.join(", ")
                 )
@@ -410,7 +458,7 @@ fn de_enum_external(name: &str, variants: &[(String, VariantShape)]) -> String {
             VariantShape::Struct(fields) => {
                 let inits: Vec<String> = fields
                     .iter()
-                    .map(|f| format!("{f}: {}", de_field_expr(f, &format!("{name}::{v}"))))
+                    .map(|f| format!("{}: {}", f.name, de_field_expr(f, &format!("{name}::{v}"))))
                     .collect();
                 Some(format!(
                     "\"{v}\" => {{ let __obj = ::serde::__as_object(_inner, \"{name}::{v}\")?; \
@@ -471,7 +519,7 @@ fn de_enum_tagged(
                 VariantShape::Struct(fields) => {
                     let inits: Vec<String> = fields
                         .iter()
-                        .map(|f| format!("{f}: {}", de_field_expr(f, &format!("{name}::{v}"))))
+                        .map(|f| format!("{}: {}", f.name, de_field_expr(f, &format!("{name}::{v}"))))
                         .collect();
                     format!(
                         "\"{wire}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
