@@ -1,0 +1,207 @@
+//! Measures the parallel batch-evaluation engine end to end — a full
+//! constant-liar tuning run through the `BatchExecutor` at 1/2/4/8
+//! workers over a deliberately slow simulated objective — and writes
+//! `BENCH_parallel.json` at the workspace root.
+//!
+//! Two questions, matching the engine's two costs:
+//!
+//! - **Wall-clock speedup**: how much faster does the same seeded,
+//!   same-batch campaign finish as workers grow? The objective sleeps a
+//!   fixed few milliseconds per evaluation (evaluation-dominated tuning,
+//!   the regime the engine targets), so the ideal is linear scaling up to
+//!   the batch width.
+//! - **Suggestion overhead**: what do the k constant-liar refits cost per
+//!   pick, versus one serial `suggest()`? This bounds the price of
+//!   batching when the objective is *not* slow.
+//!
+//! Run with `cargo run --release -p hiperbot-bench --bin bench_parallel`.
+
+use hiperbot_bench::repo_root;
+use hiperbot_core::{EvalOutcome, Tuner, TunerOptions};
+use hiperbot_eval::BatchExecutor;
+use hiperbot_obs::MetricsRegistry;
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+use std::time::{Duration, Instant};
+
+/// Simulated evaluation latency: slow enough to dominate surrogate work,
+/// fast enough that the whole sweep stays under a minute.
+const EVAL_MS: u64 = 4;
+const BUDGET: usize = 64;
+const INIT: usize = 16;
+const BATCH: usize = 8;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed repetitions of the suggestion-overhead measurement.
+const SUGGEST_TRIALS: usize = 9;
+
+#[derive(Debug, serde::Serialize)]
+struct WorkerResult {
+    workers: usize,
+    wall_clock_ms: f64,
+    speedup_vs_serial: f64,
+    best_objective: f64,
+    trials: usize,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct SuggestOverhead {
+    batch: usize,
+    serial_suggest_ns: f64,
+    batch_suggest_ns_total: f64,
+    batch_suggest_ns_per_pick: f64,
+    overhead_per_pick: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Report {
+    bench: String,
+    eval_ms: u64,
+    budget: usize,
+    init_samples: usize,
+    batch: usize,
+    workers: Vec<WorkerResult>,
+    suggest_overhead: SuggestOverhead,
+}
+
+/// An 8×8×8 = 512-configuration space: big enough that a 64-trial budget
+/// leaves the ranking pool unexhausted at every batch width.
+fn space() -> ParameterSpace {
+    let vals: Vec<i64> = (0..8).collect();
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("z", Domain::discrete_ints(&vals)))
+        .build()
+        .unwrap()
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.value(0).index() as f64;
+    let y = cfg.value(1).index() as f64;
+    let z = cfg.value(2).index() as f64;
+    (x - 5.0).powi(2) + (y - 2.0).powi(2) + 0.25 * (z - 6.0).powi(2) + 1.0
+}
+
+fn slow_eval(cfg: &Configuration) -> EvalOutcome {
+    std::thread::sleep(Duration::from_millis(EVAL_MS));
+    EvalOutcome::Ok(objective(cfg))
+}
+
+fn timed_run(workers: usize) -> (f64, f64, usize) {
+    let exec = BatchExecutor::new(
+        |cfg: &Configuration, _trial: u64, _attempt: u32| slow_eval(cfg),
+        workers,
+    );
+    let mut tuner = Tuner::new(
+        space(),
+        TunerOptions::default()
+            .with_seed(11)
+            .with_init_samples(INIT),
+    );
+    let start = Instant::now();
+    let best = tuner
+        .run_batch_fallible(BUDGET, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base))
+        .expect("no failures injected");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, best.objective, tuner.history().trials())
+}
+
+/// Cost of suggestion itself, objective excluded: one serial `suggest()`
+/// vs one constant-liar `suggest_batch(BATCH)`, on identical tuner state.
+fn suggest_overhead(registry: &MetricsRegistry) -> SuggestOverhead {
+    let mut tuner = Tuner::new(
+        space(),
+        TunerOptions::default()
+            .with_seed(11)
+            .with_init_samples(INIT),
+    );
+    // Instant objective: build up a realistic mid-run history first.
+    tuner.run(BUDGET / 2, objective);
+    let median = |phase: &str, f: &mut dyn FnMut()| {
+        for _ in 0..SUGGEST_TRIALS {
+            let t = Instant::now();
+            f();
+            registry.observe_ns(phase, t.elapsed().as_nanos() as u64);
+        }
+        registry
+            .histogram(phase)
+            .and_then(|h| h.quantile(0.5))
+            .expect("samples recorded") as f64
+    };
+    let serial_ns = median("suggest.serial", &mut || {
+        std::hint::black_box(tuner.suggest());
+    });
+    let batch_ns = median("suggest.batch", &mut || {
+        std::hint::black_box(tuner.suggest_batch(BATCH));
+    });
+    SuggestOverhead {
+        batch: BATCH,
+        serial_suggest_ns: serial_ns,
+        batch_suggest_ns_total: batch_ns,
+        batch_suggest_ns_per_pick: batch_ns / BATCH as f64,
+        overhead_per_pick: (batch_ns / BATCH as f64) / serial_ns,
+    }
+}
+
+fn main() {
+    eprintln!(
+        "[bench_parallel] {BUDGET}-trial campaigns, {EVAL_MS} ms/eval, batch {BATCH}, \
+         workers {WORKER_COUNTS:?}…"
+    );
+    let mut serial_ms = 0.0;
+    let mut workers = Vec::new();
+    for &w in &WORKER_COUNTS {
+        let (wall_ms, best, trials) = timed_run(w);
+        if w == 1 {
+            serial_ms = wall_ms;
+        }
+        let r = WorkerResult {
+            workers: w,
+            wall_clock_ms: wall_ms,
+            speedup_vs_serial: serial_ms / wall_ms,
+            best_objective: best,
+            trials,
+        };
+        println!(
+            "workers {:>2} | {:>8.1} ms | {:>5.2}x | best {:.3} | {} trials",
+            r.workers, r.wall_clock_ms, r.speedup_vs_serial, r.best_objective, r.trials
+        );
+        workers.push(r);
+    }
+    // Every worker count must land on the identical run (the determinism
+    // contract), so "speedup" compares equal work.
+    for r in &workers[1..] {
+        assert_eq!(r.best_objective, workers[0].best_objective, "runs diverged");
+        assert_eq!(r.trials, workers[0].trials, "runs diverged");
+    }
+
+    let registry = MetricsRegistry::new();
+    let overhead = suggest_overhead(&registry);
+    println!(
+        "suggest: serial {:.0} ns | batch({}) {:.0} ns total, {:.0} ns/pick ({:.2}x serial)",
+        overhead.serial_suggest_ns,
+        overhead.batch,
+        overhead.batch_suggest_ns_total,
+        overhead.batch_suggest_ns_per_pick,
+        overhead.overhead_per_pick,
+    );
+
+    let report = Report {
+        bench: "parallel batch evaluation: wall-clock speedup vs workers, \
+                constant-liar suggestion overhead"
+            .into(),
+        eval_ms: EVAL_MS,
+        budget: BUDGET,
+        init_samples: INIT,
+        batch: BATCH,
+        workers,
+        suggest_overhead: overhead,
+    };
+    let path = repo_root().join("BENCH_parallel.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+    println!("\n{}", registry.render_summary());
+}

@@ -206,6 +206,9 @@ pub struct Tuner {
     pool: Option<RankingPool>,
     rng: ChaCha8Rng,
     bootstrapped: bool,
+    /// Proposal-mode iterations of the current run that stalled on a
+    /// duplicate suggestion without consuming budget (reset per run).
+    stalls: usize,
     /// Trace sink. Defaults to [`NoopRecorder`]; instrumentation checks
     /// `recorder.enabled()` before taking timestamps or building events,
     /// and never touches `rng`, so traced and untraced runs are
@@ -238,6 +241,7 @@ impl Tuner {
             pool: None,
             rng,
             bootstrapped: false,
+            stalls: 0,
             recorder: Arc::new(NoopRecorder),
         }
     }
@@ -292,6 +296,13 @@ impl Tuner {
     /// The observation history so far (evaluation order).
     pub fn history(&self) -> &ObservationHistory {
         &self.history
+    }
+
+    /// How many iterations of the most recent run stalled on a duplicate
+    /// Proposal-mode suggestion without consuming budget. Always zero for
+    /// the Ranking strategy (the pool mask makes duplicates impossible).
+    pub fn stalls(&self) -> usize {
+        self.stalls
     }
 
     /// The options this tuner was built with. Runs never mutate them:
@@ -369,10 +380,6 @@ impl Tuner {
     /// the failure record, tracing when a recorder is attached. Returns
     /// whether the evaluation succeeded. The untraced success path is
     /// byte-for-byte the old `history.push(cfg, objective(&cfg))`.
-    ///
-    /// Failed trials never emit `IncumbentImproved` (and the guard also
-    /// re-checks finiteness, so no construction path can smuggle a NaN
-    /// incumbent into a trace).
     fn evaluate_and_push(
         &mut self,
         cfg: Configuration,
@@ -380,16 +387,29 @@ impl Tuner {
         bootstrap: bool,
     ) -> bool {
         let traced = self.recorder.enabled();
-        let prev_best = if traced {
-            self.history.best().map(|(_, _, y)| y)
-        } else {
-            None
-        };
         let timer = SpanTimer::start(traced);
-        let outcome = objective(&cfg).normalized();
-        match outcome {
+        let outcome = objective(&cfg);
+        self.push_outcome(cfg, outcome, bootstrap, timer.elapsed_ns())
+    }
+
+    /// Appends one already-evaluated outcome: the observation on success,
+    /// the quarantined failure record otherwise. `elapsed_ns` is `Some` iff
+    /// the caller traced the evaluation (events are only emitted then).
+    ///
+    /// Failed trials never emit `IncumbentImproved` (and the guard also
+    /// re-checks finiteness, so no construction path can smuggle a NaN
+    /// incumbent into a trace).
+    fn push_outcome(
+        &mut self,
+        cfg: Configuration,
+        outcome: EvalOutcome,
+        bootstrap: bool,
+        elapsed_ns: Option<u64>,
+    ) -> bool {
+        match outcome.normalized() {
             EvalOutcome::Ok(y) => {
-                if let Some(elapsed_ns) = timer.elapsed_ns() {
+                if let Some(elapsed_ns) = elapsed_ns {
+                    let prev_best = self.history.best().map(|(_, _, y)| y);
                     let iteration = self.history.trials() as u64;
                     self.recorder.record(&Event::ObjectiveEvaluated {
                         iteration,
@@ -409,7 +429,7 @@ impl Tuner {
             }
             outcome => {
                 let reason = outcome.failure_reason().expect("non-Ok outcome");
-                if let Some(elapsed_ns) = timer.elapsed_ns() {
+                if let Some(elapsed_ns) = elapsed_ns {
                     self.recorder.record(&Event::TrialFailed {
                         iteration: self.history.trials() as u64,
                         reason: reason.clone(),
@@ -575,13 +595,29 @@ impl Tuner {
         }
     }
 
-    /// Suggests the `k` best unseen configurations under the current
-    /// surrogate (batch variant of [`suggest`](Self::suggest), for settings
-    /// that can evaluate several configurations in parallel, e.g. a batch
-    /// job submission). Ranking strategy only.
+    /// Suggests `k` configurations to evaluate concurrently, by
+    /// **constant-liar** batch selection (Ginsbourger et al.): the first
+    /// pick is the plain Ranking argmax; after each pick a *fantasy
+    /// observation* at the liar value — the good/bad threshold `y(τ)` of
+    /// the pre-batch fit — is appended to a scratch copy of the history,
+    /// the score table is refit over history + fantasies, and the argmax
+    /// repeats with the picked pool positions masked out. The fantasies
+    /// live only inside this call (they are evicted when it returns); real
+    /// outcomes are merged later by [`step_batch_fallible`](Self::step_batch_fallible).
+    ///
+    /// Each refit reuses the batch-scoring engine — the cached
+    /// [`PoolEncoding`] and an incrementally updated [`PoolMask`] — so the
+    /// `k` argmax sweeps stay vectorized; only the per-value score tables
+    /// are rebuilt per fantasy.
+    ///
+    /// With `k == 1` this is exactly [`suggest`](Self::suggest): one fit,
+    /// one argmax, same tie-break (lowest pool index), bit-identical pick.
+    /// Returns fewer than `k` configurations when the pool runs out.
+    /// Ranking strategy only.
     ///
     /// # Panics
-    /// Panics before bootstrap, or with a Proposal strategy.
+    /// Panics before bootstrap, with a Proposal strategy, or when every
+    /// trial so far failed (no observation to fit the surrogate on).
     pub fn suggest_batch(&mut self, k: usize) -> Vec<Configuration> {
         assert!(
             self.bootstrapped,
@@ -592,25 +628,280 @@ impl Tuner {
             SelectionStrategy::Ranking,
             "batch suggestion requires the Ranking strategy"
         );
-        let surrogate = self.fit_surrogate();
-        let table = surrogate.score_table();
-        let pool = self.pool();
-        let mut scored: Vec<(f64, &Configuration)> = pool
-            .configs
+        assert!(
+            !self.history.is_empty(),
+            "no successful observations to fit the surrogate on"
+        );
+        self.pool(); // build + sync once; the loop borrows it immutably
+        let pool = self.pool.as_ref().expect("just built");
+        let traced = self.recorder.enabled();
+        let base_iteration = self.history.trials() as u64;
+        let opts = SurrogateOptions {
+            alpha: self.options.alpha,
+            pseudo_count: self.options.pseudo_count,
+            bandwidth_fraction: self.options.bandwidth_fraction,
+        };
+        let prior = self.options.prior.as_ref().map(|(p, w)| (p, *w));
+        let failed: Vec<Configuration> = self
+            .history
+            .failures()
             .iter()
-            .enumerate()
-            .filter(|&(i, _)| !pool.seen.get(i))
-            .map(|(_, c)| (table.score(c), c))
+            .map(|f| f.config.clone())
             .collect();
-        // A NaN score (possible with degenerate density options, e.g. a
-        // zero pseudo-count making an unseen value -inf in both densities)
-        // is uninformative: drop the candidate rather than panic or let it
-        // poison the sort.
-        scored.retain(|(s, _)| !s.is_nan());
-        // Stable sort: equal scores keep pool order, extending the ranking
-        // tie-break contract (lowest pool index first) to batches.
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-        scored.into_iter().take(k).map(|(_, c)| c.clone()).collect()
+        // Scratch tables: real history plus constant-liar fantasies.
+        let mut configs: Vec<Configuration> = self.history.configs().to_vec();
+        let mut objectives: Vec<f64> = self.history.objectives().to_vec();
+        let mut seen = pool.seen.clone();
+        let mut liar = 0.0;
+        let mut picks = Vec::with_capacity(k);
+        for i in 0..k {
+            let fit_timer = SpanTimer::start(traced);
+            let surrogate = TpeSurrogate::fit_with_failures(
+                &self.space,
+                &configs,
+                &objectives,
+                &failed,
+                &opts,
+                prior,
+            );
+            if i == 0 {
+                // The constant liar: the pre-batch good-threshold objective.
+                liar = surrogate.threshold();
+            }
+            if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
+                self.recorder.record(&Event::SurrogateFit {
+                    iteration: base_iteration + i as u64,
+                    n_good: surrogate.n_good() as u64,
+                    n_bad: surrogate.n_bad() as u64,
+                    threshold: surrogate.threshold(),
+                    elapsed_ns,
+                });
+            }
+            let select_timer = SpanTimer::start(traced);
+            let table = surrogate.score_table();
+            let tables = table
+                .discrete_tables()
+                .expect("Ranking requires a fully discrete space");
+            let Some(pos) = rank_encoded(&tables, &pool.encoding, &seen) else {
+                break; // pool exhausted mid-batch
+            };
+            let cfg = pool.configs[pos].clone();
+            if let Some(elapsed_ns) = select_timer.elapsed_ns() {
+                self.recorder.record(&Event::SelectionScored {
+                    iteration: base_iteration + i as u64,
+                    candidates: pool.configs.len() as u64,
+                    best_ei: surrogate.log_ei(&cfg),
+                    elapsed_ns,
+                });
+            }
+            seen.set(pos);
+            if i + 1 < k {
+                configs.push(cfg.clone());
+                objectives.push(liar);
+            }
+            picks.push(cfg);
+        }
+        picks
+    }
+
+    /// Performs one **batch** iteration: bootstrap (in chunks of `k`) if
+    /// needed, otherwise select up to `k` candidates by constant-liar
+    /// batch suggestion ([`suggest_batch`](Self::suggest_batch)), hand
+    /// them to `evaluate_batch` in one call, and merge the outcomes back
+    /// **in suggestion order** — successes appended as observations,
+    /// failures quarantined — regardless of the order in which a parallel
+    /// executor completed them (`evaluate_batch` returns outcomes indexed
+    /// like its input slice). Returns `false` when the pool is exhausted.
+    ///
+    /// `evaluate_batch` receives the configurations plus the trial index
+    /// of the first one; item `i` is trial `base + i`. Executors key any
+    /// randomness (fault draws, retry jitter) on that trial index so
+    /// results are independent of worker scheduling.
+    ///
+    /// With `k == 1` every fit, selection, evaluation, and append happens
+    /// in exactly the serial [`step_fallible`](Self::step_fallible) order,
+    /// so the resulting history is bit-identical to a serial run.
+    ///
+    /// # Panics
+    /// Panics with a Proposal strategy, or if `evaluate_batch` returns a
+    /// different number of outcomes than configurations.
+    pub fn step_batch_fallible(
+        &mut self,
+        k: usize,
+        mut evaluate_batch: impl FnMut(&[Configuration], u64) -> Vec<EvalOutcome>,
+    ) -> bool {
+        assert!(k > 0, "batch size must be positive");
+        assert_eq!(
+            self.options.strategy,
+            SelectionStrategy::Ranking,
+            "batch stepping requires the Ranking strategy"
+        );
+        if !self.bootstrapped {
+            let init = self.options.init_samples;
+            self.bootstrap_batch(&mut evaluate_batch, init, k);
+            return true;
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::IterationStart {
+                iteration: self.history.trials() as u64,
+                history_len: self.history.len() as u64,
+            });
+        }
+        let suggestions = if self.history.is_empty() {
+            // All trials failed so far: no surrogate, recover by restarts.
+            self.recovery_batch(k)
+        } else {
+            self.suggest_batch(k)
+        };
+        if suggestions.is_empty() {
+            return false;
+        }
+        self.evaluate_and_merge(&suggestions, &mut evaluate_batch, false);
+        true
+    }
+
+    /// Batch variant of [`run_fallible`](Self::run_fallible): spends
+    /// `budget` trials in batches of (at most) `batch`, evaluating each
+    /// batch with one `evaluate_batch` call — typically a multi-worker
+    /// executor. The final batch is clamped so the budget is honored
+    /// exactly. Returns `None` when the run ends with zero successful
+    /// observations.
+    ///
+    /// With `batch == 1` the run is bit-identical to
+    /// [`run_fallible`](Self::run_fallible) with the same seed (pinned by
+    /// regression test).
+    pub fn run_batch_fallible(
+        &mut self,
+        budget: usize,
+        batch: usize,
+        mut evaluate_batch: impl FnMut(&[Configuration], u64) -> Vec<EvalOutcome>,
+    ) -> Option<BestResult> {
+        assert!(budget > 0, "budget must be positive");
+        assert!(batch > 0, "batch size must be positive");
+        self.emit_run_header();
+        self.stalls = 0;
+        if !self.bootstrapped {
+            // A budget smaller than init_samples spends it all on bootstrap.
+            // Clamp on a local: the stored options stay as configured.
+            let init = self.options.init_samples.min(budget);
+            self.bootstrap_batch(&mut evaluate_batch, init, batch);
+        }
+        while self.history.trials() < budget {
+            let k = batch.min(budget - self.history.trials());
+            if !self.step_batch_fallible(k, &mut evaluate_batch) {
+                break; // pool exhausted
+            }
+        }
+        self.finish_run()
+    }
+
+    /// Runs the bootstrap phase in chunks of `k` through the batch
+    /// evaluator. Sample selection is identical to the serial
+    /// [`bootstrap`](Self::bootstrap) (same RNG draws); only the
+    /// evaluation is chunked.
+    fn bootstrap_batch(
+        &mut self,
+        evaluate_batch: &mut impl FnMut(&[Configuration], u64) -> Vec<EvalOutcome>,
+        init_samples: usize,
+        k: usize,
+    ) {
+        if self.bootstrapped {
+            return;
+        }
+        let n = if self.space.is_fully_discrete() {
+            let pool_len = self.pool().configs.len();
+            init_samples.min(pool_len)
+        } else {
+            init_samples
+        };
+        let samples = match self.options.init_design {
+            InitDesign::UniformRandom => sample_distinct(&self.space, n, &mut self.rng),
+            InitDesign::LatinHypercube => latin_hypercube(&self.space, n, &mut self.rng),
+        };
+        for chunk in samples.chunks(k.max(1)) {
+            self.evaluate_and_merge(chunk, evaluate_batch, true);
+        }
+        self.bootstrapped = true;
+    }
+
+    /// Draws up to `k` distinct recovery configurations (see
+    /// [`recovery_config`](Self::recovery_config)), deduplicated against
+    /// both the history and each other. With `k == 1` the RNG draws are
+    /// identical to the serial recovery path.
+    fn recovery_batch(&mut self, k: usize) -> Vec<Configuration> {
+        let mut out: Vec<Configuration> = Vec::new();
+        for _ in 0..k {
+            let mut found = None;
+            for _ in 0..64 {
+                let cfg = sample_uniform(&self.space, &mut self.rng);
+                if !self.history.contains(&cfg) && !out.contains(&cfg) {
+                    found = Some(cfg);
+                    break;
+                }
+            }
+            if found.is_none() && self.space.is_fully_discrete() {
+                self.pool();
+                let pool = self.pool.as_ref().expect("just built");
+                found = (0..pool.configs.len())
+                    .find(|&i| !pool.seen.get(i) && !out.contains(&pool.configs[i]))
+                    .map(|i| pool.configs[i].clone());
+            }
+            match found {
+                Some(cfg) => out.push(cfg),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Evaluates `suggestions` through one `evaluate_batch` call and
+    /// merges the outcomes back in suggestion order. `BatchDispatched` /
+    /// `BatchMerged` events frame batches of more than one configuration
+    /// (single-config batches keep the serial trace shape).
+    fn evaluate_and_merge(
+        &mut self,
+        suggestions: &[Configuration],
+        evaluate_batch: &mut impl FnMut(&[Configuration], u64) -> Vec<EvalOutcome>,
+        bootstrap: bool,
+    ) {
+        let traced = self.recorder.enabled();
+        let base = self.history.trials() as u64;
+        let k = suggestions.len();
+        if traced && k > 1 {
+            self.recorder.record(&Event::BatchDispatched {
+                iteration: base,
+                batch: k as u64,
+            });
+        }
+        let timer = SpanTimer::start(traced);
+        let outcomes = evaluate_batch(suggestions, base);
+        assert_eq!(
+            outcomes.len(),
+            k,
+            "batch evaluator must return one outcome per configuration"
+        );
+        let elapsed = timer.elapsed_ns();
+        // Whole-batch wall time amortized per trial: with concurrent
+        // workers a per-trial wall time is not well-defined at this layer
+        // (the executor records true per-worker latencies separately).
+        let per_item = elapsed.map(|e| e / k as u64);
+        let (mut ok, mut failed) = (0u64, 0u64);
+        for (cfg, outcome) in suggestions.iter().cloned().zip(outcomes) {
+            if self.push_outcome(cfg, outcome, bootstrap, per_item) {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        if let (Some(elapsed_ns), true) = (elapsed, k > 1) {
+            self.recorder.record(&Event::BatchMerged {
+                iteration: base,
+                batch: k as u64,
+                ok,
+                failed,
+                elapsed_ns,
+            });
+        }
     }
 
     /// Runs until a [`StoppingSet`](crate::stopping::StoppingSet) fires or
@@ -645,6 +936,7 @@ impl Tuner {
             "an empty stopping set on a continuous space never terminates"
         );
         self.emit_run_header();
+        self.stalls = 0;
         if !self.bootstrapped {
             // Clamp on a local: the stored options stay as configured (the
             // run header and later runs on this tuner must not see a
@@ -662,6 +954,7 @@ impl Tuner {
                 break; // pool exhausted
             }
             if self.history.trials() == before {
+                self.stalls += 1;
                 stall_guard += 1;
                 if stall_guard > 10_000 {
                     break; // proposal duplicates only; treat as converged
@@ -682,7 +975,17 @@ impl Tuner {
 
     /// Reads off the best observation, emitting `RunFinished` when traced.
     /// `None` when every trial failed (nothing to report as best).
+    ///
+    /// Emits one `ProposalStalled` event (total stall count for the run)
+    /// first, so duplicate-suggestion stalls — previously tolerated
+    /// silently — are visible in traces even when the run found no best.
     fn finish_run(&self) -> Option<BestResult> {
+        if self.recorder.enabled() && self.stalls > 0 {
+            self.recorder.record(&Event::ProposalStalled {
+                iteration: self.history.trials() as u64,
+                stalls: self.stalls as u64,
+            });
+        }
         let (_, cfg, obj) = self.history.best()?;
         if self.recorder.enabled() {
             self.recorder.record(&Event::RunFinished {
@@ -730,6 +1033,7 @@ impl Tuner {
     ) -> Option<BestResult> {
         assert!(budget > 0, "budget must be positive");
         self.emit_run_header();
+        self.stalls = 0;
         if !self.bootstrapped {
             // A budget smaller than init_samples spends it all on bootstrap.
             // Clamp on a local: the stored options stay as configured.
@@ -744,6 +1048,7 @@ impl Tuner {
             }
             if self.history.trials() == before {
                 // Proposal duplicate; tolerate a bounded number of stalls.
+                self.stalls += 1;
                 stall_guard += 1;
                 if stall_guard > 100 * budget {
                     break;

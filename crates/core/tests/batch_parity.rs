@@ -1,0 +1,215 @@
+//! The batch engine's determinism contract, regression-pinned:
+//!
+//! - `run_batch_fallible(budget, 1, ..)` is **bit-identical** to the
+//!   serial `run_fallible(budget, ..)` — same history, same failures,
+//!   same best, same trace event sequence (timings excluded).
+//! - `suggest_batch(1)` is exactly `suggest()`.
+//! - Constant-liar fantasies never leak into the real history.
+
+use hiperbot_core::{EvalOutcome, Tuner, TunerOptions};
+use hiperbot_obs::MemoryRecorder;
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+use std::sync::Arc;
+
+/// A 3-D discrete space (6·6·4 = 144 configurations).
+fn space() -> ParameterSpace {
+    let six: Vec<i64> = (0..6).collect();
+    let four: Vec<i64> = (0..4).collect();
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::discrete_ints(&six)))
+        .param(ParamDef::new("y", Domain::discrete_ints(&six)))
+        .param(ParamDef::new("z", Domain::discrete_ints(&four)))
+        .build()
+        .unwrap()
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.value(0).index() as f64;
+    let y = cfg.value(1).index() as f64;
+    let z = cfg.value(2).index() as f64;
+    (x - 4.0).powi(2) + (y - 1.0).powi(2) + 0.5 * (z - 2.0).powi(2) + 1.0
+}
+
+/// A deterministic fallible objective: configurations on the x == 2 plane
+/// crash, everything else measures cleanly.
+fn fallible(cfg: &Configuration) -> EvalOutcome {
+    if cfg.value(0).index() == 2 {
+        EvalOutcome::Failed {
+            reason: "simulated crash".to_string(),
+        }
+    } else {
+        EvalOutcome::Ok(objective(cfg))
+    }
+}
+
+fn tuner(seed: u64) -> Tuner {
+    Tuner::new(
+        space(),
+        TunerOptions::default().with_seed(seed).with_init_samples(8),
+    )
+}
+
+/// Zeroes the digits after every `"<key>":` occurrence, so serialized
+/// events compare structurally (wall-clock timings are never bit-stable).
+fn scrub_field(line: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find(&needle) {
+        let after = at + needle.len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Serializes events with every wall-clock field zeroed, so two runs can
+/// be compared structurally.
+fn normalized_events(recorder: &MemoryRecorder) -> Vec<String> {
+    recorder
+        .events()
+        .iter()
+        .map(|e| {
+            let line = serde_json::to_string(e).unwrap();
+            scrub_field(&scrub_field(&line, "elapsed_ns"), "backoff_ns")
+        })
+        .collect()
+}
+
+/// The full observable state of a finished run, for equality assertions.
+fn fingerprint(t: &Tuner) -> (Vec<String>, Vec<f64>, Vec<String>, usize) {
+    let configs = t
+        .history()
+        .configs()
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    let failures = t
+        .history()
+        .failures()
+        .iter()
+        .map(|f| format!("{:?}:{}", f.config, f.reason))
+        .collect();
+    (
+        configs,
+        t.history().objectives().to_vec(),
+        failures,
+        t.history().trials(),
+    )
+}
+
+#[test]
+fn batch_of_one_is_bit_identical_to_the_serial_tuner() {
+    for seed in [3u64, 11, 42] {
+        let serial_rec = Arc::new(MemoryRecorder::new());
+        let mut serial = tuner(seed).with_recorder(serial_rec.clone());
+        let serial_best = serial.run_fallible(40, fallible);
+
+        let batch_rec = Arc::new(MemoryRecorder::new());
+        let mut batch = tuner(seed).with_recorder(batch_rec.clone());
+        let batch_best =
+            batch.run_batch_fallible(40, 1, |cfgs, _base| cfgs.iter().map(fallible).collect());
+
+        assert_eq!(fingerprint(&serial), fingerprint(&batch), "seed {seed}");
+        let (s, b) = (serial_best.unwrap(), batch_best.unwrap());
+        assert_eq!(s.config, b.config, "seed {seed}");
+        assert_eq!(s.objective, b.objective, "seed {seed}");
+        assert_eq!(s.evaluations, b.evaluations, "seed {seed}");
+        assert_eq!(
+            normalized_events(&serial_rec),
+            normalized_events(&batch_rec),
+            "seed {seed}: traces must match event-for-event"
+        );
+        // And the *next* suggestion agrees too: the surrogate states are
+        // interchangeable, not just the summaries.
+        assert_eq!(serial.suggest(), batch.suggest(), "seed {seed}");
+    }
+}
+
+#[test]
+fn suggest_batch_of_one_equals_suggest() {
+    let mut t = tuner(7);
+    t.run(12, objective);
+    let single = t.suggest().expect("pool not exhausted");
+    let batch = t.suggest_batch(1);
+    assert_eq!(batch, vec![single]);
+}
+
+#[test]
+fn constant_liar_fantasies_never_leak_into_history() {
+    let mut t = tuner(5);
+    t.run(12, objective);
+    let before = fingerprint(&t);
+    let picks = t.suggest_batch(6);
+    assert_eq!(picks.len(), 6);
+    assert_eq!(
+        fingerprint(&t),
+        before,
+        "suggestion must not mutate history"
+    );
+    // Picks are distinct and all unseen.
+    for (i, a) in picks.iter().enumerate() {
+        assert!(!t.history().contains(a), "pick {i} already evaluated");
+        for b in &picks[..i] {
+            assert_ne!(a, b, "duplicate pick in one batch");
+        }
+    }
+}
+
+#[test]
+fn liar_diversifies_the_batch_beyond_top_k_of_one_fit() {
+    // The first constant-liar pick is the plain argmax; later picks react
+    // to the fantasies. Sanity-check the first pick agrees with suggest()
+    // while the batch still covers k distinct configurations.
+    let mut t = tuner(19);
+    t.run(16, objective);
+    let single = t.suggest().expect("pool not exhausted");
+    let picks = t.suggest_batch(4);
+    assert_eq!(picks[0], single, "first pick is the serial argmax");
+    assert_eq!(picks.len(), 4);
+}
+
+#[test]
+fn batch_run_preserves_trial_budget_with_failures() {
+    for batch in [1usize, 3, 4, 8] {
+        let mut t = tuner(23);
+        let best =
+            t.run_batch_fallible(30, batch, |cfgs, _base| cfgs.iter().map(fallible).collect());
+        assert!(best.is_some(), "batch {batch}");
+        assert_eq!(
+            t.history().trials(),
+            30,
+            "batch {batch}: budget counts successes + failures exactly"
+        );
+        assert_eq!(
+            t.history().len() + t.history().failures().len(),
+            30,
+            "batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn batch_run_exhausts_small_pools_gracefully() {
+    let two: Vec<i64> = (0..2).collect();
+    let small = ParameterSpace::builder()
+        .param(ParamDef::new("a", Domain::discrete_ints(&two)))
+        .param(ParamDef::new("b", Domain::discrete_ints(&two)))
+        .build()
+        .unwrap();
+    let mut t = Tuner::new(
+        small,
+        TunerOptions::default().with_seed(1).with_init_samples(2),
+    );
+    // Budget larger than the 4-configuration pool: the run must stop at 4
+    // trials, not loop or panic, even with a batch wider than the pool.
+    let best = t.run_batch_fallible(10, 8, |cfgs, _base| {
+        cfgs.iter()
+            .map(|c| EvalOutcome::Ok(c.value(0).index() as f64 + 0.5))
+            .collect()
+    });
+    assert!(best.is_some());
+    assert_eq!(t.history().trials(), 4);
+}

@@ -129,6 +129,118 @@ impl RetryPolicy {
     }
 }
 
+/// How a retry loop spends its backoff wait. Injected rather than calling
+/// [`std::thread::sleep`] directly so simulated campaigns and the test
+/// suite never pay real wall-clock for backoff delays — only a real
+/// campaign opts into [`ThreadSleeper`].
+///
+/// `sleep` takes `&self` (interior mutability for stateful impls) so one
+/// sleeper can be shared by every worker of a [`BatchExecutor`].
+///
+/// [`BatchExecutor`]: crate::executor::BatchExecutor
+pub trait Sleeper: Send + Sync {
+    /// Waits (or pretends to wait) for `seconds`.
+    fn sleep(&self, seconds: f64);
+}
+
+/// Really sleeps on the calling thread — the production sleeper for
+/// campaigns with live backoff.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, seconds: f64) {
+        std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+    }
+}
+
+/// Ignores the wait entirely — the default, and what tests and simulated
+/// campaigns use (the backoff is still *computed* and traced, just not
+/// performed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSleeper;
+
+impl Sleeper for NoopSleeper {
+    fn sleep(&self, _seconds: f64) {}
+}
+
+/// Records every requested wait without sleeping, for asserting backoff
+/// schedules in tests. Share via `Arc` to read the waits back after the
+/// retry loop consumed the sleeper.
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    waits: std::sync::Mutex<Vec<f64>>,
+}
+
+impl RecordingSleeper {
+    /// An empty recording sleeper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The waits requested so far, in request order.
+    pub fn waits(&self) -> Vec<f64> {
+        self.waits.lock().expect("sleeper lock poisoned").clone()
+    }
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&self, seconds: f64) {
+        self.waits
+            .lock()
+            .expect("sleeper lock poisoned")
+            .push(seconds);
+    }
+}
+
+impl<S: Sleeper + ?Sized> Sleeper for Arc<S> {
+    fn sleep(&self, seconds: f64) {
+        (**self).sleep(seconds);
+    }
+}
+
+/// The retry loop shared by [`RetryingObjective`] (serial) and
+/// [`BatchExecutor`](crate::executor::BatchExecutor) (parallel): attempts
+/// `inner`, retrying retryable failures per `policy` with the backoff
+/// keyed on `(policy seed, trial, attempt)`, and returns the final
+/// outcome plus how many retries it performed. Keying on the explicit
+/// `trial` index (not any call counter) is what makes parallel executors
+/// scheduling-independent.
+pub(crate) fn evaluate_with_retries(
+    inner: &mut impl FnMut(&Configuration, u32) -> EvalOutcome,
+    cfg: &Configuration,
+    trial: u64,
+    policy: &RetryPolicy,
+    recorder: &dyn Recorder,
+    sleeper: &dyn Sleeper,
+) -> (EvalOutcome, u64) {
+    let mut spent = 0.0;
+    let mut retries = 0u64;
+    let mut attempt: u32 = 0;
+    loop {
+        let out = inner(cfg, attempt).normalized();
+        if !out.is_retryable() || attempt >= policy.max_retries {
+            return (out, retries);
+        }
+        let wait = policy.backoff_seconds(trial, attempt);
+        if let Some(budget) = policy.trial_budget {
+            if spent + wait > budget {
+                return (out, retries);
+            }
+        }
+        spent += wait;
+        retries += 1;
+        recorder.record(&Event::TrialRetried {
+            iteration: trial,
+            attempt: (attempt + 1) as u64,
+            backoff_ns: (wait * 1e9) as u64,
+            reason: out.failure_reason().unwrap_or_default(),
+        });
+        sleeper.sleep(wait);
+        attempt += 1;
+    }
+}
+
 /// Wraps an attempt-aware fallible objective with a [`RetryPolicy`],
 /// exposing the single-shot interface the tuner consumes.
 ///
@@ -137,14 +249,15 @@ impl RetryPolicy {
 /// draws are keyed on the attempt index (see
 /// [`FaultModel::attempt_outcome`](hiperbot_perfsim::faults::FaultModel::attempt_outcome))
 /// genuinely redraw on retry. Each retry emits an
-/// [`Event::TrialRetried`] to the attached recorder, and the optional
-/// sleeper is invoked with the backoff in seconds (simulated campaigns
-/// leave it unset: the wait is recorded but not performed).
+/// [`Event::TrialRetried`] to the attached recorder, and the [`Sleeper`]
+/// is invoked with the backoff in seconds (the default [`NoopSleeper`]
+/// records the wait in the trace but does not perform it; real campaigns
+/// attach a [`ThreadSleeper`]).
 pub struct RetryingObjective<F> {
     inner: F,
     policy: RetryPolicy,
     recorder: Arc<dyn Recorder>,
-    sleeper: Option<Box<dyn FnMut(f64)>>,
+    sleeper: Box<dyn Sleeper>,
     trial: u64,
     retries: u64,
 }
@@ -157,7 +270,7 @@ impl<F: FnMut(&Configuration, u32) -> EvalOutcome> RetryingObjective<F> {
             inner,
             policy,
             recorder: Arc::new(NoopRecorder),
-            sleeper: None,
+            sleeper: Box::new(NoopSleeper),
             trial: 0,
             retries: 0,
         }
@@ -169,10 +282,10 @@ impl<F: FnMut(&Configuration, u32) -> EvalOutcome> RetryingObjective<F> {
         self
     }
 
-    /// Attaches a sleeper called with each backoff duration in seconds
-    /// (e.g. `std::thread::sleep` for real campaigns).
-    pub fn with_sleeper(mut self, sleeper: impl FnMut(f64) + 'static) -> Self {
-        self.sleeper = Some(Box::new(sleeper));
+    /// Replaces the default [`NoopSleeper`] (e.g. with a [`ThreadSleeper`]
+    /// for real campaigns that must actually wait out the backoff).
+    pub fn with_sleeper(mut self, sleeper: impl Sleeper + 'static) -> Self {
+        self.sleeper = Box::new(sleeper);
         self
     }
 
@@ -192,32 +305,16 @@ impl<F: FnMut(&Configuration, u32) -> EvalOutcome> RetryingObjective<F> {
     pub fn evaluate(&mut self, cfg: &Configuration) -> EvalOutcome {
         let trial = self.trial;
         self.trial += 1;
-        let mut spent = 0.0;
-        let mut attempt: u32 = 0;
-        loop {
-            let out = (self.inner)(cfg, attempt).normalized();
-            if !out.is_retryable() || attempt >= self.policy.max_retries {
-                return out;
-            }
-            let wait = self.policy.backoff_seconds(trial, attempt);
-            if let Some(budget) = self.policy.trial_budget {
-                if spent + wait > budget {
-                    return out;
-                }
-            }
-            spent += wait;
-            self.retries += 1;
-            self.recorder.record(&Event::TrialRetried {
-                iteration: trial,
-                attempt: (attempt + 1) as u64,
-                backoff_ns: (wait * 1e9) as u64,
-                reason: out.failure_reason().unwrap_or_default(),
-            });
-            if let Some(sleep) = &mut self.sleeper {
-                sleep(wait);
-            }
-            attempt += 1;
-        }
+        let (out, retries) = evaluate_with_retries(
+            &mut self.inner,
+            cfg,
+            trial,
+            &self.policy,
+            self.recorder.as_ref(),
+            self.sleeper.as_ref(),
+        );
+        self.retries += retries;
+        out
     }
 }
 
@@ -374,10 +471,7 @@ mod tests {
 
     #[test]
     fn sleeper_receives_each_backoff() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let waits: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
-        let sink = Rc::clone(&waits);
+        let sleeper = Arc::new(RecordingSleeper::new());
         let policy = RetryPolicy {
             jitter: 0.0,
             ..RetryPolicy::default()
@@ -388,10 +482,10 @@ mod tests {
             },
             policy,
         )
-        .with_sleeper(move |s| sink.borrow_mut().push(s));
+        .with_sleeper(Arc::clone(&sleeper));
         let _ = retrying.evaluate(&cfg(0));
         drop(retrying);
-        assert_eq!(&*waits.borrow(), &[1.0, 2.0]);
+        assert_eq!(sleeper.waits(), &[1.0, 2.0]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! of the paper so the `hiperbot-bench` binaries can regenerate each of
 //! them.
 
+pub mod executor;
 pub mod experiments;
 pub mod faults;
 pub mod metrics;
@@ -25,6 +26,10 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 
-pub use faults::{outcome_from_sim, RetryPolicy, RetryingObjective};
+pub use executor::BatchExecutor;
+pub use faults::{
+    outcome_from_sim, NoopSleeper, RecordingSleeper, RetryPolicy, RetryingObjective, Sleeper,
+    ThreadSleeper,
+};
 pub use metrics::{GoodSet, Recall};
 pub use runner::{run_trials, CheckpointStats, TrialConfig};

@@ -116,6 +116,39 @@ pub enum Event {
         /// Why the attempt failed.
         reason: String,
     },
+    /// A batch of suggested configurations was handed to the evaluation
+    /// executor (constant-liar batch stepping only; serial runs never emit
+    /// this).
+    BatchDispatched {
+        /// Trial index of the first configuration in the batch.
+        iteration: u64,
+        /// Number of configurations dispatched.
+        batch: u64,
+    },
+    /// A dispatched batch finished evaluating and its real outcomes were
+    /// merged back into the history in suggestion order (fantasy
+    /// observations evicted).
+    BatchMerged {
+        /// Trial index of the first configuration in the batch.
+        iteration: u64,
+        /// Number of configurations in the batch.
+        batch: u64,
+        /// Successful evaluations merged.
+        ok: u64,
+        /// Permanently failed evaluations quarantined.
+        failed: u64,
+        /// Wall time of the whole batch evaluation.
+        elapsed_ns: u64,
+    },
+    /// Proposal-mode duplicate suggestions stalled iterations without
+    /// consuming budget. Emitted once at the end of a run that saw any
+    /// stalls, with the total count.
+    ProposalStalled {
+        /// Trial index when the run ended.
+        iteration: u64,
+        /// Total stalled iterations over the run.
+        stalls: u64,
+    },
     /// The best-so-far objective improved.
     IncumbentImproved {
         /// Evaluation index of the improving observation.
@@ -220,6 +253,7 @@ impl Event {
             Event::RunHeader(_)
             | Event::IncumbentImproved { .. }
             | Event::TrialFailed { .. }
+            | Event::ProposalStalled { .. }
             | Event::RunFinished { .. }
             | Event::TrialFinished { .. }
             | Event::SelectorRun { .. } => Level::Info,
@@ -233,6 +267,7 @@ impl Event {
             Event::SurrogateFit { elapsed_ns, .. } => Some(("tuner.fit", *elapsed_ns)),
             Event::SelectionScored { elapsed_ns, .. } => Some(("tuner.select", *elapsed_ns)),
             Event::ObjectiveEvaluated { elapsed_ns, .. } => Some(("tuner.evaluate", *elapsed_ns)),
+            Event::BatchMerged { elapsed_ns, .. } => Some(("tuner.batch", *elapsed_ns)),
             Event::PropagationRound { elapsed_ns, .. } => Some(("geist.propagate", *elapsed_ns)),
             Event::SelectorRun { elapsed_ns, .. } => Some(("selector.run", *elapsed_ns)),
             Event::TrialFinished { elapsed_ns, .. } => Some(("eval.trial", *elapsed_ns)),
@@ -297,6 +332,22 @@ impl Event {
                 "iter {iteration} attempt {attempt} failed ({reason}), retrying after {:.3} ms",
                 ms(*backoff_ns)
             ),
+            Event::BatchDispatched { iteration, batch } => {
+                format!("iter {iteration} dispatch batch of {batch}")
+            }
+            Event::BatchMerged {
+                iteration,
+                batch,
+                ok,
+                failed,
+                elapsed_ns,
+            } => format!(
+                "iter {iteration} merged batch of {batch}: {ok} ok, {failed} failed ({:.3} ms)",
+                ms(*elapsed_ns)
+            ),
+            Event::ProposalStalled { iteration, stalls } => {
+                format!("iter {iteration} proposal stalled {stalls} times on duplicates")
+            }
             Event::IncumbentImproved {
                 iteration,
                 objective,
@@ -426,6 +477,21 @@ mod tests {
                 attempt: 0,
                 backoff_ns: 500_000,
                 reason: "timeout".into(),
+            },
+            Event::BatchDispatched {
+                iteration: 8,
+                batch: 4,
+            },
+            Event::BatchMerged {
+                iteration: 8,
+                batch: 4,
+                ok: 3,
+                failed: 1,
+                elapsed_ns: 9001,
+            },
+            Event::ProposalStalled {
+                iteration: 40,
+                stalls: 17,
             },
             Event::IncumbentImproved {
                 iteration: 3,

@@ -27,7 +27,7 @@
 //!   ```
 
 use crate::core::{EvalOutcome, SelectionStrategy, Tuner, TunerOptions};
-use crate::eval::{outcome_from_sim, RetryPolicy, RetryingObjective};
+use crate::eval::{outcome_from_sim, BatchExecutor, RetryPolicy, RetryingObjective, ThreadSleeper};
 use crate::obs::{
     JsonlSink, Level, MetricsRecorder, MetricsRegistry, MultiRecorder, Recorder, StderrLogger,
 };
@@ -171,13 +171,18 @@ pub struct CliOptions {
     pub log_level: Level,
     /// Whether to print the per-phase latency table after the run.
     pub metrics_summary: bool,
+    /// Worker threads for concurrent objective evaluation (1 = serial).
+    pub workers: usize,
+    /// Configurations suggested per surrogate refit, via constant-liar
+    /// batch selection (1 = the paper's serial algorithm).
+    pub batch: usize,
 }
 
 /// Parses `argv[1..]`. Returns `Err(usage)` on any problem.
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let usage = "usage: hiperbot --space <spec.json> --command <template> \
                  [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time] \
-                 [--max-retries N=0] \
+                 [--max-retries N=0] [--workers N=1] [--batch K=1] \
                  [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary]\n\
                  \x20      hiperbot --app kripke|kripke-energy|hypre|lulesh|openatom \
                  [--fail-prob P=0] [--timeout-factor F] [common flags]";
@@ -194,6 +199,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut trace_out = None;
     let mut log_level = Level::Off;
     let mut metrics_summary = false;
+    let mut workers = 1usize;
+    let mut batch = 1usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -244,6 +251,16 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .map_err(|_| format!("--timeout-factor must be a number\n{usage}"))?;
                 timeout_factor = Some(f);
             }
+            "--workers" => {
+                workers = take("--workers")?
+                    .parse()
+                    .map_err(|_| format!("--workers must be a positive integer\n{usage}"))?
+            }
+            "--batch" => {
+                batch = take("--batch")?
+                    .parse()
+                    .map_err(|_| format!("--batch must be a positive integer\n{usage}"))?
+            }
             "--trace-out" => trace_out = Some(take("--trace-out")?),
             "--log-level" => {
                 log_level = take("--log-level")?
@@ -280,6 +297,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--fail-prob/--timeout-factor only apply to --app mode\n{usage}"
         ));
     }
+    if workers == 0 || batch == 0 {
+        return Err(format!("--workers and --batch must be positive\n{usage}"));
+    }
     Ok(CliOptions {
         space_path,
         command,
@@ -294,6 +314,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         trace_out,
         log_level,
         metrics_summary,
+        workers,
+        batch,
     })
 }
 
@@ -416,6 +438,14 @@ fn run_command_mode(options: &CliOptions) -> Result<(String, f64), String> {
     let spec = SpaceSpec::from_json(&json)?;
     let space = spec.build()?;
 
+    let parallel = options.workers > 1 || options.batch > 1;
+    if parallel && spec.has_continuous() {
+        return Err(
+            "--workers/--batch > 1 need a fully discrete space (batch selection \
+             is Ranking-only; continuous parameters use the Proposal strategy)"
+                .to_string(),
+        );
+    }
     let strategy = if spec.has_continuous() {
         SelectionStrategy::Proposal { candidates: 32 }
     } else {
@@ -435,32 +465,51 @@ fn run_command_mode(options: &CliOptions) -> Result<(String, f64), String> {
     let policy = RetryPolicy::default()
         .with_max_retries(options.max_retries)
         .with_seed(options.seed);
-    let mut retrying = RetryingObjective::new(
-        |cfg: &Configuration, _attempt: u32| {
-            let rendered = render_command(&options.command, cfg, &space);
-            match evaluate_command(&rendered, options.measure) {
-                Ok(y) => {
-                    eprintln!("  {rendered} -> {y}");
-                    EvalOutcome::Ok(y)
-                }
-                Err(e) => {
-                    eprintln!("  {rendered} -> FAILED");
-                    eprintln!("warning: {e}");
-                    EvalOutcome::Failed { reason: e }
-                }
+    let evaluate = |cfg: &Configuration| {
+        let rendered = render_command(&options.command, cfg, &space);
+        match evaluate_command(&rendered, options.measure) {
+            Ok(y) => {
+                eprintln!("  {rendered} -> {y}");
+                EvalOutcome::Ok(y)
             }
-        },
-        policy,
-    )
-    .with_sleeper(|seconds| std::thread::sleep(std::time::Duration::from_secs_f64(seconds)));
-    if let Some(recorder) = &obs.recorder {
-        retrying = retrying.with_recorder(Arc::clone(recorder));
-    }
-
-    let best = tuner
-        .run_fallible(options.budget, |cfg| retrying.evaluate(cfg))
-        .ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
-    report_failures(tuner.history());
+            Err(e) => {
+                eprintln!("  {rendered} -> FAILED");
+                eprintln!("warning: {e}");
+                EvalOutcome::Failed { reason: e }
+            }
+        }
+    };
+    let best = if parallel {
+        // Parallel path: constant-liar batch suggestion + worker pool.
+        // `workers == batch == 1` never lands here, so the serial path
+        // below stays bit-identical to the pre-batch CLI.
+        let mut exec = BatchExecutor::new(
+            |cfg: &Configuration, _trial: u64, _attempt: u32| evaluate(cfg),
+            options.workers,
+        )
+        .with_policy(policy)
+        .with_sleeper(ThreadSleeper);
+        if let Some(recorder) = &obs.recorder {
+            exec = exec.with_recorder(Arc::clone(recorder));
+        }
+        if options.metrics_summary {
+            exec = exec.with_registry(obs.registry.clone());
+        }
+        tuner.run_batch_fallible(options.budget, options.batch, |cfgs, base| {
+            exec.evaluate_batch(cfgs, base)
+        })
+    } else {
+        let mut retrying =
+            RetryingObjective::new(|cfg: &Configuration, _attempt: u32| evaluate(cfg), policy)
+                .with_sleeper(ThreadSleeper);
+        if let Some(recorder) = &obs.recorder {
+            retrying = retrying.with_recorder(Arc::clone(recorder));
+        }
+        tuner.run_fallible(options.budget, |cfg| retrying.evaluate(cfg))
+    };
+    let best =
+        best.ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
+    report_failures(&tuner);
     obs.finish(options);
     Ok((
         render_command(&options.command, &best.config, &space),
@@ -505,32 +554,60 @@ fn run_app_mode(options: &CliOptions, app: &str) -> Result<(String, f64), String
     let policy = RetryPolicy::default()
         .with_max_retries(options.max_retries)
         .with_seed(options.seed);
-    // Simulated evaluations: backoffs are recorded, not slept.
-    let mut retrying = RetryingObjective::new(
-        |cfg: &Configuration, attempt: u32| {
-            outcome_from_sim(dataset.evaluate_outcome(cfg, &model, attempt))
-        },
-        policy,
-    );
-    if let Some(recorder) = &obs.recorder {
-        retrying = retrying.with_recorder(Arc::clone(recorder));
-    }
-
-    let best = tuner
-        .run_fallible(options.budget, |cfg| retrying.evaluate(cfg))
-        .ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
-    report_failures(tuner.history());
+    // Simulated evaluations: backoffs are recorded, not slept (the
+    // default NoopSleeper, in both the serial and parallel paths).
+    let best = if options.workers > 1 || options.batch > 1 {
+        let mut exec = BatchExecutor::new(
+            |cfg: &Configuration, _trial: u64, attempt: u32| {
+                outcome_from_sim(dataset.evaluate_outcome(cfg, &model, attempt))
+            },
+            options.workers,
+        )
+        .with_policy(policy);
+        if let Some(recorder) = &obs.recorder {
+            exec = exec.with_recorder(Arc::clone(recorder));
+        }
+        if options.metrics_summary {
+            exec = exec.with_registry(obs.registry.clone());
+        }
+        tuner.run_batch_fallible(options.budget, options.batch, |cfgs, base| {
+            exec.evaluate_batch(cfgs, base)
+        })
+    } else {
+        let mut retrying = RetryingObjective::new(
+            |cfg: &Configuration, attempt: u32| {
+                outcome_from_sim(dataset.evaluate_outcome(cfg, &model, attempt))
+            },
+            policy,
+        );
+        if let Some(recorder) = &obs.recorder {
+            retrying = retrying.with_recorder(Arc::clone(recorder));
+        }
+        tuner.run_fallible(options.budget, |cfg| retrying.evaluate(cfg))
+    };
+    let best =
+        best.ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
+    report_failures(&tuner);
     obs.finish(options);
     Ok((render_config(&best.config, &space), best.objective))
 }
 
-/// Prints a one-line failure summary when any trial permanently failed.
-fn report_failures(history: &crate::core::ObservationHistory) {
+/// Prints a one-line summary of permanent failures and Proposal-mode
+/// stalls after a run, so quarantined trials and budget-free duplicate
+/// iterations are visible without a trace file.
+fn report_failures(tuner: &Tuner) {
+    let history = tuner.history();
     let n = history.n_failures();
     if n > 0 {
         eprintln!(
             "warning: {n} of {} trials permanently failed",
             history.trials()
+        );
+    }
+    if tuner.stalls() > 0 {
+        eprintln!(
+            "warning: {} proposal iterations stalled on duplicate suggestions",
+            tuner.stalls()
         );
     }
 }
@@ -702,6 +779,8 @@ mod tests {
             trace_out: None,
             log_level: Level::Off,
             metrics_summary: false,
+            workers: 1,
+            batch: 1,
         };
         let (cmd, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -738,6 +817,8 @@ mod tests {
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
             log_level: Level::Off,
             metrics_summary: true,
+            workers: 1,
+            batch: 1,
         };
         let (_, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -806,6 +887,123 @@ mod tests {
     }
 
     #[test]
+    fn parallel_flags_parse_and_validate() {
+        let o = parse_args(&to_args(&[
+            "--app",
+            "kripke",
+            "--workers",
+            "4",
+            "--batch",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.batch, 8);
+        // defaults: serial
+        let o = parse_args(&to_args(&["--app", "kripke"])).unwrap();
+        assert_eq!((o.workers, o.batch), (1, 1));
+        assert!(parse_args(&to_args(&["--app", "kripke", "--workers", "0"])).is_err());
+        assert!(parse_args(&to_args(&["--app", "kripke", "--batch", "0"])).is_err());
+        assert!(parse_args(&to_args(&["--app", "kripke", "--workers", "two"])).is_err());
+    }
+
+    #[test]
+    fn app_mode_parallel_run_matches_serial_batch_run() {
+        // The determinism contract the CI parallel-smoke job relies on:
+        // at a fixed --batch, every worker count yields the same result.
+        let base = CliOptions {
+            space_path: String::new(),
+            command: String::new(),
+            app: Some("kripke".into()),
+            budget: 24,
+            seed: 5,
+            measure: Measure::Stdout,
+            init_samples: 8,
+            max_retries: 1,
+            fail_prob: 0.15,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+            workers: 1,
+            batch: 4,
+        };
+        let serial = run(&base).unwrap();
+        for workers in [2, 4] {
+            let options = CliOptions {
+                workers,
+                ..base.clone()
+            };
+            assert_eq!(run(&options).unwrap(), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn command_mode_rejects_parallel_flags_on_continuous_spaces() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-cont-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("space.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"params": [{"type": "continuous", "name": "alpha", "lo": 0.0, "hi": 1.0}]}"#,
+        )
+        .unwrap();
+        let options = CliOptions {
+            space_path: spec_path.to_string_lossy().into_owned(),
+            command: "echo {alpha}".into(),
+            app: None,
+            budget: 4,
+            seed: 0,
+            measure: Measure::Stdout,
+            init_samples: 2,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+            workers: 2,
+            batch: 2,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(err.contains("discrete"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn command_mode_parallel_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-par-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("space.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"params": [{"type": "ints", "name": "threads", "values": [1, 2, 4, 8]}]}"#,
+        )
+        .unwrap();
+        let options = CliOptions {
+            space_path: spec_path.to_string_lossy().into_owned(),
+            command: "echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))".into(),
+            app: None,
+            budget: 4,
+            seed: 1,
+            measure: Measure::Stdout,
+            init_samples: 4,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+            workers: 4,
+            batch: 4,
+        };
+        let (cmd, best) = run(&options).unwrap();
+        assert_eq!(best, 0.0);
+        assert!(cmd.contains("2"), "best command: {cmd}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn fault_flags_reject_bad_combinations() {
         // fault injection flags require app mode
         assert!(parse_args(&to_args(&[
@@ -852,6 +1050,8 @@ mod tests {
             trace_out: None,
             log_level: Level::Off,
             metrics_summary: false,
+            workers: 1,
+            batch: 1,
         };
         let (cfg, best) = run(&options).unwrap();
         assert!(best.is_finite() && best > 0.0, "best objective: {best}");
@@ -879,6 +1079,8 @@ mod tests {
             trace_out: None,
             log_level: Level::Off,
             metrics_summary: false,
+            workers: 1,
+            batch: 1,
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("unknown app"), "{err}");
@@ -913,6 +1115,8 @@ mod tests {
             trace_out: None,
             log_level: Level::Off,
             metrics_summary: false,
+            workers: 1,
+            batch: 1,
         };
         let (cmd, best) = run(&options).unwrap();
         // Best feasible: threads=1 or threads=4, both scoring 1 (never the
@@ -945,6 +1149,8 @@ mod tests {
             trace_out: None,
             log_level: Level::Off,
             metrics_summary: false,
+            workers: 1,
+            batch: 1,
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("every evaluation"), "{err}");
