@@ -16,6 +16,11 @@
 //! 4. Evaluate the true objective on the winner, append to the history,
 //!    and repeat ([`tuner`]).
 //!
+//! Step 2 is served by a persistent [`incremental`] engine by default:
+//! instead of re-fitting from scratch each iteration, it absorbs each new
+//! observation in O(log n + churn) while staying bit-identical to the
+//! from-scratch fit (`--surrogate full` restores the old path).
+//!
 //! Two extensions close the loop with the paper's later sections:
 //! [`transfer`] mixes source-domain densities in as a weighted prior
 //! (eqs. 9–10, §VII) and [`importance`] ranks parameters by the
@@ -24,6 +29,7 @@
 
 pub mod history;
 pub mod importance;
+pub mod incremental;
 pub mod outcome;
 pub mod selection;
 pub mod stopping;
@@ -33,9 +39,10 @@ pub mod tuner;
 
 pub use history::{FailureRecord, ObservationHistory};
 pub use importance::{parameter_importance, DivergenceMeasure, ParameterImportance};
+pub use incremental::{ChurnStats, IncrementalSurrogate};
 pub use outcome::EvalOutcome;
 pub use selection::SelectionStrategy;
 pub use stopping::{StoppingRule, StoppingSet};
-pub use surrogate::TpeSurrogate;
+pub use surrogate::{SurrogateMode, TpeSurrogate};
 pub use transfer::TransferPrior;
 pub use tuner::{BestResult, InitDesign, Tuner, TunerOptions};

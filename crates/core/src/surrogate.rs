@@ -35,6 +35,37 @@ impl Default for SurrogateOptions {
     }
 }
 
+/// Which fit engine the tuner uses for Ranking-strategy suggestions.
+///
+/// `Incremental` (the default) maintains a persistent
+/// [`IncrementalSurrogate`](crate::incremental::IncrementalSurrogate) that
+/// absorbs each new observation in O(log n + churn) instead of re-fitting
+/// from scratch every iteration; `Full` is the from-scratch escape hatch.
+/// The two modes produce **bit-identical** suggestions, histories, and
+/// traces — the incremental engine's contract, enforced by debug-assert
+/// parity checks and the property suite in `tests/incremental_parity.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateMode {
+    /// Persistent O(churn) delta-maintained surrogate (default).
+    #[default]
+    Incremental,
+    /// From-scratch re-fit every iteration (the pre-engine behavior).
+    Full,
+}
+
+/// Reusable scratch buffers for the continuous-parameter KDE assembly in
+/// [`TpeSurrogate::fit_with_failures_scratch`]. Holding one of these across
+/// fits (as the tuner does) removes the four per-parameter `Vec` allocations
+/// — points and weights for each class — that the fit path otherwise pays on
+/// every iteration.
+#[derive(Debug, Default)]
+pub struct FitScratch {
+    gpts: Vec<f64>,
+    gwts: Vec<f64>,
+    bpts: Vec<f64>,
+    bwts: Vec<f64>,
+}
+
 /// Per-parameter good/bad density pair.
 #[derive(Debug, Clone)]
 pub enum ParamDensity {
@@ -129,6 +160,35 @@ impl TpeSurrogate {
         options: &SurrogateOptions,
         prior: Option<(&TransferPrior, f64)>,
     ) -> Self {
+        Self::fit_with_failures_scratch(
+            space,
+            configs,
+            objectives,
+            failed,
+            options,
+            prior,
+            &mut FitScratch::default(),
+        )
+    }
+
+    /// Like [`fit_with_failures`](Self::fit_with_failures), but assembles the
+    /// continuous-parameter KDE inputs in caller-provided scratch buffers
+    /// instead of allocating fresh `Vec`s per parameter per fit. The tuner
+    /// holds one [`FitScratch`] across its whole run, so steady-state fits
+    /// allocate nothing for point/weight staging.
+    ///
+    /// Bit-identical to the allocating path: the buffers are cleared and
+    /// refilled with exactly the same values in exactly the same order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_with_failures_scratch(
+        space: &ParameterSpace,
+        configs: &[Configuration],
+        objectives: &[f64],
+        failed: &[Configuration],
+        options: &SurrogateOptions,
+        prior: Option<(&TransferPrior, f64)>,
+        scratch: &mut FitScratch,
+    ) -> Self {
         assert!(!configs.is_empty(), "cannot fit a surrogate to no data");
         assert_eq!(configs.len(), objectives.len(), "length mismatch");
         let (good_idx, bad_idx, threshold) = split_by_quantile(objectives, options.alpha);
@@ -160,30 +220,34 @@ impl TpeSurrogate {
                 }
                 Domain::Continuous { lo, hi } => {
                     let bw = Bandwidth::Fixed(options.bandwidth_fraction * (hi - lo));
-                    let collect = |idx: &[usize]| -> (Vec<f64>, Vec<f64>) {
-                        let pts: Vec<f64> =
-                            idx.iter().map(|&i| configs[i].value(p).as_f64()).collect();
-                        let wts = vec![1.0; pts.len()];
-                        (pts, wts)
-                    };
-                    let (mut gpts, mut gwts) = collect(&good_idx);
-                    let (mut bpts, mut bwts) = collect(&bad_idx);
+                    scratch.gpts.clear();
+                    scratch.gwts.clear();
+                    scratch.bpts.clear();
+                    scratch.bwts.clear();
+                    for &i in &good_idx {
+                        scratch.gpts.push(configs[i].value(p).as_f64());
+                    }
+                    scratch.gwts.resize(scratch.gpts.len(), 1.0);
+                    for &i in &bad_idx {
+                        scratch.bpts.push(configs[i].value(p).as_f64());
+                    }
+                    scratch.bwts.resize(scratch.bpts.len(), 1.0);
                     for f in failed {
-                        bpts.push(f.value(p).as_f64());
-                        bwts.push(1.0);
+                        scratch.bpts.push(f.value(p).as_f64());
+                        scratch.bwts.push(1.0);
                     }
                     if let Some((prior, w)) = prior {
                         let (pg, pb) = prior.continuous(p);
-                        gpts.extend_from_slice(pg);
-                        gwts.extend(std::iter::repeat_n(w, pg.len()));
-                        bpts.extend_from_slice(pb);
-                        bwts.extend(std::iter::repeat_n(w, pb.len()));
+                        scratch.gpts.extend_from_slice(pg);
+                        scratch.gwts.extend(std::iter::repeat_n(w, pg.len()));
+                        scratch.bpts.extend_from_slice(pb);
+                        scratch.bwts.extend(std::iter::repeat_n(w, pb.len()));
                     }
-                    let good = GaussianKde::fit_weighted(&gpts, &gwts, bw);
-                    let bad = if bpts.is_empty() {
+                    let good = GaussianKde::fit_weighted(&scratch.gpts, &scratch.gwts, bw);
+                    let bad = if scratch.bpts.is_empty() {
                         None
                     } else {
-                        Some(GaussianKde::fit_weighted(&bpts, &bwts, bw))
+                        Some(GaussianKde::fit_weighted(&scratch.bpts, &scratch.bwts, bw))
                     };
                     ParamDensity::Continuous {
                         good,
@@ -201,6 +265,27 @@ impl TpeSurrogate {
             n_good: good_idx.len(),
             n_bad: bad_idx.len(),
             n_failed: failed.len(),
+        }
+    }
+
+    /// Assembles a surrogate from already-fitted densities — the
+    /// materialization path of the incremental engine, which maintains the
+    /// densities and split metadata itself and only packages them into a
+    /// `TpeSurrogate` when a caller needs one (Proposal sampling, the public
+    /// accessor, importance analysis).
+    pub(crate) fn from_parts(
+        densities: Vec<ParamDensity>,
+        threshold: f64,
+        n_good: usize,
+        n_bad: usize,
+        n_failed: usize,
+    ) -> Self {
+        Self {
+            densities,
+            threshold,
+            n_good,
+            n_bad,
+            n_failed,
         }
     }
 
@@ -593,6 +678,45 @@ mod tests {
             for b in 0..2 {
                 let cfg = Configuration::from_indices(&[a, b]);
                 assert_eq!(table.score(&cfg).to_bits(), sur.log_ei(&cfg).to_bits());
+            }
+        }
+    }
+
+    // Satellite regression: a FitScratch reused across fits (including a
+    // mixed space and a transfer prior) must leave no residue — every fit is
+    // bit-identical to a fresh-allocation fit.
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_allocation() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::new("a", Domain::discrete_ints(&[0, 1, 2])))
+            .param(ParamDef::new("x", Domain::continuous(0.0, 4.0)))
+            .build()
+            .unwrap();
+        let mk = |i: usize| {
+            Configuration::new(vec![
+                ParamValue::Index(i % 3),
+                ParamValue::Real(0.5 + 0.3 * i as f64 % 4.0),
+            ])
+        };
+        let mut scratch = FitScratch::default();
+        for n in [1usize, 3, 7, 12] {
+            let configs: Vec<Configuration> = (0..n).map(mk).collect();
+            let objs: Vec<f64> = (0..n).map(|i| (i as f64 * 13.7) % 5.0).collect();
+            let failed: Vec<Configuration> = (0..n / 3).map(|i| mk(i + 50)).collect();
+            let opts = SurrogateOptions::default();
+            let fresh = TpeSurrogate::fit_with_failures(&s, &configs, &objs, &failed, &opts, None);
+            let reused = TpeSurrogate::fit_with_failures_scratch(
+                &s,
+                &configs,
+                &objs,
+                &failed,
+                &opts,
+                None,
+                &mut scratch,
+            );
+            assert_eq!(fresh.threshold().to_bits(), reused.threshold().to_bits());
+            for cfg in configs.iter().chain(failed.iter()) {
+                assert_eq!(fresh.log_ei(cfg).to_bits(), reused.log_ei(cfg).to_bits());
             }
         }
     }

@@ -10,11 +10,14 @@
 //!    budget is exhausted (or, for Ranking, the space is).
 
 use crate::history::ObservationHistory;
+use crate::incremental::{ChurnStats, IncrementalSurrogate};
 use crate::outcome::EvalOutcome;
 use crate::selection::{rank_encoded, select_by_proposal, SelectionStrategy};
-use crate::surrogate::{SurrogateOptions, TpeSurrogate};
+use crate::surrogate::{FitScratch, SurrogateMode, SurrogateOptions, TpeSurrogate};
 use crate::transfer::TransferPrior;
-use hiperbot_obs::{Event, NoopRecorder, Recorder, RunHeader, SpanTimer};
+use hiperbot_obs::{
+    counters, Event, MetricsRegistry, NoopRecorder, Recorder, RunHeader, SpanTimer,
+};
 use hiperbot_space::pool::{PoolEncoding, PoolMask};
 use hiperbot_space::sampling::{latin_hypercube, sample_distinct, sample_uniform};
 use hiperbot_space::{Configuration, ParameterSpace};
@@ -55,6 +58,10 @@ pub struct TunerOptions {
     pub seed: u64,
     /// Optional transfer-learning prior with its mixture weight `w`.
     pub prior: Option<(TransferPrior, f64)>,
+    /// How Ranking-strategy surrogate fits are maintained: a persistent
+    /// O(churn) incremental engine (default) or a from-scratch refit per
+    /// iteration. Bit-identical by contract; Proposal mode always refits.
+    pub surrogate_mode: SurrogateMode,
 }
 
 impl Default for TunerOptions {
@@ -68,6 +75,7 @@ impl Default for TunerOptions {
             bandwidth_fraction: 0.10,
             seed: 0,
             prior: None,
+            surrogate_mode: SurrogateMode::default(),
         }
     }
 }
@@ -109,16 +117,23 @@ impl TunerOptions {
         self
     }
 
+    /// Sets the surrogate maintenance mode.
+    pub fn with_surrogate_mode(mut self, mode: SurrogateMode) -> Self {
+        self.surrogate_mode = mode;
+        self
+    }
+
     /// Human-readable one-line summary, stamped into trace run headers.
     pub fn summary(&self) -> String {
         format!(
-            "strategy={:?} alpha={} init_samples={} init_design={:?} pseudo_count={} bandwidth_fraction={}{}",
+            "strategy={:?} alpha={} init_samples={} init_design={:?} pseudo_count={} bandwidth_fraction={} surrogate={:?}{}",
             self.strategy,
             self.alpha,
             self.init_samples,
             self.init_design,
             self.pseudo_count,
             self.bandwidth_fraction,
+            self.surrogate_mode,
             if self.prior.is_some() { " prior=yes" } else { "" },
         )
     }
@@ -214,6 +229,24 @@ pub struct Tuner {
     /// and never touches `rng`, so traced and untraced runs are
     /// bit-identical for the same seed.
     recorder: Arc<dyn Recorder>,
+    /// Persistent incremental surrogate (Ranking + `SurrogateMode::Incremental`
+    /// only; built lazily on the first model-driven suggestion). Fantasy
+    /// observations pushed during batch suggestion are always popped before
+    /// the suggesting call returns, so between calls the engine mirrors
+    /// `history` exactly.
+    engine: Option<IncrementalSurrogate>,
+    /// Reused point/weight buffers for from-scratch KDE fits (the full-mode
+    /// and Proposal paths) — no per-fit allocations.
+    fit_scratch: FitScratch,
+    /// Prefix-cloned failure configurations, grown once per new failure
+    /// instead of re-cloning the whole failure list on every fit.
+    failed_cache: Vec<Configuration>,
+    /// Optional metrics sink for delta-update churn counters and span
+    /// timings. Never touches `rng`: attached and detached runs are
+    /// bit-identical for the same seed.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Engine counters already published to `metrics` (delta basis).
+    last_churn: ChurnStats,
 }
 
 impl Tuner {
@@ -243,6 +276,11 @@ impl Tuner {
             bootstrapped: false,
             stalls: 0,
             recorder: Arc::new(NoopRecorder),
+            engine: None,
+            fit_scratch: FitScratch::default(),
+            failed_cache: Vec::new(),
+            metrics: None,
+            last_churn: ChurnStats::default(),
         }
     }
 
@@ -255,6 +293,24 @@ impl Tuner {
     /// Swaps the trace recorder in place.
     pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
         self.recorder = recorder;
+    }
+
+    /// Attaches a metrics registry (builder style): the incremental engine
+    /// publishes its churn counters and delta-update span timings there.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Swaps the metrics registry in place.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Cumulative delta-work counters of the incremental engine, `None`
+    /// until the first incremental-mode suggestion builds it.
+    pub fn churn_stats(&self) -> Option<ChurnStats> {
+        self.engine.as_ref().map(|e| e.stats())
     }
 
     /// The run header a trace of this tuner would carry.
@@ -324,27 +380,126 @@ impl Tuner {
         pool
     }
 
-    fn fit_surrogate(&self) -> TpeSurrogate {
-        let opts = SurrogateOptions {
+    /// The per-fit density options derived from the tuner options.
+    fn surrogate_options(&self) -> SurrogateOptions {
+        SurrogateOptions {
             alpha: self.options.alpha,
             pseudo_count: self.options.pseudo_count,
             bandwidth_fraction: self.options.bandwidth_fraction,
-        };
-        let prior = self.options.prior.as_ref().map(|(p, w)| (p, *w));
-        let failed: Vec<Configuration> = self
-            .history
-            .failures()
-            .iter()
-            .map(|f| f.config.clone())
-            .collect();
-        TpeSurrogate::fit_with_failures(
+        }
+    }
+
+    /// Extends the cached failure-configuration list with any failures
+    /// quarantined since the last fit. Each failure is cloned exactly once
+    /// over the tuner's lifetime, instead of the old whole-list re-clone on
+    /// every fit.
+    fn sync_failed_cache(&mut self) {
+        let failures = self.history.failures();
+        for f in &failures[self.failed_cache.len()..] {
+            self.failed_cache.push(f.config.clone());
+        }
+    }
+
+    /// From-scratch surrogate fit over the current history, reusing the
+    /// tuner's scratch buffers and failure cache (no per-fit allocation
+    /// churn beyond the densities themselves).
+    fn fit_surrogate(&mut self) -> TpeSurrogate {
+        self.sync_failed_cache();
+        let opts = self.surrogate_options();
+        TpeSurrogate::fit_with_failures_scratch(
             &self.space,
             self.history.configs(),
             self.history.objectives(),
-            &failed,
+            &self.failed_cache,
             &opts,
-            prior,
+            self.options.prior.as_ref().map(|(p, w)| (p, *w)),
+            &mut self.fit_scratch,
         )
+    }
+
+    /// Whether model-driven suggestions run through the persistent
+    /// incremental engine (Ranking strategy only; Proposal mode samples
+    /// from the good KDE and keeps the from-scratch fit).
+    fn use_incremental(&self) -> bool {
+        self.options.surrogate_mode == SurrogateMode::Incremental
+            && self.options.strategy == SelectionStrategy::Ranking
+    }
+
+    /// Brings the incremental engine up to date with the history: builds it
+    /// on first use, then absorbs only the observations and failures
+    /// appended since the previous sync — O(churn) per new entry instead of
+    /// a from-scratch refit. In debug builds every sync re-verifies the
+    /// bit-identity contract against a full fit.
+    fn sync_engine(&mut self) {
+        let span = SpanTimer::start(self.metrics.is_some());
+        if self.engine.is_none() {
+            let opts = self.surrogate_options();
+            self.engine = Some(IncrementalSurrogate::new(
+                &self.space,
+                &opts,
+                self.options.prior.as_ref().map(|(p, w)| (p, *w)),
+            ));
+        }
+        let engine = self.engine.as_mut().expect("just built");
+        let from = engine.len();
+        for (cfg, &y) in self.history.configs()[from..]
+            .iter()
+            .zip(&self.history.objectives()[from..])
+        {
+            engine.observe(cfg, y);
+        }
+        let from_failed = engine.n_failed();
+        for f in &self.history.failures()[from_failed..] {
+            engine.observe_failure(&f.config);
+        }
+        self.publish_churn(span.elapsed_ns());
+        #[cfg(debug_assertions)]
+        {
+            self.sync_failed_cache();
+            let engine = self.engine.as_ref().expect("just built");
+            engine.assert_parity(
+                &self.space,
+                self.history.configs(),
+                self.history.objectives(),
+                &self.failed_cache,
+                self.options.prior.as_ref().map(|(p, w)| (p, *w)),
+            );
+        }
+    }
+
+    /// Publishes the engine counters accumulated since the last call to the
+    /// attached metrics registry (no-op without one), plus the delta-update
+    /// span when timed.
+    fn publish_churn(&mut self, span_ns: Option<u64>) {
+        let Some(engine) = &self.engine else { return };
+        let stats = engine.stats();
+        if let Some(metrics) = &self.metrics {
+            let prev = self.last_churn;
+            metrics.add(
+                counters::SURROGATE_DELTA_INSERTS,
+                stats.inserts - prev.inserts,
+            );
+            metrics.add(
+                counters::SURROGATE_DELTA_REMOVES,
+                stats.removes - prev.removes,
+            );
+            metrics.add(
+                counters::SURROGATE_DELTA_FAILURES,
+                stats.failures - prev.failures,
+            );
+            metrics.add(
+                counters::SURROGATE_DELTA_CHURNED,
+                stats.churned - prev.churned,
+            );
+            metrics.add(
+                counters::SURROGATE_DELTA_COLUMNS,
+                stats.columns_rescored - prev.columns_rescored,
+            );
+            if let Some(ns) = span_ns {
+                metrics.observe_ns(counters::SURROGATE_DELTA_UPDATE, ns);
+            }
+        }
+        self.last_churn = stats;
     }
 
     /// Runs the bootstrap phase if it has not happened yet: evaluates
@@ -473,7 +628,24 @@ impl Tuner {
             !self.history.is_empty(),
             "no observations yet: run or step the tuner first"
         );
-        self.fit_surrogate()
+        // Cold path (fresh allocations): this accessor is called once per
+        // analysis, not per iteration, and `&self` keeps it usable while
+        // the caller holds other shared borrows of the tuner.
+        let opts = self.surrogate_options();
+        let failed: Vec<Configuration> = self
+            .history
+            .failures()
+            .iter()
+            .map(|f| f.config.clone())
+            .collect();
+        TpeSurrogate::fit_with_failures(
+            &self.space,
+            self.history.configs(),
+            self.history.objectives(),
+            &failed,
+            &opts,
+            self.options.prior.as_ref().map(|(p, w)| (p, *w)),
+        )
     }
 
     /// Selects the next configuration to evaluate, without evaluating it.
@@ -494,6 +666,9 @@ impl Tuner {
         );
         let traced = self.recorder.enabled();
         let iteration = self.history.trials() as u64;
+        if self.use_incremental() {
+            return self.suggest_ranking_incremental(traced, iteration);
+        }
         let fit_timer = SpanTimer::start(traced);
         let surrogate = self.fit_surrogate();
         if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
@@ -534,6 +709,50 @@ impl Tuner {
                 iteration,
                 candidates,
                 best_ei: surrogate.log_ei(cfg),
+                elapsed_ns,
+            });
+        }
+        picked
+    }
+
+    /// The incremental-engine Ranking suggestion: syncs the persistent
+    /// engine (O(churn) per new history entry), then runs the same
+    /// vectorized pool argmax over the engine's delta-maintained score
+    /// columns. Emits the exact `SurrogateFit`/`SelectionScored` events the
+    /// from-scratch path would — same fields, same values (bit-identical by
+    /// the parity contract), timings aside.
+    fn suggest_ranking_incremental(
+        &mut self,
+        traced: bool,
+        iteration: u64,
+    ) -> Option<Configuration> {
+        let fit_timer = SpanTimer::start(traced);
+        self.sync_engine();
+        let engine = self.engine.as_ref().expect("just synced");
+        let (n_good, n_bad, threshold) = (engine.n_good(), engine.n_bad(), engine.threshold());
+        if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
+            self.recorder.record(&Event::SurrogateFit {
+                iteration,
+                n_good: n_good as u64,
+                n_bad: n_bad as u64,
+                threshold,
+                elapsed_ns,
+            });
+        }
+        let select_timer = SpanTimer::start(traced);
+        self.pool();
+        let pool = self.pool.as_ref().expect("just built");
+        let engine = self.engine.as_ref().expect("synced above");
+        let tables = engine
+            .tables()
+            .expect("Ranking requires a fully discrete space");
+        let picked =
+            rank_encoded(&tables, &pool.encoding, &pool.seen).map(|i| pool.configs[i].clone());
+        if let (Some(elapsed_ns), Some(cfg)) = (select_timer.elapsed_ns(), &picked) {
+            self.recorder.record(&Event::SelectionScored {
+                iteration,
+                candidates: pool.configs.len() as u64,
+                best_ei: engine.score(cfg),
                 elapsed_ns,
             });
         }
@@ -632,22 +851,16 @@ impl Tuner {
             !self.history.is_empty(),
             "no successful observations to fit the surrogate on"
         );
+        if self.use_incremental() {
+            return self.suggest_batch_incremental(k);
+        }
+        self.sync_failed_cache();
         self.pool(); // build + sync once; the loop borrows it immutably
         let pool = self.pool.as_ref().expect("just built");
         let traced = self.recorder.enabled();
         let base_iteration = self.history.trials() as u64;
-        let opts = SurrogateOptions {
-            alpha: self.options.alpha,
-            pseudo_count: self.options.pseudo_count,
-            bandwidth_fraction: self.options.bandwidth_fraction,
-        };
+        let opts = self.surrogate_options();
         let prior = self.options.prior.as_ref().map(|(p, w)| (p, *w));
-        let failed: Vec<Configuration> = self
-            .history
-            .failures()
-            .iter()
-            .map(|f| f.config.clone())
-            .collect();
         // Scratch tables: real history plus constant-liar fantasies.
         let mut configs: Vec<Configuration> = self.history.configs().to_vec();
         let mut objectives: Vec<f64> = self.history.objectives().to_vec();
@@ -656,13 +869,14 @@ impl Tuner {
         let mut picks = Vec::with_capacity(k);
         for i in 0..k {
             let fit_timer = SpanTimer::start(traced);
-            let surrogate = TpeSurrogate::fit_with_failures(
+            let surrogate = TpeSurrogate::fit_with_failures_scratch(
                 &self.space,
                 &configs,
                 &objectives,
-                &failed,
+                &self.failed_cache,
                 &opts,
                 prior,
+                &mut self.fit_scratch,
             );
             if i == 0 {
                 // The constant liar: the pre-batch good-threshold objective.
@@ -702,6 +916,114 @@ impl Tuner {
             picks.push(cfg);
         }
         picks
+    }
+
+    /// Constant-liar batch suggestion on the incremental engine: the
+    /// pre-batch sync absorbs only the new history entries, and each
+    /// fantasy observation is an O(churn) delta update instead of a
+    /// from-scratch refit over history + fantasies. All fantasies are
+    /// popped (LIFO, exactly invertible) before returning, so the engine
+    /// again mirrors the real history. Event sequence, picks, and liar
+    /// value are bit-identical to the full-refit path by the parity
+    /// contract; in debug builds that is re-verified against a full fit
+    /// after every fantasy push and after the pops.
+    fn suggest_batch_incremental(&mut self, k: usize) -> Vec<Configuration> {
+        let traced = self.recorder.enabled();
+        let base_iteration = self.history.trials() as u64;
+        let span = SpanTimer::start(self.metrics.is_some());
+        self.pool(); // build + sync once; the loop borrows it immutably
+        let mut seen = self.pool.as_ref().expect("just built").seen.clone();
+        #[cfg(debug_assertions)]
+        let mut dbg_configs: Vec<Configuration> = Vec::new();
+        #[cfg(debug_assertions)]
+        let mut dbg_objectives: Vec<f64> = Vec::new();
+        let mut fantasies = 0usize;
+        let mut liar = 0.0;
+        let mut picks: Vec<Configuration> = Vec::with_capacity(k);
+        for i in 0..k {
+            let fit_timer = SpanTimer::start(traced);
+            if i == 0 {
+                self.sync_engine();
+                // The constant liar: the pre-batch good-threshold objective.
+                liar = self.engine.as_ref().expect("just synced").threshold();
+                #[cfg(debug_assertions)]
+                {
+                    dbg_configs = self.history.configs().to_vec();
+                    dbg_objectives = self.history.objectives().to_vec();
+                }
+            } else {
+                let prev = picks.last().expect("picked last iteration").clone();
+                let engine = self.engine.as_mut().expect("synced on first pick");
+                engine.observe(&prev, liar);
+                fantasies += 1;
+                #[cfg(debug_assertions)]
+                {
+                    dbg_configs.push(prev);
+                    dbg_objectives.push(liar);
+                    self.assert_engine_parity(&dbg_configs, &dbg_objectives);
+                }
+            }
+            let engine = self.engine.as_ref().expect("synced on first pick");
+            if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
+                self.recorder.record(&Event::SurrogateFit {
+                    iteration: base_iteration + i as u64,
+                    n_good: engine.n_good() as u64,
+                    n_bad: engine.n_bad() as u64,
+                    threshold: engine.threshold(),
+                    elapsed_ns,
+                });
+            }
+            let select_timer = SpanTimer::start(traced);
+            let pool = self.pool.as_ref().expect("just built");
+            let engine = self.engine.as_ref().expect("synced on first pick");
+            let tables = engine
+                .tables()
+                .expect("Ranking requires a fully discrete space");
+            let Some(pos) = rank_encoded(&tables, &pool.encoding, &seen) else {
+                break; // pool exhausted mid-batch
+            };
+            let cfg = pool.configs[pos].clone();
+            if let Some(elapsed_ns) = select_timer.elapsed_ns() {
+                self.recorder.record(&Event::SelectionScored {
+                    iteration: base_iteration + i as u64,
+                    candidates: pool.configs.len() as u64,
+                    best_ei: engine.score(&cfg),
+                    elapsed_ns,
+                });
+            }
+            seen.set(pos);
+            picks.push(cfg);
+        }
+        // Evict the fantasies: the engine must mirror the real history
+        // before outcomes are merged back.
+        let engine = self.engine.as_mut().expect("synced on first pick");
+        for _ in 0..fantasies {
+            engine.pop_observation();
+        }
+        #[cfg(debug_assertions)]
+        {
+            dbg_configs.truncate(self.history.len());
+            dbg_objectives.truncate(self.history.len());
+            self.assert_engine_parity(&dbg_configs, &dbg_objectives);
+        }
+        self.publish_churn(span.elapsed_ns());
+        picks
+    }
+
+    /// Debug-build parity check: the engine's state must be bit-identical
+    /// to a from-scratch fit over `configs`/`objectives` (history plus any
+    /// live fantasies) and the quarantined failures.
+    #[cfg(debug_assertions)]
+    fn assert_engine_parity(&mut self, configs: &[Configuration], objectives: &[f64]) {
+        self.sync_failed_cache();
+        let engine = self.engine.as_ref().expect("engine exists");
+        engine.assert_parity(
+            &self.space,
+            configs,
+            objectives,
+            &self.failed_cache,
+            self.options.prior.as_ref().map(|(p, w)| (p, *w)),
+        );
     }
 
     /// Performs one **batch** iteration: bootstrap (in chunks of `k`) if

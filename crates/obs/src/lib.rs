@@ -29,7 +29,7 @@ pub mod recorder;
 pub mod replay;
 
 pub use event::{space_fingerprint, Event, Level, RunHeader};
-pub use metrics::{format_ns, LogHistogram, MetricsRecorder, MetricsRegistry};
+pub use metrics::{counters, format_ns, LogHistogram, MetricsRecorder, MetricsRegistry};
 pub use recorder::{
     JsonlSink, MemoryRecorder, MultiRecorder, NoopRecorder, Recorder, SpanTimer, StderrLogger,
 };

@@ -14,6 +14,26 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Canonical [`MetricsRegistry`] key names published by the incremental
+/// surrogate engine, so producers (the tuner) and consumers (summaries,
+/// benches, tests) agree on spelling. Counters count delta-update work
+/// items; `SURROGATE_DELTA_UPDATE` keys the span histogram over engine
+/// maintenance (history sync and batch fantasy push/pop).
+pub mod counters {
+    /// Observations absorbed by O(churn) delta insertion.
+    pub const SURROGATE_DELTA_INSERTS: &str = "surrogate.delta.inserts";
+    /// Fantasy observations popped back off (LIFO undo).
+    pub const SURROGATE_DELTA_REMOVES: &str = "surrogate.delta.removes";
+    /// Failed configurations folded into the bad densities.
+    pub const SURROGATE_DELTA_FAILURES: &str = "surrogate.delta.failures";
+    /// Observations whose good/bad class flipped across a threshold move.
+    pub const SURROGATE_DELTA_CHURNED: &str = "surrogate.delta.churned";
+    /// Discrete score-table columns recomputed after delta updates.
+    pub const SURROGATE_DELTA_COLUMNS: &str = "surrogate.delta.columns_rescored";
+    /// Span histogram: nanoseconds spent in engine maintenance.
+    pub const SURROGATE_DELTA_UPDATE: &str = "surrogate.delta.update";
+}
+
 /// Sub-buckets per power-of-two octave (2 bits of mantissa).
 const SUBS: usize = 4;
 /// Bucket count: values 0–3 exactly, then 4 sub-buckets for each octave

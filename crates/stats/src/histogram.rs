@@ -69,6 +69,38 @@ impl SmoothedHistogram {
         self.total += weight;
     }
 
+    /// Removes one previously recorded unit-weight observation of category
+    /// `index` — the inverse of [`SmoothedHistogram::observe`], used by the
+    /// incremental surrogate engine when an observation migrates between the
+    /// good and bad histograms or a constant-liar fantasy is undone.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the category holds less than
+    /// unit weight.
+    pub fn unobserve(&mut self, index: usize) {
+        self.unobserve_weighted(index, 1.0);
+    }
+
+    /// Removes a weighted observation. With the integer weights the surrogate
+    /// uses, `observe_weighted` followed by `unobserve_weighted` restores the
+    /// previous counts **bit-exactly** (f64 add/sub of exact integers is
+    /// exact); fractional weights may reintroduce rounding and are only
+    /// approximately undone.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range, `weight` is negative or NaN, or
+    /// more weight would be removed than the category holds.
+    pub fn unobserve_weighted(&mut self, index: usize, weight: f64) {
+        assert!(index < self.counts.len(), "category index out of range");
+        assert!(weight >= 0.0, "negative observation weight");
+        assert!(
+            self.counts[index] >= weight,
+            "unobserving more weight than category {index} holds"
+        );
+        self.counts[index] -= weight;
+        self.total -= weight;
+    }
+
     /// Probability mass of category `index` under Laplace smoothing:
     /// `(count + pseudo) / (total + n * pseudo)`.
     pub fn pmf(&self, index: usize) -> f64 {
@@ -236,7 +268,49 @@ mod tests {
         );
     }
 
+    #[test]
+    fn unobserve_is_bit_exact_inverse_of_observe() {
+        let mut h = SmoothedHistogram::from_observations(4, 1.0, &[0, 1, 1, 3]);
+        let before: Vec<u64> = (0..4).map(|i| h.pmf(i).to_bits()).collect();
+        let total_before = h.total_weight().to_bits();
+        h.observe(2);
+        h.observe(0);
+        h.unobserve(0);
+        h.unobserve(2);
+        let after: Vec<u64> = (0..4).map(|i| h.pmf(i).to_bits()).collect();
+        assert_eq!(before, after);
+        assert_eq!(h.total_weight().to_bits(), total_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "more weight")]
+    fn unobserving_an_empty_category_panics() {
+        let mut h = SmoothedHistogram::new(2, 1.0);
+        h.unobserve(0);
+    }
+
     proptest! {
+        #[test]
+        fn observe_unobserve_sequences_restore_bits(
+            n in 1usize..8,
+            obs in proptest::collection::vec(0usize..8, 1..40),
+        ) {
+            let obs: Vec<usize> = obs.into_iter().map(|o| o % n).collect();
+            let mut h = SmoothedHistogram::from_observations(n, 0.5, &obs);
+            let snapshot: Vec<u64> = (0..n).map(|i| h.count(i).to_bits()).collect();
+            let total = h.total_weight().to_bits();
+            // Apply the same observations again, then undo them in reverse.
+            for &o in &obs {
+                h.observe(o);
+            }
+            for &o in obs.iter().rev() {
+                h.unobserve(o);
+            }
+            let restored: Vec<u64> = (0..n).map(|i| h.count(i).to_bits()).collect();
+            prop_assert_eq!(snapshot, restored);
+            prop_assert_eq!(h.total_weight().to_bits(), total);
+        }
+
         #[test]
         fn pmf_sums_to_one(
             n in 1usize..20,

@@ -144,6 +144,60 @@ impl GaussianKde {
         normal.sample(rng)
     }
 
+    /// Inserts a kernel center at storage position `at`, shifting later
+    /// points right — the delta counterpart of re-fitting with the point
+    /// spliced into the input slice at the same position.
+    ///
+    /// The total weight is recomputed by a full left-to-right re-sum so it
+    /// stays **bit-identical** to what [`GaussianKde::fit_weighted`] would
+    /// compute on the resulting point/weight vectors; [`GaussianKde::log_pdf`]
+    /// iterates in storage order, so an incrementally maintained KDE whose
+    /// vectors match a from-scratch fit evaluates to identical bits.
+    ///
+    /// # Panics
+    /// Panics if `at > len()` or `weight` is negative or NaN.
+    pub fn insert_point(&mut self, at: usize, point: f64, weight: f64) {
+        assert!(at <= self.points.len(), "insertion position out of range");
+        assert!(weight >= 0.0, "KDE weights must be non-negative");
+        self.points.insert(at, point);
+        self.weights.insert(at, weight);
+        self.total_weight = self.weights.iter().sum();
+    }
+
+    /// Removes the kernel center at storage position `at`, returning the
+    /// `(point, weight)` pair. The total weight is re-summed as in
+    /// [`GaussianKde::insert_point`].
+    ///
+    /// Removing the last center leaves an empty estimate whose densities are
+    /// undefined (`fit_weighted` rejects that state); callers maintaining a
+    /// KDE incrementally must drop or refill an emptied instance before
+    /// evaluating it.
+    ///
+    /// # Panics
+    /// Panics if `at >= len()`.
+    pub fn remove_point(&mut self, at: usize) -> (f64, f64) {
+        assert!(at < self.points.len(), "removal position out of range");
+        let p = self.points.remove(at);
+        let w = self.weights.remove(at);
+        self.total_weight = self.weights.iter().sum();
+        (p, w)
+    }
+
+    /// The kernel centers in storage order.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// The per-center weights in storage order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total weight (the normalizing constant of the mixture).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
     /// The bandwidth in use (after rule-of-thumb resolution).
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
@@ -331,7 +385,69 @@ mod tests {
         assert_eq!(kde.log_pdf(f64::NEG_INFINITY), f64::NEG_INFINITY);
     }
 
+    #[test]
+    fn insert_point_matches_refit_bitwise() {
+        let pts = [0.0, 1.0, 5.0];
+        let wts = [1.0, 2.0, 1.0];
+        let mut kde = GaussianKde::fit_weighted(&pts, &wts, Bandwidth::Fixed(0.5));
+        kde.insert_point(1, 0.7, 1.0);
+        let refit = GaussianKde::fit_weighted(
+            &[0.0, 0.7, 1.0, 5.0],
+            &[1.0, 1.0, 2.0, 1.0],
+            Bandwidth::Fixed(0.5),
+        );
+        assert_eq!(kde.points(), refit.points());
+        assert_eq!(kde.weights(), refit.weights());
+        assert_eq!(kde.total_weight().to_bits(), refit.total_weight().to_bits());
+        for x in [-1.0, 0.3, 0.7, 2.0, 10.0] {
+            assert_eq!(kde.log_pdf(x).to_bits(), refit.log_pdf(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn remove_point_undoes_insert_bitwise() {
+        let pts = [2.0, 3.0, 4.0];
+        let wts = [1.0, 1.0, 0.5];
+        let mut kde = GaussianKde::fit_weighted(&pts, &wts, Bandwidth::Fixed(0.3));
+        let snapshot: Vec<u64> = [-1.0, 2.5, 3.9]
+            .iter()
+            .map(|&x| kde.log_pdf(x).to_bits())
+            .collect();
+        kde.insert_point(2, 3.5, 1.0);
+        let (p, w) = kde.remove_point(2);
+        assert_eq!((p, w), (3.5, 1.0));
+        let restored: Vec<u64> = [-1.0, 2.5, 3.9]
+            .iter()
+            .map(|&x| kde.log_pdf(x).to_bits())
+            .collect();
+        assert_eq!(snapshot, restored);
+    }
+
+    #[test]
+    fn remove_point_can_empty_the_estimate() {
+        let mut kde = GaussianKde::fit(&[1.0], Bandwidth::Fixed(1.0));
+        kde.remove_point(0);
+        assert!(kde.is_empty());
+        assert_eq!(kde.len(), 0);
+    }
+
     proptest! {
+        #[test]
+        fn incremental_edits_match_refit(
+            pts in proptest::collection::vec(-20.0f64..20.0, 1..20),
+            insert_at_frac in 0.0f64..1.0,
+            new_pt in -20.0f64..20.0,
+            x in -30.0f64..30.0,
+        ) {
+            let mut kde = GaussianKde::fit(&pts, Bandwidth::Fixed(0.4));
+            let at = (insert_at_frac * pts.len() as f64) as usize;
+            kde.insert_point(at, new_pt, 1.0);
+            let mut spliced = pts.clone();
+            spliced.insert(at, new_pt);
+            let refit = GaussianKde::fit(&spliced, Bandwidth::Fixed(0.4));
+            prop_assert_eq!(kde.log_pdf(x).to_bits(), refit.log_pdf(x).to_bits());
+        }
+
         #[test]
         fn pdf_is_nonnegative_and_finite(
             pts in proptest::collection::vec(-100.0f64..100.0, 1..50),

@@ -10,6 +10,9 @@
 //!   (§III-B.2).
 //! - [`quantile`] — the α-quantile threshold `y(τ)` that splits observations
 //!   into *good* and *bad* (§II).
+//! - [`order_stats`] — an order-statistics multiset (deterministic treap)
+//!   that maintains the same α-quantile incrementally in O(log n) per
+//!   observation, backing the incremental surrogate engine.
 //! - [`divergence`] — Kullback–Leibler and Jensen–Shannon divergences used
 //!   for the parameter-importance analysis (§VI, eqs. 13–14), plus the
 //!   Hellinger and total-variation alternatives the ablations compare.
@@ -30,6 +33,7 @@ pub mod divergence;
 pub mod histogram;
 pub mod kde;
 pub mod linalg;
+pub mod order_stats;
 pub mod quantile;
 pub mod rng;
 pub mod summary;
@@ -41,6 +45,7 @@ pub use divergence::{
 pub use histogram::SmoothedHistogram;
 pub use kde::GaussianKde;
 pub use linalg::Matrix;
+pub use order_stats::OrderStatMultiset;
 pub use quantile::quantile;
 pub use rng::SeedSequence;
 pub use summary::Summary;

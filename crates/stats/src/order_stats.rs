@@ -1,0 +1,479 @@
+//! Order-statistics multiset for incremental quantile maintenance.
+//!
+//! The incremental surrogate engine (hiperbot-core) must re-derive the
+//! α-quantile good/bad threshold after every single observation without
+//! re-sorting the whole history. [`OrderStatMultiset`] supports that with a
+//! balanced search tree augmented with subtree sizes: `insert`/`remove` are
+//! O(log n), `select(k)` returns the k-th smallest value in O(log n), and
+//! [`OrderStatMultiset::quantile`] reproduces — **bit for bit** — the
+//! Hyndman–Fan type-7 estimator of [`crate::quantile::quantile`] on the same
+//! multiset (the interpolation arithmetic is written identically, and
+//! `total_cmp`-equal f64 values share one bit pattern, so `select(k)` returns
+//! the same bits the k-th slot of a sorted vector would hold).
+//!
+//! The tree is a treap whose priorities come from a *deterministic* hash of
+//! the insertion index (SplitMix64), not an RNG: rebuilding the same multiset
+//! always produces the same tree shape, so traversal order — and therefore
+//! every downstream computation — is reproducible across runs and platforms.
+//!
+//! Values are totally ordered by `(f64::total_cmp, index)`; duplicate values
+//! are kept as distinct entries. Range traversal prunes with *natural* `f64`
+//! comparisons so that `-0.0`/`+0.0` — which `total_cmp` distinguishes but
+//! `<` does not — never causes a candidate inside the requested closed range
+//! to be skipped. NaN values are rejected; the observation history already
+//! guarantees finite objectives.
+
+/// Sentinel for "no child" in the node arena.
+const NIL: u32 = u32::MAX;
+
+/// SplitMix64 finalizer: a deterministic, well-mixed priority for treap
+/// balancing keyed on the insertion index.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    value: f64,
+    index: u32,
+    prio: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+}
+
+/// A multiset of `(value, index)` pairs ordered by `(total_cmp, index)` with
+/// O(log n) insert, remove, and rank selection.
+///
+/// `index` is the caller's identifier for the entry (the observation index in
+/// the surrogate engine); it both disambiguates equal values and seeds the
+/// deterministic treap priority.
+#[derive(Debug, Clone, Default)]
+pub struct OrderStatMultiset {
+    nodes: Vec<Node>,
+    root: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl OrderStatMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the multiset holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn size(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].size
+        }
+    }
+
+    fn update(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        self.nodes[t as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    /// Key order: `(total_cmp value, index)` ascending.
+    fn key_lt(a_val: f64, a_idx: u32, b_val: f64, b_idx: u32) -> bool {
+        a_val.total_cmp(&b_val).then(a_idx.cmp(&b_idx)).is_lt()
+    }
+
+    /// Merges two treaps where every key in `l` precedes every key in `r`.
+    fn merge(&mut self, l: u32, r: u32) -> u32 {
+        if l == NIL {
+            return r;
+        }
+        if r == NIL {
+            return l;
+        }
+        if self.nodes[l as usize].prio >= self.nodes[r as usize].prio {
+            let lr = self.nodes[l as usize].right;
+            let m = self.merge(lr, r);
+            self.nodes[l as usize].right = m;
+            self.update(l);
+            l
+        } else {
+            let rl = self.nodes[r as usize].left;
+            let m = self.merge(l, rl);
+            self.nodes[r as usize].left = m;
+            self.update(r);
+            r
+        }
+    }
+
+    /// Splits `t` into `(keys < (value, index), keys >= (value, index))`.
+    fn split(&mut self, t: u32, value: f64, index: u32) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        let (n_val, n_idx) = {
+            let n = &self.nodes[t as usize];
+            (n.value, n.index)
+        };
+        if Self::key_lt(n_val, n_idx, value, index) {
+            let tr = self.nodes[t as usize].right;
+            let (a, b) = self.split(tr, value, index);
+            self.nodes[t as usize].right = a;
+            self.update(t);
+            (t, b)
+        } else {
+            let tl = self.nodes[t as usize].left;
+            let (a, b) = self.split(tl, value, index);
+            self.nodes[t as usize].left = b;
+            self.update(t);
+            (a, t)
+        }
+    }
+
+    /// Inserts the entry `(value, index)`.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN (the split threshold is undefined over NaN;
+    /// callers filter failed measurements before they reach this structure).
+    pub fn insert(&mut self, value: f64, index: u32) {
+        assert!(!value.is_nan(), "NaN values cannot be rank-ordered");
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s as usize] = Node {
+                    value,
+                    index,
+                    prio: splitmix64(index as u64),
+                    left: NIL,
+                    right: NIL,
+                    size: 1,
+                };
+                s
+            }
+            None => {
+                let s = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    value,
+                    index,
+                    prio: splitmix64(index as u64),
+                    left: NIL,
+                    right: NIL,
+                    size: 1,
+                });
+                s
+            }
+        };
+        let root = self.root;
+        let (l, r) = self.split(root, value, index);
+        let lm = self.merge(l, slot);
+        self.root = self.merge(lm, r);
+        self.len += 1;
+    }
+
+    /// Removes the entry `(value, index)`.
+    ///
+    /// # Panics
+    /// Panics if the entry is not present (bit-exact value match required).
+    pub fn remove(&mut self, value: f64, index: u32) {
+        let root = self.root;
+        self.root = self.remove_rec(root, value, index);
+        self.len -= 1;
+    }
+
+    fn remove_rec(&mut self, t: u32, value: f64, index: u32) -> u32 {
+        assert!(t != NIL, "entry not found in order-statistics multiset");
+        let (n_val, n_idx, n_left, n_right) = {
+            let n = &self.nodes[t as usize];
+            (n.value, n.index, n.left, n.right)
+        };
+        if n_val.to_bits() == value.to_bits() && n_idx == index {
+            let m = self.merge(n_left, n_right);
+            self.free.push(t);
+            m
+        } else if Self::key_lt(value, index, n_val, n_idx) {
+            let m = self.remove_rec(n_left, value, index);
+            self.nodes[t as usize].left = m;
+            self.update(t);
+            t
+        } else {
+            let m = self.remove_rec(n_right, value, index);
+            self.nodes[t as usize].right = m;
+            self.update(t);
+            t
+        }
+    }
+
+    /// Returns the `(value, index)` entry of rank `k` (0-based, ascending).
+    ///
+    /// # Panics
+    /// Panics if `k >= len()`.
+    pub fn select(&self, k: usize) -> (f64, u32) {
+        assert!(k < self.len, "rank out of range");
+        let mut t = self.root;
+        let mut k = k as u32;
+        loop {
+            let n = &self.nodes[t as usize];
+            let ls = self.size(n.left);
+            if k < ls {
+                t = n.left;
+            } else if k == ls {
+                return (n.value, n.index);
+            } else {
+                k -= ls + 1;
+                t = n.right;
+            }
+        }
+    }
+
+    /// The smallest entry, or `None` when empty.
+    pub fn min(&self) -> Option<(f64, u32)> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.select(0))
+        }
+    }
+
+    /// Visits every entry whose value lies in the **closed** interval
+    /// `[lo, hi]` under natural `f64` comparison, in key order.
+    ///
+    /// Natural comparisons (not `total_cmp`) are used both for pruning and
+    /// for the membership test so that `-0.0` and `+0.0` — distinct under
+    /// `total_cmp` but equal under `<=` — are treated as one value.
+    /// NaN bounds visit nothing (every comparison against NaN is false).
+    pub fn for_each_in(&self, lo: f64, hi: f64, f: &mut impl FnMut(f64, u32)) {
+        // NaN bounds are tolerated (they visit nothing); only a genuinely
+        // inverted finite range is a caller bug.
+        debug_assert!(
+            lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Greater),
+            "inverted range"
+        );
+        self.range_rec(self.root, lo, hi, f);
+    }
+
+    fn range_rec(&self, t: u32, lo: f64, hi: f64, f: &mut impl FnMut(f64, u32)) {
+        if t == NIL {
+            return;
+        }
+        let n = &self.nodes[t as usize];
+        // Left subtree holds keys <= this node's key, so its values are
+        // <= n.value; skip it only when even n.value is below the range.
+        if n.value >= lo {
+            self.range_rec(n.left, lo, hi, f);
+        }
+        if n.value >= lo && n.value <= hi {
+            f(n.value, n.index);
+        }
+        if n.value <= hi {
+            self.range_rec(n.right, lo, hi, f);
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the stored values by type-7 linear
+    /// interpolation, bit-identical to [`crate::quantile::quantile`] over
+    /// the same multiset of (non-NaN) values. Returns `None` when the
+    /// multiset is empty or `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) || self.is_empty() {
+            return None;
+        }
+        let n = self.len;
+        if n == 1 {
+            return Some(self.select(0).0);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        Some(if lo == hi {
+            self.select(lo).0
+        } else {
+            let frac = pos - lo as f64;
+            self.select(lo).0 * (1.0 - frac) + self.select(hi).0 * frac
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::quantile;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_select_remove_roundtrip() {
+        let mut m = OrderStatMultiset::new();
+        m.insert(3.0, 0);
+        m.insert(1.0, 1);
+        m.insert(2.0, 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.select(0), (1.0, 1));
+        assert_eq!(m.select(1), (2.0, 2));
+        assert_eq!(m.select(2), (3.0, 0));
+        m.remove(2.0, 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.select(1), (3.0, 0));
+    }
+
+    #[test]
+    fn duplicate_values_order_by_index() {
+        let mut m = OrderStatMultiset::new();
+        m.insert(5.0, 7);
+        m.insert(5.0, 2);
+        m.insert(5.0, 4);
+        assert_eq!(m.select(0), (5.0, 2));
+        assert_eq!(m.select(1), (5.0, 4));
+        assert_eq!(m.select(2), (5.0, 7));
+        assert_eq!(m.min(), Some((5.0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn removing_absent_entry_panics() {
+        let mut m = OrderStatMultiset::new();
+        m.insert(1.0, 0);
+        m.remove(2.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn inserting_nan_panics() {
+        let mut m = OrderStatMultiset::new();
+        m.insert(f64::NAN, 0);
+    }
+
+    #[test]
+    fn range_visits_closed_interval_in_order() {
+        let mut m = OrderStatMultiset::new();
+        for (i, v) in [4.0, 1.0, 3.0, 2.0, 5.0].iter().enumerate() {
+            m.insert(*v, i as u32);
+        }
+        let mut seen = Vec::new();
+        m.for_each_in(2.0, 4.0, &mut |v, i| seen.push((v, i)));
+        assert_eq!(seen, vec![(2.0, 3), (3.0, 2), (4.0, 0)]);
+    }
+
+    #[test]
+    fn range_treats_signed_zeros_as_equal() {
+        let mut m = OrderStatMultiset::new();
+        m.insert(-0.0, 0);
+        m.insert(0.0, 1);
+        m.insert(1.0, 2);
+        let mut seen = Vec::new();
+        // Natural bound 0.0 must include the -0.0 entry even though
+        // total_cmp orders -0.0 strictly below 0.0.
+        m.for_each_in(0.0, 0.5, &mut |_, i| seen.push(i));
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn quantile_of_empty_or_bad_q_is_none() {
+        let m = OrderStatMultiset::new();
+        assert_eq!(m.quantile(0.5), None);
+        let mut m = OrderStatMultiset::new();
+        m.insert(1.0, 0);
+        assert_eq!(m.quantile(-0.1), None);
+        assert_eq!(m.quantile(1.1), None);
+        assert_eq!(m.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn tree_shape_is_deterministic() {
+        // Same multiset built in two different insertion orders must still
+        // agree on every rank query (values are what matter; this also
+        // exercises the free-list reuse path).
+        let mut a = OrderStatMultiset::new();
+        let mut b = OrderStatMultiset::new();
+        for i in 0..50u32 {
+            a.insert((i as f64 * 7.0) % 13.0, i);
+        }
+        for i in (0..50u32).rev() {
+            b.insert((i as f64 * 7.0) % 13.0, i);
+        }
+        a.remove((3.0 * 7.0) % 13.0, 3);
+        a.insert((3.0 * 7.0) % 13.0, 3);
+        for k in 0..50 {
+            assert_eq!(a.select(k), b.select(k));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sorted_vector_oracle(
+            ops in proptest::collection::vec((0f64..100.0, 0u8..2), 1..200),
+        ) {
+            let mut m = OrderStatMultiset::new();
+            let mut oracle: Vec<(f64, u32)> = Vec::new();
+            for (i, &(v, remove)) in ops.iter().enumerate() {
+                if remove == 1 && !oracle.is_empty() {
+                    let victim = oracle[i % oracle.len()];
+                    m.remove(victim.0, victim.1);
+                    oracle.retain(|&e| e != victim);
+                } else {
+                    m.insert(v, i as u32);
+                    oracle.push((v, i as u32));
+                }
+                oracle.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                prop_assert_eq!(m.len(), oracle.len());
+                for (k, &e) in oracle.iter().enumerate() {
+                    prop_assert_eq!(m.select(k), e);
+                }
+            }
+        }
+
+        #[test]
+        fn quantile_matches_sort_based_estimator_bitwise(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..120),
+            q in 0.0f64..1.0,
+        ) {
+            let mut m = OrderStatMultiset::new();
+            for (i, &x) in xs.iter().enumerate() {
+                m.insert(x, i as u32);
+            }
+            let a = m.quantile(q).unwrap();
+            let b = quantile(&xs, q).unwrap();
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        #[test]
+        fn range_matches_filter_oracle(
+            xs in proptest::collection::vec(-50f64..50.0, 1..100),
+            lo in -60f64..60.0,
+            span in 0f64..40.0,
+        ) {
+            let hi = lo + span;
+            let mut m = OrderStatMultiset::new();
+            for (i, &x) in xs.iter().enumerate() {
+                m.insert(x, i as u32);
+            }
+            let mut got = Vec::new();
+            m.for_each_in(lo, hi, &mut |_, i| got.push(i));
+            let mut expected: Vec<u32> = xs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x >= lo && x <= hi)
+                .map(|(i, _)| i as u32)
+                .collect();
+            expected.sort_by(|&a, &b| {
+                xs[a as usize].total_cmp(&xs[b as usize]).then(a.cmp(&b))
+            });
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

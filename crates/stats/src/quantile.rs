@@ -58,6 +58,50 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Returns the `q`-quantile of `values` by partial selection instead of a
+/// full sort: O(n) expected via `select_nth_unstable_by` rather than the
+/// O(n log n) of [`quantile`].
+///
+/// **Bit-identical to [`quantile`]** on every input: selection places the
+/// exact k-th order statistic at the pivot slot, the neighbouring order
+/// statistic is recovered as the minimum of the right partition (unique in
+/// bits because `total_cmp`-equal f64 values share one bit pattern), and the
+/// interpolation arithmetic is written identically. NaN handling matches
+/// too: NaN entries are filtered before selection.
+///
+/// This is the from-scratch fit path used by `split_by_quantile` (bootstrap,
+/// recovery, and the incremental engine's parity mode); steady-state refits
+/// use the order-statistics tree in [`crate::order_stats`] instead.
+pub fn quantile_select(values: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    let n = v.len();
+    if n == 1 {
+        return Some(v[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let (_, &mut lo_v, rest) = v.select_nth_unstable_by(lo, f64::total_cmp);
+    if lo == hi {
+        return Some(lo_v);
+    }
+    // hi == lo + 1, and lo < n - 1 (else pos would be integral), so the
+    // right partition is non-empty and its minimum is order statistic `hi`.
+    let hi_v = rest
+        .iter()
+        .copied()
+        .min_by(f64::total_cmp)
+        .expect("right partition non-empty when lo < hi");
+    let frac = pos - lo as f64;
+    Some(lo_v * (1.0 - frac) + hi_v * frac)
+}
+
 /// Splits `values` into (good, bad) index sets at the `alpha`-quantile.
 ///
 /// An index `i` is *good* when `values[i] < threshold`, where the threshold
@@ -73,7 +117,7 @@ pub fn split_by_quantile(values: &[f64], alpha: f64) -> (Vec<usize>, Vec<usize>,
     // `None` only when every value is NaN; `v < NaN` below is then false for
     // every entry, so everything lands in `bad` and the best-promotion path
     // still yields exactly one good index.
-    let threshold = quantile(values, alpha).unwrap_or(f64::NAN);
+    let threshold = quantile_select(values, alpha).unwrap_or(f64::NAN);
     let mut good = Vec::new();
     let mut bad = Vec::new();
     for (i, &v) in values.iter().enumerate() {
@@ -217,7 +261,78 @@ mod tests {
         assert_eq!(good, vec![1]);
     }
 
+    // Regression for the selection-based threshold: heavy ties straddling
+    // the quantile position must produce the same good/bad membership the
+    // old sort-based threshold produced (the split's `v < threshold` test
+    // plus the first-best promotion). The reference is computed inline with
+    // the original full-sort implementation.
+    #[test]
+    fn selection_threshold_preserves_membership_on_ties() {
+        let cases: &[&[f64]] = &[
+            &[2.0, 2.0, 2.0, 2.0, 2.0],
+            &[1.0, 2.0, 2.0, 2.0, 3.0],
+            &[2.0, 1.0, 2.0, 1.0, 2.0, 1.0],
+            &[-0.0, 0.0, -0.0, 0.0],
+            &[5.0, 1.0, 1.0, 1.0, 9.0, 1.0],
+            &[3.0, f64::NAN, 3.0, 3.0, f64::NAN],
+        ];
+        for &values in cases {
+            for &alpha in &[0.0, 0.2, 0.25, 0.4, 0.5, 1.0] {
+                let sort_threshold = {
+                    let mut sorted: Vec<f64> =
+                        values.iter().copied().filter(|v| !v.is_nan()).collect();
+                    sorted.sort_by(f64::total_cmp);
+                    if sorted.is_empty() {
+                        f64::NAN
+                    } else {
+                        quantile_sorted(&sorted, alpha)
+                    }
+                };
+                let select_threshold = quantile_select(values, alpha).unwrap_or(f64::NAN);
+                assert_eq!(
+                    select_threshold.to_bits(),
+                    sort_threshold.to_bits(),
+                    "threshold bits differ for {values:?} at alpha={alpha}"
+                );
+                let (good, bad, thr) = split_by_quantile(values, alpha);
+                // Reference membership from the sort-based threshold.
+                let ref_good: Vec<usize> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v < sort_threshold)
+                    .map(|(i, _)| i)
+                    .collect();
+                if ref_good.is_empty() {
+                    assert_eq!(good.len(), 1, "promotion must keep exactly one good");
+                } else {
+                    assert_eq!(good, ref_good, "good set changed for {values:?}");
+                }
+                assert_eq!(good.len() + bad.len(), values.len());
+                assert_eq!(thr.to_bits(), sort_threshold.to_bits());
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn quantile_select_matches_quantile_bitwise(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..120),
+            nan_mask in proptest::collection::vec(0u8..2, 0..120),
+            q in 0.0f64..1.0,
+        ) {
+            let xs: Vec<f64> = xs
+                .iter()
+                .zip(nan_mask.iter().chain(std::iter::repeat(&0)))
+                .map(|(&x, &is_nan)| if is_nan == 1 { f64::NAN } else { x })
+                .collect();
+            let a = quantile_select(&xs, q);
+            let b = quantile(&xs, q);
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+            }
+        }
+
         #[test]
         fn quantile_is_monotone_in_q(
             xs in proptest::collection::vec(-1e6f64..1e6, 1..100),

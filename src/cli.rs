@@ -26,7 +26,7 @@
 //!   hiperbot --app kripke --budget 60 --seed 1 --fail-prob 0.2 --max-retries 2
 //!   ```
 
-use crate::core::{EvalOutcome, SelectionStrategy, Tuner, TunerOptions};
+use crate::core::{EvalOutcome, SelectionStrategy, SurrogateMode, Tuner, TunerOptions};
 use crate::eval::{outcome_from_sim, BatchExecutor, RetryPolicy, RetryingObjective, ThreadSleeper};
 use crate::obs::{
     JsonlSink, Level, MetricsRecorder, MetricsRegistry, MultiRecorder, Recorder, StderrLogger,
@@ -176,6 +176,10 @@ pub struct CliOptions {
     /// Configurations suggested per surrogate refit, via constant-liar
     /// batch selection (1 = the paper's serial algorithm).
     pub batch: usize,
+    /// Surrogate maintenance mode: the O(churn) incremental engine
+    /// (default) or a from-scratch refit per iteration. Bit-identical
+    /// results either way; `full` is the escape hatch / reference path.
+    pub surrogate: SurrogateMode,
 }
 
 /// Parses `argv[1..]`. Returns `Err(usage)` on any problem.
@@ -183,6 +187,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let usage = "usage: hiperbot --space <spec.json> --command <template> \
                  [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time] \
                  [--max-retries N=0] [--workers N=1] [--batch K=1] \
+                 [--surrogate incremental|full] \
                  [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary]\n\
                  \x20      hiperbot --app kripke|kripke-energy|hypre|lulesh|openatom \
                  [--fail-prob P=0] [--timeout-factor F] [common flags]";
@@ -201,6 +206,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut metrics_summary = false;
     let mut workers = 1usize;
     let mut batch = 1usize;
+    let mut surrogate = SurrogateMode::Incremental;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -261,6 +267,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .parse()
                     .map_err(|_| format!("--batch must be a positive integer\n{usage}"))?
             }
+            "--surrogate" => {
+                surrogate = match take("--surrogate")?.as_str() {
+                    "incremental" => SurrogateMode::Incremental,
+                    "full" => SurrogateMode::Full,
+                    other => return Err(format!("unknown surrogate mode '{other}'\n{usage}")),
+                }
+            }
             "--trace-out" => trace_out = Some(take("--trace-out")?),
             "--log-level" => {
                 log_level = take("--log-level")?
@@ -316,6 +329,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         metrics_summary,
         workers,
         batch,
+        surrogate,
     })
 }
 
@@ -454,12 +468,16 @@ fn run_command_mode(options: &CliOptions) -> Result<(String, f64), String> {
     let tuner_options = TunerOptions::default()
         .with_seed(options.seed)
         .with_init_samples(options.init_samples)
-        .with_strategy(strategy);
+        .with_strategy(strategy)
+        .with_surrogate_mode(options.surrogate);
     let mut tuner = Tuner::new(space.clone(), tuner_options);
 
     let obs = Observability::from_options(options)?;
     if let Some(recorder) = &obs.recorder {
         tuner.set_recorder(Arc::clone(recorder));
+    }
+    if options.metrics_summary {
+        tuner.set_metrics(obs.registry.clone());
     }
 
     let policy = RetryPolicy::default()
@@ -543,12 +561,16 @@ fn run_app_mode(options: &CliOptions, app: &str) -> Result<(String, f64), String
     let tuner_options = TunerOptions::default()
         .with_seed(options.seed)
         .with_init_samples(options.init_samples)
-        .with_strategy(SelectionStrategy::Ranking);
+        .with_strategy(SelectionStrategy::Ranking)
+        .with_surrogate_mode(options.surrogate);
     let mut tuner = Tuner::new(space.clone(), tuner_options);
 
     let obs = Observability::from_options(options)?;
     if let Some(recorder) = &obs.recorder {
         tuner.set_recorder(Arc::clone(recorder));
+    }
+    if options.metrics_summary {
+        tuner.set_metrics(obs.registry.clone());
     }
 
     let policy = RetryPolicy::default()
@@ -781,6 +803,7 @@ mod tests {
             metrics_summary: false,
             workers: 1,
             batch: 1,
+            surrogate: SurrogateMode::Incremental,
         };
         let (cmd, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -819,6 +842,7 @@ mod tests {
             metrics_summary: true,
             workers: 1,
             batch: 1,
+            surrogate: SurrogateMode::Incremental,
         };
         let (_, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -908,6 +932,49 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_flag_parses() {
+        let o = parse_args(&to_args(&["--app", "kripke"])).unwrap();
+        assert_eq!(o.surrogate, SurrogateMode::Incremental); // default
+        let o = parse_args(&to_args(&["--app", "kripke", "--surrogate", "full"])).unwrap();
+        assert_eq!(o.surrogate, SurrogateMode::Full);
+        let o = parse_args(&to_args(&["--app", "kripke", "--surrogate", "incremental"])).unwrap();
+        assert_eq!(o.surrogate, SurrogateMode::Incremental);
+        assert!(parse_args(&to_args(&["--app", "kripke", "--surrogate", "lazy"])).is_err());
+    }
+
+    #[test]
+    fn surrogate_modes_agree_end_to_end() {
+        // The bit-identity contract at the CLI layer: an incremental-engine
+        // run and a from-scratch-refit run report the same best, faults,
+        // batching, and retries included.
+        let base = CliOptions {
+            space_path: String::new(),
+            command: String::new(),
+            app: Some("kripke".into()),
+            budget: 24,
+            seed: 9,
+            measure: Measure::Stdout,
+            init_samples: 8,
+            max_retries: 1,
+            fail_prob: 0.15,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+            workers: 2,
+            batch: 4,
+            surrogate: SurrogateMode::Incremental,
+        };
+        let incremental = run(&base).unwrap();
+        let full = run(&CliOptions {
+            surrogate: SurrogateMode::Full,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(incremental, full);
+    }
+
+    #[test]
     fn app_mode_parallel_run_matches_serial_batch_run() {
         // The determinism contract the CI parallel-smoke job relies on:
         // at a fixed --batch, every worker count yields the same result.
@@ -927,6 +994,7 @@ mod tests {
             metrics_summary: false,
             workers: 1,
             batch: 4,
+            surrogate: SurrogateMode::Incremental,
         };
         let serial = run(&base).unwrap();
         for workers in [2, 4] {
@@ -964,6 +1032,7 @@ mod tests {
             metrics_summary: false,
             workers: 2,
             batch: 2,
+            surrogate: SurrogateMode::Incremental,
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("discrete"), "{err}");
@@ -996,6 +1065,7 @@ mod tests {
             metrics_summary: false,
             workers: 4,
             batch: 4,
+            surrogate: SurrogateMode::Incremental,
         };
         let (cmd, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -1052,6 +1122,7 @@ mod tests {
             metrics_summary: false,
             workers: 1,
             batch: 1,
+            surrogate: SurrogateMode::Incremental,
         };
         let (cfg, best) = run(&options).unwrap();
         assert!(best.is_finite() && best > 0.0, "best objective: {best}");
@@ -1081,6 +1152,7 @@ mod tests {
             metrics_summary: false,
             workers: 1,
             batch: 1,
+            surrogate: SurrogateMode::Incremental,
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("unknown app"), "{err}");
@@ -1117,6 +1189,7 @@ mod tests {
             metrics_summary: false,
             workers: 1,
             batch: 1,
+            surrogate: SurrogateMode::Incremental,
         };
         let (cmd, best) = run(&options).unwrap();
         // Best feasible: threads=1 or threads=4, both scoring 1 (never the
@@ -1151,6 +1224,7 @@ mod tests {
             metrics_summary: false,
             workers: 1,
             batch: 1,
+            surrogate: SurrogateMode::Incremental,
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("every evaluation"), "{err}");
