@@ -1,0 +1,45 @@
+//! Validates a Prometheus text-exposition file — the tiny in-repo checker
+//! the `diag-smoke` CI job runs over `--metrics-out` output.
+//!
+//! ```sh
+//! cargo run -p hiperbot-bench --bin prom_check -- metrics.prom
+//! ```
+//!
+//! Exits 0 when the file parses and declares at least one metric family;
+//! exits 1 with the offending line number otherwise.
+
+use hiperbot_obs::validate_prometheus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [path] => path,
+        _ => {
+            eprintln!("usage: prom_check <metrics.prom>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_prometheus(&text) {
+        Ok(stats) if stats.families == 0 => {
+            eprintln!("error: {path}: no metric families");
+            std::process::exit(1);
+        }
+        Ok(stats) => {
+            println!(
+                "{path}: OK ({} families, {} samples)",
+                stats.families, stats.samples
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

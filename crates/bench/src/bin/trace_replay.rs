@@ -1,4 +1,5 @@
-//! Replays a JSONL tuner trace into convergence and latency summaries.
+//! Replays a JSONL tuner trace into convergence, latency, diagnostics,
+//! and profile summaries.
 //!
 //! ```sh
 //! hiperbot --space space.json --command "./app -t {threads}" \
@@ -9,30 +10,87 @@
 //! Prints the run header, the incumbent-improvement trajectory, and the
 //! per-phase latency table (p50/p95/p99) recovered from the event stream —
 //! the same numbers a live `--metrics-summary` would have shown, computed
-//! offline from the trace alone.
+//! offline from the trace alone. Additional outputs, each recomputed with
+//! the exact folding logic the live recorders use (so they match the
+//! online run byte-for-byte):
+//!
+//! - `--diag` — the diagnostics/health report (`--diag` live)
+//! - `--folded <file>` — the folded-stack span profile (`--profile-out`)
+//! - `--metrics-out <file>` — Prometheus exposition (`--metrics-out`)
+//! - `--lenient` — skip (and count) corrupt lines instead of exiting
+//!   non-zero with the offending line number
 
-use hiperbot_obs::summarize_trace;
+use hiperbot_obs::summarize_trace_with;
 
 fn main() {
+    let usage = "usage: trace_replay <trace.jsonl> [--lenient] [--diag] \
+                 [--folded <out.folded>] [--metrics-out <out.prom>]";
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = match args.as_slice() {
-        [path] => path,
-        _ => {
-            eprintln!("usage: trace_replay <trace.jsonl>");
-            std::process::exit(2);
+    let mut path = None;
+    let mut lenient = false;
+    let mut diag = false;
+    let mut folded_out = None;
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--lenient" => lenient = true,
+            "--diag" => diag = true,
+            "--folded" => match it.next() {
+                Some(p) => folded_out = Some(p.clone()),
+                None => {
+                    eprintln!("--folded needs a path\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics-out needs a path\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{usage}");
+                std::process::exit(2);
+            }
         }
+    }
+    let Some(path) = path else {
+        eprintln!("{usage}");
+        std::process::exit(2);
     };
-    let text = match std::fs::read_to_string(path) {
+    let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
             std::process::exit(1);
         }
     };
-    match summarize_trace(&text) {
-        Ok(summary) => print!("{}", summary.render()),
+    let summary = match summarize_trace_with(&text, lenient) {
+        Ok(summary) => summary,
         Err(e) => {
             eprintln!("error: {e}");
+            eprintln!("hint: pass --lenient to skip corrupt lines");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", summary.render());
+    if diag {
+        print!("\ndiagnostics:\n{}", summary.diagnostics.render());
+    }
+    if let Some(out) = folded_out {
+        if let Err(e) = std::fs::write(&out, summary.profile.folded()) {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(out) = metrics_out {
+        if let Err(e) = std::fs::write(&out, summary.registry.render_prometheus()) {
+            eprintln!("error: cannot write {out}: {e}");
             std::process::exit(1);
         }
     }

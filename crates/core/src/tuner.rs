@@ -576,6 +576,7 @@ impl Tuner {
                         self.recorder.record(&Event::IncumbentImproved {
                             iteration,
                             objective: y,
+                            previous_best: prev_best.filter(|b| b.is_finite()),
                         });
                     }
                 }

@@ -6,9 +6,10 @@
 
 use crate::metrics::GoodSet;
 use crate::report::{FigureReport, MethodSeries};
-use crate::runner::{run_trials, TrialConfig};
+use crate::runner::{run_trials, run_trials_diagnosed, TrialConfig};
 use hiperbot_apps::Dataset;
-use hiperbot_baselines::{ConfigSelector, GeistSelector, HiPerBOtSelector, RandomSelector};
+use hiperbot_baselines::{GeistSelector, HiPerBOtSelector, RandomSelector};
+use hiperbot_obs::NoopRecorder;
 
 /// Specification of one Fig. 2–6 style experiment.
 #[derive(Debug, Clone)]
@@ -46,19 +47,18 @@ pub fn run(dataset: &Dataset, spec: &FigureSpec) -> FigureReport {
         .with_good(spec.good)
         .with_seed(0xF1E1D1 ^ spec.id.len() as u64);
 
-    let random = RandomSelector;
-    let geist = GeistSelector::default();
-    let hiperbot = HiPerBOtSelector::default();
-    let methods: Vec<(&str, &dyn ConfigSelector)> = vec![
-        ("Random", &random),
-        ("GEIST", &geist),
-        ("HiPerBOt", &hiperbot),
+    // Baselines run plain; the HiPerBOt trials also fold their event
+    // stream into the diagnostics summary the report carries.
+    let (hiperbot_stats, diagnostics) =
+        run_trials_diagnosed(dataset, &HiPerBOtSelector::default(), &trial, &NoopRecorder);
+    let series = vec![
+        MethodSeries::from_stats("Random", &run_trials(dataset, &RandomSelector, &trial)),
+        MethodSeries::from_stats(
+            "GEIST",
+            &run_trials(dataset, &GeistSelector::default(), &trial),
+        ),
+        MethodSeries::from_stats("HiPerBOt", &hiperbot_stats),
     ];
-
-    let series = methods
-        .into_iter()
-        .map(|(name, m)| MethodSeries::from_stats(name, &run_trials(dataset, m, &trial)))
-        .collect();
 
     let (_, best) = dataset.best();
     let header = hiperbot_obs::RunHeader::new(
@@ -80,6 +80,7 @@ pub fn run(dataset: &Dataset, spec: &FigureSpec) -> FigureReport {
         total_good: spec.good.count(dataset),
         header: Some(header),
         series,
+        diagnostics: Some(diagnostics),
     }
 }
 
@@ -151,6 +152,16 @@ mod tests {
         assert_eq!(h.pool_size, 225);
         assert!(h.options.contains("repetitions=6"), "{}", h.options);
         assert!(report.render_text().contains(&h.space_fingerprint));
+    }
+
+    #[test]
+    fn report_carries_hiperbot_diagnostics() {
+        let report = run(&toy_dataset(), &quick_spec());
+        let diag = report.diagnostics.as_ref().expect("diagnostics populated");
+        // 6 repetitions × 60-sample budget of successful trial evaluations.
+        assert_eq!(diag.convergence.evaluations, 6 * 60);
+        assert_eq!(diag.convergence.failures, 0);
+        assert!(report.render_text().contains("Diagnostics & health"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! human-readable text and JSON (for downstream plotting).
 
 use crate::runner::CheckpointStats;
-use hiperbot_obs::RunHeader;
+use hiperbot_obs::{DiagnosticsSummary, RunHeader};
 use serde::{Deserialize, Serialize};
 
 /// One method's series over the sample-size checkpoints.
@@ -71,6 +71,11 @@ pub struct FigureReport {
     pub header: Option<RunHeader>,
     /// Method series.
     pub series: Vec<MethodSeries>,
+    /// Diagnostics folded from the HiPerBOt trial event stream — the same
+    /// convergence/health analytics a live `--diag` run reports. `None`
+    /// for reports produced before diagnostics existed.
+    #[serde(default)]
+    pub diagnostics: Option<DiagnosticsSummary>,
 }
 
 impl FigureReport {
@@ -115,6 +120,11 @@ impl FigureReport {
                 }
                 out.push('\n');
             }
+            out.push('\n');
+        }
+        if let Some(diag) = &self.diagnostics {
+            out.push_str("### Diagnostics & health\n");
+            out.push_str(&diag.render());
             out.push('\n');
         }
         out
@@ -173,6 +183,7 @@ mod tests {
                 MethodSeries::from_stats("Random", &fake_stats()),
                 MethodSeries::from_stats("HiPerBOt", &fake_stats()),
             ],
+            diagnostics: None,
         }
     }
 
@@ -222,6 +233,21 @@ mod tests {
         assert_eq!(back.header.unwrap().seed, 42);
         let old: FigureReport = serde_json::from_str(&report().to_json()).unwrap();
         assert!(old.header.is_none());
+    }
+
+    #[test]
+    fn diagnostics_render_and_survive_the_json_round_trip() {
+        let mut r = report();
+        assert!(!r.render_text().contains("Diagnostics & health"));
+        r.diagnostics = Some(DiagnosticsSummary::default());
+        let text = r.render_text();
+        assert!(text.contains("Diagnostics & health"), "{text}");
+        assert!(text.contains("convergence:"), "{text}");
+        let back: FigureReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert!(back.diagnostics.is_some());
+        // Old JSON without the field still deserializes (serde default).
+        let old: FigureReport = serde_json::from_str(&report().to_json()).unwrap();
+        assert!(old.diagnostics.is_none());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::metrics::{GoodSet, Recall};
 use hiperbot_apps::Dataset;
 use hiperbot_baselines::ConfigSelector;
-use hiperbot_obs::{Event, NoopRecorder, Recorder, SpanTimer};
+use hiperbot_obs::{
+    DiagnosticsRecorder, DiagnosticsSummary, Event, NoopRecorder, Recorder, SpanTimer,
+};
 use hiperbot_stats::{SeedSequence, Summary};
 use rayon::prelude::*;
 
@@ -168,6 +170,49 @@ pub fn run_trials_traced(
         .collect()
 }
 
+/// [`run_trials_traced`] with a [`DiagnosticsRecorder`] teed alongside the
+/// caller's recorder, returning the health summary next to the stats — the
+/// figure-report pipeline attaches this to its output so a rendered report
+/// carries the run's own health verdict. The per-trial event stream has no
+/// tuner-iteration events, so the interesting fields are the trial
+/// counters (evaluations, failures) and the watchdog's alerts; all of them
+/// fold commutatively, which keeps the summary deterministic even though
+/// rayon workers interleave their events.
+pub fn run_trials_diagnosed(
+    dataset: &Dataset,
+    method: &dyn ConfigSelector,
+    config: &TrialConfig,
+    recorder: &dyn Recorder,
+) -> (Vec<CheckpointStats>, DiagnosticsSummary) {
+    /// A borrowed two-way tee: the caller's sink plus the diagnostics
+    /// recorder, without forcing the `&dyn` signature into `Arc`s.
+    struct Tee<'a> {
+        caller: &'a dyn Recorder,
+        diag: &'a DiagnosticsRecorder,
+    }
+    impl Recorder for Tee<'_> {
+        fn enabled(&self) -> bool {
+            true
+        }
+        fn record(&self, event: &Event) {
+            if self.caller.enabled() {
+                self.caller.record(event);
+            }
+            self.diag.record(event);
+        }
+        fn flush(&self) {
+            self.caller.flush();
+        }
+    }
+    let diag = DiagnosticsRecorder::new();
+    let tee = Tee {
+        caller: recorder,
+        diag: &diag,
+    };
+    let stats = run_trials_traced(dataset, method, config, &tee);
+    (stats, diag.summary())
+}
+
 /// Reads the repetition count from `HIPERBOT_REPS` (default: the paper's
 /// 50). The reproduction binaries use this so CI and slow machines can
 /// dial effort down without touching the protocol.
@@ -266,6 +311,33 @@ mod tests {
         assert_eq!(count(|e| matches!(e, Event::TrialFinished { .. })), 3);
         // 3 reps × 2 checkpoints
         assert_eq!(count(|e| matches!(e, Event::CheckpointRecorded { .. })), 6);
+    }
+
+    #[test]
+    fn diagnosed_runs_match_plain_and_summarize_trials() {
+        let d = dataset();
+        let cfg = TrialConfig::new(vec![10, 20]).with_repetitions(3);
+        let plain = run_trials(&d, &RandomSelector, &cfg);
+        let recorder = hiperbot_obs::MemoryRecorder::new();
+        let (stats, diag) = run_trials_diagnosed(&d, &RandomSelector, &cfg, &recorder);
+        assert_eq!(plain[0].best.mean(), stats[0].best.mean());
+        assert_eq!(plain[1].recall.mean(), stats[1].recall.mean());
+        // The caller's recorder still saw the full per-trial stream.
+        assert_eq!(
+            recorder
+                .events()
+                .iter()
+                .filter(|e| matches!(e, Event::TrialFinished { .. }))
+                .count(),
+            3
+        );
+        // Repetitions aren't tuner iterations: the summary carries trial
+        // counters only, and a clean toy run raises no alerts.
+        assert_eq!(diag.convergence.failures, 0);
+        assert!(diag.healthy(), "{:?}", diag.alerts);
+        // Deterministic across identical runs (commutative folds only).
+        let (_, again) = run_trials_diagnosed(&d, &RandomSelector, &cfg, &NoopRecorder);
+        assert_eq!(diag, again);
     }
 
     #[test]

@@ -44,6 +44,25 @@ impl RunHeader {
     }
 }
 
+/// One watchdog finding: a diagnostics threshold was crossed during a
+/// run. Produced by the `diag` module's watchdog and re-emitted into the
+/// event stream as [`Event::HealthAlert`], so traces are self-describing
+/// about run health and `--strict-health` has a machine-readable basis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthAlert {
+    /// Trial index when the threshold was crossed.
+    pub iteration: u64,
+    /// Stable alert code (`regret_plateau`, `failure_rate`,
+    /// `proposal_stalls`, `ei_collapse`, `pool_exhausted`).
+    pub code: String,
+    /// Human-readable explanation with the observed value.
+    pub message: String,
+    /// The observed value that crossed the threshold.
+    pub value: f64,
+    /// The configured threshold it crossed.
+    pub threshold: f64,
+}
+
 /// One structured trace event. Field units: `elapsed_ns` is wall-clock
 /// nanoseconds, `iteration` is the evaluation index the event belongs to
 /// (i.e. the history length when it fired).
@@ -155,6 +174,12 @@ pub enum Event {
         iteration: u64,
         /// The new incumbent objective.
         objective: f64,
+        /// The incumbent being displaced (`None` on the first finite
+        /// observation of a run, and on traces written before this field
+        /// existed). `previous_best - objective` is the improvement gap
+        /// the diagnostics layer folds into its convergence analytics.
+        #[serde(default)]
+        previous_best: Option<f64>,
     },
     /// A tuning run completed.
     RunFinished {
@@ -220,6 +245,11 @@ pub enum Event {
         /// Recall within the checkpoint prefix.
         recall: f64,
     },
+    /// The diagnostics watchdog crossed a health threshold (see
+    /// [`HealthAlert`]). Consumers deriving analytics from the stream
+    /// ignore this variant — it is an *output* of the diagnostics layer,
+    /// appended so traces self-describe their health verdict.
+    HealthAlert(HealthAlert),
 }
 
 /// Event verbosity classes for log filtering.
@@ -256,7 +286,8 @@ impl Event {
             | Event::ProposalStalled { .. }
             | Event::RunFinished { .. }
             | Event::TrialFinished { .. }
-            | Event::SelectorRun { .. } => Level::Info,
+            | Event::SelectorRun { .. }
+            | Event::HealthAlert(_) => Level::Info,
             _ => Level::Debug,
         }
     }
@@ -351,7 +382,14 @@ impl Event {
             Event::IncumbentImproved {
                 iteration,
                 objective,
-            } => format!("iter {iteration} incumbent -> {objective:.6}"),
+                previous_best,
+            } => match previous_best {
+                Some(prev) => format!(
+                    "iter {iteration} incumbent -> {objective:.6} (gap {:.6})",
+                    prev - objective
+                ),
+                None => format!("iter {iteration} incumbent -> {objective:.6}"),
+            },
             Event::RunFinished {
                 evaluations,
                 best_objective,
@@ -394,6 +432,10 @@ impl Event {
                 best,
                 recall,
             } => format!("trial {rep} checkpoint n={samples} best={best:.6} recall={recall:.4}"),
+            Event::HealthAlert(a) => format!(
+                "iter {} HEALTH [{}] {} (value {:.4}, threshold {:.4})",
+                a.iteration, a.code, a.message, a.value, a.threshold
+            ),
         }
     }
 }
@@ -496,6 +538,12 @@ mod tests {
             Event::IncumbentImproved {
                 iteration: 3,
                 objective: 2.5,
+                previous_best: Some(3.0),
+            },
+            Event::IncumbentImproved {
+                iteration: 0,
+                objective: 9.0,
+                previous_best: None,
             },
             Event::RunFinished {
                 evaluations: 40,
@@ -532,12 +580,35 @@ mod tests {
                 best: 1.25,
                 recall: 0.5,
             },
+            Event::HealthAlert(HealthAlert {
+                iteration: 33,
+                code: "failure_rate".into(),
+                message: "failure rate 30.0% exceeds 25.0%".into(),
+                value: 0.3,
+                threshold: 0.25,
+            }),
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(back, e, "round trip failed for {json}");
         }
+    }
+
+    #[test]
+    fn incumbent_events_without_gap_context_still_parse() {
+        // Traces written before `previous_best` existed omit the field;
+        // they must keep deserializing (the field defaults to None).
+        let old = r#"{"IncumbentImproved":{"iteration":5,"objective":2.5}}"#;
+        let e: Event = serde_json::from_str(old).unwrap();
+        assert_eq!(
+            e,
+            Event::IncumbentImproved {
+                iteration: 5,
+                objective: 2.5,
+                previous_best: None,
+            }
+        );
     }
 
     #[test]

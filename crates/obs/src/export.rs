@@ -1,0 +1,285 @@
+//! Prometheus text exposition for [`MetricsRegistry`], plus a small
+//! validating parser used by tests and the `prom_check` CI binary.
+//!
+//! Counters render as `counter` families with the conventional `_total`
+//! suffix; latency histograms render as `summary` families in seconds
+//! (p50/p95/p99 quantiles from the log-linear histogram, exact `_sum` and
+//! `_count`). Families are emitted in sorted name order and values format
+//! through Rust's `f64` Display (which never produces exponent notation),
+//! so the exposition is byte-deterministic for a given registry state —
+//! CI diffs a live `--metrics-out` file against one recomputed from the
+//! trace.
+
+use crate::metrics::MetricsRegistry;
+
+/// The metric-name prefix on every exported family.
+const PREFIX: &str = "hiperbot_";
+
+/// Maps an internal registry key ("tuner.fit") to a Prometheus metric
+/// name body ("tuner_fit"): every char outside `[a-zA-Z0-9_]` becomes an
+/// underscore, and a leading digit gains one.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Renders the registry in Prometheus text exposition format.
+    /// Deterministic: families sort by name, values never use exponent
+    /// notation, and equal registry contents yield byte-equal output.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let metric = format!("{PREFIX}{}_total", sanitize(&name));
+            out.push_str(&format!("# HELP {metric} Event count for {name}.\n"));
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            out.push_str(&format!("{metric} {value}\n"));
+        }
+        for (name, h) in self.histograms() {
+            let metric = format!("{PREFIX}{}_seconds", sanitize(&name));
+            out.push_str(&format!("# HELP {metric} Latency of phase {name}.\n"));
+            out.push_str(&format!("# TYPE {metric} summary\n"));
+            for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                let v = h.quantile(q).unwrap_or(0) as f64 / 1e9;
+                out.push_str(&format!("{metric}{{quantile=\"{label}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{metric}_sum {}\n", h.sum() as f64 / 1e9));
+            out.push_str(&format!("{metric}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// What [`validate_prometheus`] found in a well-formed exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromStats {
+    /// `# TYPE` family declarations.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+/// Whether `name` is a legal Prometheus metric name.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into (name, labels, value), validating the label
+/// block is balanced `key="value"` pairs.
+fn parse_sample(line: &str) -> Result<(String, usize), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unbalanced '{' in sample".to_string())?;
+            if close < open {
+                return Err("'}' precedes '{' in sample".to_string());
+            }
+            let labels = &line[open + 1..close];
+            let mut n_labels = 0;
+            for pair in labels.split(',').filter(|p| !p.trim().is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label pair '{pair}' lacks '='"))?;
+                if !valid_metric_name(k.trim()) {
+                    return Err(format!("invalid label name '{}'", k.trim()));
+                }
+                let v = v.trim();
+                if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                    return Err(format!("label value {v} is not quoted"));
+                }
+                n_labels += 1;
+            }
+            (&line[..open], (&line[close + 1..], n_labels))
+        }
+        None => {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("");
+            (&line[..name.len()], (&line[name.len()..], 0))
+        }
+    };
+    let (value_part, _n_labels) = rest;
+    if !valid_metric_name(name_part) {
+        return Err(format!("invalid metric name '{name_part}'"));
+    }
+    let value = value_part.trim();
+    let value = value.split_whitespace().next().unwrap_or("");
+    if value.is_empty() {
+        return Err("sample has no value".to_string());
+    }
+    if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+        return Err(format!("sample value '{value}' is not a number"));
+    }
+    Ok((name_part.to_string(), 1))
+}
+
+/// Validates Prometheus text exposition: every line must be a comment
+/// (`# HELP` / `# TYPE` with a legal name), blank, or a well-formed
+/// sample whose family was declared by a preceding `# TYPE` line. Errors
+/// name the offending line number.
+pub fn validate_prometheus(text: &str) -> Result<PromStats, String> {
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("# TYPE without a metric name".into()))?;
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("invalid family name '{name}'")));
+                    }
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| err(format!("# TYPE {name} without a type")))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                    ) {
+                        return Err(err(format!("unknown metric type '{kind}'")));
+                    }
+                    families.push(name.to_string());
+                }
+                Some("HELP") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("# HELP without a metric name".into()))?;
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("invalid family name '{name}'")));
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        let (name, _) = parse_sample(line).map_err(err)?;
+        let declared = families
+            .iter()
+            .any(|f| name == *f || name == format!("{f}_sum") || name == format!("{f}_count"));
+        if !declared {
+            return Err(err(format!("sample '{name}' has no preceding # TYPE")));
+        }
+        samples += 1;
+    }
+    Ok(PromStats {
+        families: families.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.add("tuner.iterations", 40);
+        r.add("tuner.evaluations.model", 32);
+        r.observe_ns("tuner.fit", 1_500_000);
+        r.observe_ns("tuner.fit", 2_500_000);
+        r.observe_ns("tuner.select", 900);
+        r
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let text = populated().render_prometheus();
+        let stats = validate_prometheus(&text).unwrap();
+        assert_eq!(stats.families, 4, "{text}");
+        // 2 counters + 2 summaries * (3 quantiles + sum + count).
+        assert_eq!(stats.samples, 12, "{text}");
+        assert!(
+            text.contains("hiperbot_tuner_iterations_total 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hiperbot_tuner_fit_seconds_count 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hiperbot_tuner_fit_seconds_sum 0.004"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hiperbot_tuner_fit_seconds{quantile=\"0.5\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let a = populated().render_prometheus();
+        let b = populated().render_prometheus();
+        assert_eq!(a, b);
+        // Counter families appear in sorted key order.
+        let evals = a.find("hiperbot_tuner_evaluations_model_total").unwrap();
+        let iters = a.find("hiperbot_tuner_iterations_total").unwrap();
+        assert!(evals < iters, "{a}");
+    }
+
+    #[test]
+    fn no_exponent_notation_in_values() {
+        let r = MetricsRegistry::new();
+        r.observe_ns("tiny", 1); // 1ns = 1e-9 s — the exponent-risk case
+        let text = r.render_prometheus();
+        assert!(!text.contains("e-"), "{text}");
+        assert!(text.contains("0.000000001"), "{text}");
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("tuner.fit"), "tuner_fit");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        for (bad, needle) in [
+            ("metric_without_type 1\n", "no preceding # TYPE"),
+            ("# TYPE m counter\nm notanumber\n", "not a number"),
+            ("# TYPE m wat\n", "unknown metric type"),
+            ("# TYPE 1bad counter\n", "invalid family name"),
+            ("# TYPE m counter\nm{unclosed=\"x\" 1\n", "unbalanced '{'"),
+            ("# TYPE m counter\nm{k=unquoted} 1\n", "not quoted"),
+        ] {
+            let err = validate_prometheus(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+            assert!(err.starts_with("line "), "{err}");
+        }
+    }
+
+    #[test]
+    fn empty_exposition_is_valid_and_empty() {
+        assert_eq!(
+            validate_prometheus("").unwrap(),
+            PromStats {
+                families: 0,
+                samples: 0
+            }
+        );
+    }
+}

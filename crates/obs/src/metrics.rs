@@ -134,6 +134,11 @@ impl LogHistogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket-midpoint estimate,
     /// clamped to the exact observed `[min, max]`. `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
@@ -379,6 +384,9 @@ impl Recorder for MetricsRecorder {
                 self.registry.observe_ns("tuner.evaluate", *elapsed_ns);
             }
             Event::TrialRetried { .. } => self.registry.incr("tuner.retries"),
+            Event::BatchDispatched { .. } => self.registry.incr("tuner.batches"),
+            Event::ProposalStalled { stalls, .. } => self.registry.add("tuner.stalls", *stalls),
+            Event::HealthAlert(_) => self.registry.incr("health.alerts"),
             Event::PropagationRound { .. } => self.registry.incr("geist.rounds"),
             Event::TrialFinished { .. } => self.registry.incr("eval.trials"),
             _ => {}
@@ -543,6 +551,7 @@ mod tests {
         rec.record(&Event::IncumbentImproved {
             iteration: 1,
             objective: 1.0,
+            previous_best: None,
         });
         assert_eq!(registry.histogram("tuner.fit").unwrap().count(), 1);
         assert_eq!(registry.histogram("tuner.evaluate").unwrap().count(), 1);

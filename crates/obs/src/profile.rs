@@ -1,0 +1,347 @@
+//! Span-tree profiling over the event stream, with flamegraph-compatible
+//! folded-stack output.
+//!
+//! The trace has no explicit span-open events, but the tuner's emission
+//! order brackets its phases: `BatchDispatched` opens a batch window that
+//! the matching `BatchMerged` closes, and every latency-carrying event in
+//! between belongs inside it. [`SpanProfile`] replays that discipline
+//! with a dynamic context stack rooted at `run`, accumulating
+//! `(count, total_ns)` per semicolon-joined path — so a serial run yields
+//! `run;tuner.fit` / `run;tuner.evaluate`, while a batch run nests
+//! `run;tuner.batch;tuner.evaluate` under `run;tuner.batch`.
+//!
+//! [`SpanProfile::folded`] emits one `path self_time` line per node in
+//! sorted order — Brendan Gregg's folded-stack format, pipeable straight
+//! into `flamegraph.pl` — where self time is total minus the direct
+//! children's totals, clamped at zero. Everything derives from event
+//! fields only, so replaying a trace reproduces the online profile
+//! exactly (the stack discipline assumes the single-writer event order
+//! the tuner produces; order-free events like `TrialRetried` carry no
+//! latency and are ignored).
+
+use crate::event::Event;
+use crate::metrics::format_ns;
+use crate::recorder::Recorder;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Accumulated time for one span-tree node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Times this path was recorded.
+    pub count: u64,
+    /// Total nanoseconds across all recordings.
+    pub total_ns: u64,
+}
+
+/// A span tree folded from an event stream. Paths are semicolon-joined
+/// (`run;tuner.batch;tuner.evaluate`), keyed in a `BTreeMap` so every
+/// rendering is deterministically ordered.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SpanProfile {
+    nodes: BTreeMap<String, SpanNode>,
+    /// Open context segments; `run` is the implicit root.
+    stack: Vec<&'static str>,
+}
+
+impl SpanProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current path prefix (root plus open contexts).
+    fn prefix(&self) -> String {
+        let mut p = String::from("run");
+        for seg in &self.stack {
+            p.push(';');
+            p.push_str(seg);
+        }
+        p
+    }
+
+    fn record_at(&mut self, path: String, ns: u64) {
+        let node = self.nodes.entry(path).or_default();
+        node.count += 1;
+        node.total_ns += ns;
+    }
+
+    /// Folds one event into the tree.
+    pub fn consume(&mut self, event: &Event) {
+        match event {
+            Event::BatchDispatched { .. } => self.stack.push("tuner.batch"),
+            Event::BatchMerged { elapsed_ns, .. } => {
+                // Close the batch window (tolerating a truncated trace
+                // that lost the matching dispatch), then record the whole
+                // batch's wall time at the batch node itself.
+                if self.stack.last() == Some(&"tuner.batch") {
+                    self.stack.pop();
+                }
+                let path = format!("{};tuner.batch", self.prefix());
+                self.record_at(path, *elapsed_ns);
+            }
+            Event::TrialFailed { elapsed_ns, .. } => {
+                // Failed trials still consumed evaluate wall time.
+                let path = format!("{};tuner.evaluate", self.prefix());
+                self.record_at(path, *elapsed_ns);
+            }
+            _ => {
+                if let Some((phase, ns)) = event.phase() {
+                    let path = format!("{};{phase}", self.prefix());
+                    self.record_at(path, ns);
+                }
+            }
+        }
+    }
+
+    /// All nodes, sorted by path.
+    pub fn nodes(&self) -> &BTreeMap<String, SpanNode> {
+        &self.nodes
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Self time of `path`: its total minus its direct children's totals,
+    /// clamped at zero (children measured on other threads can overlap
+    /// the parent's wall time).
+    fn self_ns(&self, path: &str) -> u64 {
+        let children: u64 = self
+            .nodes
+            .iter()
+            .filter(|(p, _)| {
+                p.strip_prefix(path)
+                    .and_then(|rest| rest.strip_prefix(';'))
+                    .is_some_and(|rest| !rest.contains(';'))
+            })
+            .map(|(_, n)| n.total_ns)
+            .sum();
+        self.nodes
+            .get(path)
+            .map_or(0, |n| n.total_ns.saturating_sub(children))
+    }
+
+    /// Flamegraph folded-stack output: one `path self_ns` line per
+    /// recorded node, sorted by path. Feed to `flamegraph.pl` as-is.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for path in self.nodes.keys() {
+            out.push_str(&format!("{path} {}\n", self.self_ns(path)));
+        }
+        out
+    }
+
+    /// Human-readable profile tree: indentation by depth, with count,
+    /// total, and self time per node.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (path, node) in &self.nodes {
+            let depth = path.matches(';').count();
+            let name = path.rsplit(';').next().unwrap_or(path);
+            out.push_str(&format!(
+                "{:indent$}{name:<20} calls {:>6}  total {:>10}  self {:>10}\n",
+                "",
+                node.count,
+                format_ns(node.total_ns),
+                format_ns(self.self_ns(path)),
+                indent = 2 * depth.saturating_sub(1),
+            ));
+        }
+        out
+    }
+}
+
+/// A [`Recorder`] folding the stream into a shared [`SpanProfile`].
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    profile: Mutex<SpanProfile>,
+}
+
+impl ProfileRecorder {
+    /// Creates a recorder over an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the folded span tree.
+    pub fn profile(&self) -> SpanProfile {
+        self.profile.lock().clone()
+    }
+}
+
+impl Recorder for ProfileRecorder {
+    fn record(&self, event: &Event) {
+        self.profile.lock().consume(event);
+    }
+}
+
+/// Folds an event slice into a [`SpanProfile`] — the offline (replay)
+/// entry point, definitionally identical to recording live.
+pub fn profile_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> SpanProfile {
+    let mut p = SpanProfile::new();
+    for e in events {
+        p.consume(e);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(ns: u64) -> Event {
+        Event::SurrogateFit {
+            iteration: 0,
+            n_good: 1,
+            n_bad: 1,
+            threshold: 1.0,
+            elapsed_ns: ns,
+        }
+    }
+
+    fn eval(ns: u64) -> Event {
+        Event::ObjectiveEvaluated {
+            iteration: 0,
+            objective: 1.0,
+            bootstrap: false,
+            elapsed_ns: ns,
+        }
+    }
+
+    #[test]
+    fn serial_events_land_under_the_run_root() {
+        let mut p = SpanProfile::new();
+        p.consume(&fit(1_000));
+        p.consume(&fit(3_000));
+        p.consume(&eval(500));
+        let nodes = p.nodes();
+        assert_eq!(nodes["run;tuner.fit"].count, 2);
+        assert_eq!(nodes["run;tuner.fit"].total_ns, 4_000);
+        assert_eq!(nodes["run;tuner.evaluate"].total_ns, 500);
+        let folded = p.folded();
+        assert!(folded.contains("run;tuner.fit 4000"), "{folded}");
+        assert!(folded.contains("run;tuner.evaluate 500"), "{folded}");
+    }
+
+    #[test]
+    fn batch_windows_nest_their_evaluations() {
+        let mut p = SpanProfile::new();
+        p.consume(&Event::BatchDispatched {
+            iteration: 4,
+            batch: 2,
+        });
+        p.consume(&eval(600));
+        p.consume(&eval(400));
+        p.consume(&Event::BatchMerged {
+            iteration: 4,
+            batch: 2,
+            ok: 2,
+            failed: 0,
+            elapsed_ns: 1_500,
+        });
+        p.consume(&fit(100)); // after the window: back at the root
+        let nodes = p.nodes();
+        assert_eq!(nodes["run;tuner.batch"].total_ns, 1_500);
+        assert_eq!(nodes["run;tuner.batch;tuner.evaluate"].total_ns, 1_000);
+        assert_eq!(nodes["run;tuner.fit"].total_ns, 100);
+        // Batch self time excludes the nested evaluations.
+        let folded = p.folded();
+        assert!(folded.contains("run;tuner.batch 500"), "{folded}");
+        assert!(
+            folded.contains("run;tuner.batch;tuner.evaluate 1000"),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn self_time_clamps_when_children_overlap_the_parent() {
+        let mut p = SpanProfile::new();
+        p.consume(&Event::BatchDispatched {
+            iteration: 0,
+            batch: 4,
+        });
+        // Parallel workers: summed child time exceeds the batch wall time.
+        for _ in 0..4 {
+            p.consume(&eval(1_000));
+        }
+        p.consume(&Event::BatchMerged {
+            iteration: 0,
+            batch: 4,
+            ok: 4,
+            failed: 0,
+            elapsed_ns: 1_200,
+        });
+        assert!(p.folded().contains("run;tuner.batch 0"), "{}", p.folded());
+    }
+
+    #[test]
+    fn failed_trials_count_as_evaluate_time() {
+        let mut p = SpanProfile::new();
+        p.consume(&Event::TrialFailed {
+            iteration: 1,
+            reason: "crash".into(),
+            elapsed_ns: 700,
+        });
+        assert_eq!(p.nodes()["run;tuner.evaluate"].total_ns, 700);
+    }
+
+    #[test]
+    fn merged_without_dispatch_still_records() {
+        let mut p = SpanProfile::new();
+        p.consume(&Event::BatchMerged {
+            iteration: 0,
+            batch: 1,
+            ok: 1,
+            failed: 0,
+            elapsed_ns: 99,
+        });
+        assert_eq!(p.nodes()["run;tuner.batch"].total_ns, 99);
+    }
+
+    #[test]
+    fn replaying_events_reproduces_the_profile() {
+        let events = vec![
+            fit(10),
+            Event::BatchDispatched {
+                iteration: 0,
+                batch: 1,
+            },
+            eval(20),
+            Event::BatchMerged {
+                iteration: 0,
+                batch: 1,
+                ok: 1,
+                failed: 0,
+                elapsed_ns: 25,
+            },
+        ];
+        let rec = ProfileRecorder::new();
+        for e in &events {
+            crate::recorder::Recorder::record(&rec, e);
+        }
+        assert_eq!(rec.profile(), profile_events(&events));
+        assert_eq!(rec.profile().folded(), profile_events(&events).folded());
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let mut p = SpanProfile::new();
+        p.consume(&Event::BatchDispatched {
+            iteration: 0,
+            batch: 1,
+        });
+        p.consume(&eval(100));
+        p.consume(&Event::BatchMerged {
+            iteration: 0,
+            batch: 1,
+            ok: 1,
+            failed: 0,
+            elapsed_ns: 150,
+        });
+        let r = p.render();
+        assert!(r.contains("tuner.batch"), "{r}");
+        assert!(r.contains("  tuner.evaluate"), "{r}");
+    }
+}

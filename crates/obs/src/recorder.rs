@@ -226,6 +226,7 @@ mod tests {
         Event::IncumbentImproved {
             iteration: i,
             objective: i as f64,
+            previous_best: None,
         }
     }
 

@@ -5,8 +5,10 @@
 //! event-to-phase mapping via [`Event::phase`], so the latency table printed
 //! here is definitionally consistent with a live `--metrics-summary`.
 
+use crate::diag::{DiagnosticsRecorder, DiagnosticsSummary, WatchdogConfig};
 use crate::event::{Event, RunHeader};
 use crate::metrics::{format_ns, MetricsRecorder, MetricsRegistry};
+use crate::profile::SpanProfile;
 use std::sync::Arc;
 
 /// Everything recoverable from one JSONL trace.
@@ -16,6 +18,8 @@ pub struct TraceSummary {
     pub header: Option<RunHeader>,
     /// Total parsed events.
     pub events: u64,
+    /// Malformed lines skipped (always 0 outside lenient mode).
+    pub skipped_lines: u64,
     /// Model-driven iterations observed.
     pub iterations: u64,
     /// Objective evaluations observed (bootstrap + model).
@@ -32,6 +36,11 @@ pub struct TraceSummary {
     pub final_best: Option<f64>,
     /// Latency metrics folded from the event stream.
     pub registry: Arc<MetricsRegistry>,
+    /// Convergence/health diagnostics recomputed from the stream —
+    /// identical to what an online [`DiagnosticsRecorder`] produced.
+    pub diagnostics: DiagnosticsSummary,
+    /// Span-tree profile recomputed from the stream.
+    pub profile: SpanProfile,
 }
 
 /// Parses a JSONL trace (one [`Event`] object per line) into a
@@ -39,12 +48,22 @@ pub struct TraceSummary {
 /// error naming its line number, because a trace that half-parses is
 /// worse than no trace.
 pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
+    summarize_trace_with(text, false)
+}
+
+/// [`summarize_trace`] with an explicit corruption policy: `lenient`
+/// skips (and counts) malformed lines instead of erroring, the escape
+/// hatch for salvaging a truncated or partially-corrupted trace.
+pub fn summarize_trace_with(text: &str, lenient: bool) -> Result<TraceSummary, String> {
     let registry = Arc::new(MetricsRegistry::new());
     let metrics = MetricsRecorder::new(registry.clone());
+    let diag = DiagnosticsRecorder::with_config(WatchdogConfig::default());
+    let mut profile = SpanProfile::new();
 
     let mut summary = TraceSummary {
         header: None,
         events: 0,
+        skipped_lines: 0,
         iterations: 0,
         evaluations: 0,
         failures: 0,
@@ -52,16 +71,28 @@ pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
         incumbent_trajectory: Vec::new(),
         final_best: None,
         registry,
+        diagnostics: DiagnosticsSummary::default(),
+        profile: SpanProfile::new(),
     };
 
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let event: Event = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: invalid trace event: {e:?}", lineno + 1))?;
+        let event: Event = match serde_json::from_str(line) {
+            Ok(event) => event,
+            Err(_) if lenient => {
+                summary.skipped_lines += 1;
+                continue;
+            }
+            Err(e) => {
+                return Err(format!("line {}: invalid trace event: {e}", lineno + 1));
+            }
+        };
         summary.events += 1;
         crate::recorder::Recorder::record(&metrics, &event);
+        crate::recorder::Recorder::record(&diag, &event);
+        profile.consume(&event);
         match &event {
             Event::RunHeader(h) => summary.header = Some(h.clone()),
             Event::IterationStart { .. } => summary.iterations += 1,
@@ -71,6 +102,7 @@ pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
             Event::IncumbentImproved {
                 iteration,
                 objective,
+                ..
             } => {
                 summary.incumbent_trajectory.push((*iteration, *objective));
                 summary.final_best = Some(*objective);
@@ -81,6 +113,8 @@ pub fn summarize_trace(text: &str) -> Result<TraceSummary, String> {
             _ => {}
         }
     }
+    summary.diagnostics = diag.summary();
+    summary.profile = profile;
     Ok(summary)
 }
 
@@ -100,6 +134,12 @@ impl TraceSummary {
             "events: {}  iterations: {}  evaluations: {}\n",
             self.events, self.iterations, self.evaluations
         ));
+        if self.skipped_lines > 0 {
+            out.push_str(&format!(
+                "skipped {} malformed line(s) (lenient mode)\n",
+                self.skipped_lines
+            ));
+        }
         if self.failures > 0 || self.retries > 0 {
             out.push_str(&format!(
                 "failed trials: {}  retries: {}\n",
@@ -165,6 +205,7 @@ mod tests {
             Event::IncumbentImproved {
                 iteration: 2,
                 objective: 2.0,
+                previous_best: Some(3.5),
             },
             Event::RunFinished {
                 evaluations: 3,
@@ -230,6 +271,28 @@ mod tests {
         let bad = format!("{}\nnot json\n", trace_text());
         let err = summarize_trace(&bad).unwrap_err();
         assert!(err.contains("line 7"), "{err}");
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_malformed_lines() {
+        let bad = format!("corrupt\n{}\n{{\"half\":\n", trace_text());
+        let s = summarize_trace_with(&bad, true).unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.skipped_lines, 2);
+        assert!(s.render().contains("skipped 2 malformed line(s)"));
+        // Strict mode still refuses the same text.
+        assert!(summarize_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn replay_recomputes_diagnostics_and_profile() {
+        let s = summarize_trace(&trace_text()).unwrap();
+        assert_eq!(s.diagnostics.convergence.evaluations, 1);
+        assert_eq!(s.diagnostics.convergence.improvements, 1);
+        assert_eq!(s.diagnostics.convergence.last_gap, Some(1.5));
+        assert_eq!(s.diagnostics.surrogate.fits, 1);
+        assert!(s.profile.nodes().contains_key("run;tuner.fit"));
+        assert!(s.profile.folded().contains("run;tuner.evaluate"));
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn main() {
         if let Event::IncumbentImproved {
             iteration,
             objective,
+            ..
         } = event
         {
             println!("  evaluation {iteration:>3}: {objective:.4}");

@@ -5,6 +5,9 @@
 //! ```
 //!
 //! See `hiperbot::cli` for the space-specification format.
+//!
+//! Exit codes: 0 success, 1 run error, 2 usage error, 3 the run finished
+//! but the diagnostics watchdog fired under `--strict-health`.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,10 +18,22 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match hiperbot::cli::run(&options) {
-        Ok((command, objective)) => {
+    match hiperbot::cli::run_with_health(&options) {
+        Ok(((command, objective), alerts)) => {
             println!("best objective: {objective}");
             println!("best command:   {command}");
+            if !alerts.is_empty() {
+                for alert in &alerts {
+                    eprintln!(
+                        "health: [{}] {} (value {:.4}, threshold {:.4})",
+                        alert.code, alert.message, alert.value, alert.threshold
+                    );
+                }
+                if options.strict_health {
+                    eprintln!("error: --strict-health: {} alert(s) fired", alerts.len());
+                    std::process::exit(3);
+                }
+            }
         }
         Err(msg) => {
             eprintln!("error: {msg}");

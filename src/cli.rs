@@ -29,7 +29,8 @@
 use crate::core::{EvalOutcome, SelectionStrategy, SurrogateMode, Tuner, TunerOptions};
 use crate::eval::{outcome_from_sim, BatchExecutor, RetryPolicy, RetryingObjective, ThreadSleeper};
 use crate::obs::{
-    JsonlSink, Level, MetricsRecorder, MetricsRegistry, MultiRecorder, Recorder, StderrLogger,
+    DiagnosticsRecorder, Event, HealthAlert, JsonlSink, Level, MetricsRecorder, MetricsRegistry,
+    MultiRecorder, ProfileRecorder, Recorder, StderrLogger,
 };
 use crate::perfsim::faults::FaultModel;
 use crate::space::{Configuration, Domain, ParamDef, ParameterSpace};
@@ -171,6 +172,16 @@ pub struct CliOptions {
     pub log_level: Level,
     /// Whether to print the per-phase latency table after the run.
     pub metrics_summary: bool,
+    /// Where to write Prometheus text exposition after the run
+    /// (`None` = off).
+    pub metrics_out: Option<String>,
+    /// Whether to run the diagnostics layer and print its report.
+    pub diag: bool,
+    /// Exit non-zero when the diagnostics watchdog fired (implies the
+    /// diagnostics layer).
+    pub strict_health: bool,
+    /// Where to write the folded-stack span profile (`None` = off).
+    pub profile_out: Option<String>,
     /// Worker threads for concurrent objective evaluation (1 = serial).
     pub workers: usize,
     /// Configurations suggested per surrogate refit, via constant-liar
@@ -182,13 +193,44 @@ pub struct CliOptions {
     pub surrogate: SurrogateMode,
 }
 
+impl Default for CliOptions {
+    /// The CLI's flag defaults (what `parse_args` yields when only the
+    /// required arguments are given).
+    fn default() -> Self {
+        Self {
+            space_path: String::new(),
+            command: String::new(),
+            app: None,
+            budget: 50,
+            seed: 0,
+            measure: Measure::Stdout,
+            init_samples: 20,
+            max_retries: 0,
+            fail_prob: 0.0,
+            timeout_factor: None,
+            trace_out: None,
+            log_level: Level::Off,
+            metrics_summary: false,
+            metrics_out: None,
+            diag: false,
+            strict_health: false,
+            profile_out: None,
+            workers: 1,
+            batch: 1,
+            surrogate: SurrogateMode::Incremental,
+        }
+    }
+}
+
 /// Parses `argv[1..]`. Returns `Err(usage)` on any problem.
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let usage = "usage: hiperbot --space <spec.json> --command <template> \
                  [--budget N=50] [--seed N=0] [--init N=20] [--measure stdout|time] \
                  [--max-retries N=0] [--workers N=1] [--batch K=1] \
                  [--surrogate incremental|full] \
-                 [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary]\n\
+                 [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary] \
+                 [--metrics-out <file.prom>] [--diag] [--strict-health] \
+                 [--profile-out <file.folded>]\n\
                  \x20      hiperbot --app kripke|kripke-energy|hypre|lulesh|openatom \
                  [--fail-prob P=0] [--timeout-factor F] [common flags]";
     let mut space_path = None;
@@ -204,6 +246,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut trace_out = None;
     let mut log_level = Level::Off;
     let mut metrics_summary = false;
+    let mut metrics_out = None;
+    let mut diag = false;
+    let mut strict_health = false;
+    let mut profile_out = None;
     let mut workers = 1usize;
     let mut batch = 1usize;
     let mut surrogate = SurrogateMode::Incremental;
@@ -281,6 +327,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .map_err(|e| format!("{e}\n{usage}"))?
             }
             "--metrics-summary" => metrics_summary = true,
+            "--metrics-out" => metrics_out = Some(take("--metrics-out")?),
+            "--diag" => diag = true,
+            "--strict-health" => strict_health = true,
+            "--profile-out" => profile_out = Some(take("--profile-out")?),
             "--help" | "-h" => return Err(usage.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{usage}")),
         }
@@ -327,6 +377,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         trace_out,
         log_level,
         metrics_summary,
+        metrics_out,
+        diag,
+        strict_health,
+        profile_out,
         workers,
         batch,
         surrogate,
@@ -381,13 +435,16 @@ pub fn render_config(cfg: &Configuration, space: &ParameterSpace) -> String {
         .join(" ")
 }
 
-/// The observability tee: JSONL trace file, stderr logger, and a metrics
-/// registry, each only if requested. With none requested the recorder is
-/// `None` and the tuner skips instrumentation entirely.
+/// The observability tee: JSONL trace file, stderr logger, metrics
+/// registry, diagnostics watchdog, and span profiler, each only if
+/// requested. With none requested the recorder is `None` and the tuner
+/// skips instrumentation entirely.
 struct Observability {
     recorder: Option<Arc<dyn Recorder>>,
     sink: Option<Arc<JsonlSink>>,
     registry: Arc<MetricsRegistry>,
+    diag: Option<Arc<DiagnosticsRecorder>>,
+    profile: Option<Arc<ProfileRecorder>>,
 }
 
 impl Observability {
@@ -408,8 +465,25 @@ impl Observability {
             tee = tee.with(Arc::new(StderrLogger::new(options.log_level)));
         }
         let registry = Arc::new(MetricsRegistry::new());
-        if options.metrics_summary {
+        // The event-derived metrics sink backs both the summary table and
+        // the Prometheus exposition. (The tuner's direct-to-registry churn
+        // counters stay gated on --metrics-summary below, so a
+        // --metrics-out exposition derives from events alone and is
+        // exactly reproducible from the trace.)
+        if options.metrics_summary || options.metrics_out.is_some() {
             tee = tee.with(Arc::new(MetricsRecorder::new(registry.clone())));
+        }
+        let mut diag = None;
+        if options.diag || options.strict_health {
+            let d = Arc::new(DiagnosticsRecorder::new());
+            tee = tee.with(d.clone());
+            diag = Some(d);
+        }
+        let mut profile = None;
+        if options.profile_out.is_some() {
+            let p = Arc::new(ProfileRecorder::new());
+            tee = tee.with(p.clone());
+            profile = Some(p);
         }
         let recorder: Option<Arc<dyn Recorder>> = if tee.is_empty() {
             None
@@ -420,10 +494,22 @@ impl Observability {
             recorder,
             sink,
             registry,
+            diag,
+            profile,
         })
     }
 
-    fn finish(&self, options: &CliOptions) {
+    /// Post-run epilogue: re-emits watchdog alerts into the full tee (so
+    /// the trace self-describes its health verdict), flushes the trace,
+    /// prints the requested reports, and writes the Prometheus/profile
+    /// output files. Returns the alerts for `--strict-health` handling.
+    fn finish(&self, options: &CliOptions) -> Result<Vec<HealthAlert>, String> {
+        let alerts = self.diag.as_ref().map(|d| d.alerts()).unwrap_or_default();
+        if let (Some(recorder), false) = (&self.recorder, alerts.is_empty()) {
+            for alert in &alerts {
+                recorder.record(&Event::HealthAlert(alert.clone()));
+            }
+        }
         if let Some(sink) = &self.sink {
             Recorder::flush(sink.as_ref());
         }
@@ -433,12 +519,32 @@ impl Observability {
                 self.registry.render_summary()
             );
         }
+        if let Some(diag) = &self.diag {
+            if options.diag {
+                println!("\n== diagnostics ==\n{}", diag.summary().render());
+            }
+        }
+        if let Some(path) = &options.metrics_out {
+            std::fs::write(path, self.registry.render_prometheus())
+                .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        }
+        if let (Some(path), Some(profile)) = (&options.profile_out, &self.profile) {
+            std::fs::write(path, profile.profile().folded())
+                .map_err(|e| format!("cannot write profile {path}: {e}"))?;
+        }
+        Ok(alerts)
     }
 }
 
 /// The whole CLI flow; returns (best rendered command or configuration,
 /// best objective). Fails when every trial in the budget failed.
 pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
+    run_with_health(options).map(|(best, _)| best)
+}
+
+/// [`run`], also surfacing the diagnostics watchdog's findings so the
+/// binary can turn them into a `--strict-health` exit code.
+pub fn run_with_health(options: &CliOptions) -> Result<((String, f64), Vec<HealthAlert>), String> {
     match &options.app {
         Some(app) => run_app_mode(options, app),
         None => run_command_mode(options),
@@ -446,7 +552,7 @@ pub fn run(options: &CliOptions) -> Result<(String, f64), String> {
 }
 
 /// Command mode: tune an external program via its command template.
-fn run_command_mode(options: &CliOptions) -> Result<(String, f64), String> {
+fn run_command_mode(options: &CliOptions) -> Result<((String, f64), Vec<HealthAlert>), String> {
     let json = std::fs::read_to_string(&options.space_path)
         .map_err(|e| format!("cannot read {}: {e}", options.space_path))?;
     let spec = SpaceSpec::from_json(&json)?;
@@ -528,16 +634,22 @@ fn run_command_mode(options: &CliOptions) -> Result<(String, f64), String> {
     let best =
         best.ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
     report_failures(&tuner);
-    obs.finish(options);
+    let alerts = obs.finish(options)?;
     Ok((
-        render_command(&options.command, &best.config, &space),
-        best.objective,
+        (
+            render_command(&options.command, &best.config, &space),
+            best.objective,
+        ),
+        alerts,
     ))
 }
 
 /// App mode: tune a built-in simulated dataset with optional deterministic
 /// fault injection.
-fn run_app_mode(options: &CliOptions, app: &str) -> Result<(String, f64), String> {
+fn run_app_mode(
+    options: &CliOptions,
+    app: &str,
+) -> Result<((String, f64), Vec<HealthAlert>), String> {
     use crate::apps::Scale;
     let dataset = match app {
         "kripke" | "kripke-exec" => crate::apps::kripke::exec_dataset(Scale::Target),
@@ -610,8 +722,11 @@ fn run_app_mode(options: &CliOptions, app: &str) -> Result<(String, f64), String
     let best =
         best.ok_or_else(|| "every evaluation in the budget failed; nothing to report".to_string())?;
     report_failures(&tuner);
-    obs.finish(options);
-    Ok((render_config(&best.config, &space), best.objective))
+    let alerts = obs.finish(options)?;
+    Ok((
+        (render_config(&best.config, &space), best.objective),
+        alerts,
+    ))
 }
 
 /// Prints a one-line summary of permanent failures and Proposal-mode
@@ -790,20 +905,10 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))".into(),
-            app: None,
             budget: 4,
             seed: 1,
-            measure: Measure::Stdout,
             init_samples: 4,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
-            workers: 1,
-            batch: 1,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let (cmd, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -829,20 +934,12 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo $(( {a} + {b} ))".into(),
-            app: None,
             budget: 12,
             seed: 2,
-            measure: Measure::Stdout,
             init_samples: 6,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
-            log_level: Level::Off,
             metrics_summary: true,
-            workers: 1,
-            batch: 1,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let (_, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -932,6 +1029,83 @@ mod tests {
     }
 
     #[test]
+    fn diagnostics_flags_parse() {
+        let o = parse_args(&to_args(&[
+            "--app",
+            "kripke",
+            "--metrics-out",
+            "/tmp/m.prom",
+            "--diag",
+            "--strict-health",
+            "--profile-out",
+            "/tmp/p.folded",
+        ]))
+        .unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("/tmp/m.prom"));
+        assert!(o.diag);
+        assert!(o.strict_health);
+        assert_eq!(o.profile_out.as_deref(), Some("/tmp/p.folded"));
+        // defaults: everything off
+        let o = parse_args(&to_args(&["--app", "kripke"])).unwrap();
+        assert!(!o.diag && !o.strict_health);
+        assert!(o.metrics_out.is_none() && o.profile_out.is_none());
+    }
+
+    #[test]
+    fn strict_health_surfaces_watchdog_alerts() {
+        // A high injected failure rate with no retries must trip the
+        // failure_rate watchdog; the same run without faults stays silent.
+        let options = CliOptions {
+            app: Some("kripke".into()),
+            budget: 30,
+            seed: 7,
+            init_samples: 10,
+            fail_prob: 0.6,
+            strict_health: true,
+            ..CliOptions::default()
+        };
+        let (_, alerts) = run_with_health(&options).unwrap();
+        assert!(
+            alerts.iter().any(|a| a.code == "failure_rate"),
+            "{alerts:?}"
+        );
+        let healthy = CliOptions {
+            fail_prob: 0.0,
+            ..options
+        };
+        let (_, alerts) = run_with_health(&healthy).unwrap();
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn diag_run_writes_prometheus_and_profile_files() {
+        use crate::obs::validate_prometheus;
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-diag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom_path = dir.join("metrics.prom");
+        let folded_path = dir.join("profile.folded");
+        let options = CliOptions {
+            app: Some("kripke".into()),
+            budget: 20,
+            seed: 4,
+            init_samples: 8,
+            metrics_out: Some(prom_path.to_string_lossy().into_owned()),
+            profile_out: Some(folded_path.to_string_lossy().into_owned()),
+            diag: true,
+            ..CliOptions::default()
+        };
+        run(&options).unwrap();
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        let stats = validate_prometheus(&prom).unwrap();
+        assert!(stats.families > 0 && stats.samples > 0, "{prom}");
+        assert!(prom.contains("hiperbot_tuner_iterations_total"), "{prom}");
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        assert!(folded.contains("run;tuner.fit "), "{folded}");
+        assert!(folded.contains("run;tuner.evaluate "), "{folded}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn surrogate_flag_parses() {
         let o = parse_args(&to_args(&["--app", "kripke"])).unwrap();
         assert_eq!(o.surrogate, SurrogateMode::Incremental); // default
@@ -948,22 +1122,15 @@ mod tests {
         // run and a from-scratch-refit run report the same best, faults,
         // batching, and retries included.
         let base = CliOptions {
-            space_path: String::new(),
-            command: String::new(),
             app: Some("kripke".into()),
             budget: 24,
             seed: 9,
-            measure: Measure::Stdout,
             init_samples: 8,
             max_retries: 1,
             fail_prob: 0.15,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
             workers: 2,
             batch: 4,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let incremental = run(&base).unwrap();
         let full = run(&CliOptions {
@@ -979,22 +1146,14 @@ mod tests {
         // The determinism contract the CI parallel-smoke job relies on:
         // at a fixed --batch, every worker count yields the same result.
         let base = CliOptions {
-            space_path: String::new(),
-            command: String::new(),
             app: Some("kripke".into()),
             budget: 24,
             seed: 5,
-            measure: Measure::Stdout,
             init_samples: 8,
             max_retries: 1,
             fail_prob: 0.15,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
-            workers: 1,
             batch: 4,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let serial = run(&base).unwrap();
         for workers in [2, 4] {
@@ -1019,20 +1178,11 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo {alpha}".into(),
-            app: None,
             budget: 4,
-            seed: 0,
-            measure: Measure::Stdout,
             init_samples: 2,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
             workers: 2,
             batch: 2,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("discrete"), "{err}");
@@ -1052,20 +1202,12 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))".into(),
-            app: None,
             budget: 4,
             seed: 1,
-            measure: Measure::Stdout,
             init_samples: 4,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
             workers: 4,
             batch: 4,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let (cmd, best) = run(&options).unwrap();
         assert_eq!(best, 0.0);
@@ -1107,22 +1249,14 @@ mod tests {
     #[test]
     fn app_mode_end_to_end_with_fault_injection() {
         let options = CliOptions {
-            space_path: String::new(),
-            command: String::new(),
             app: Some("kripke".into()),
             budget: 30,
             seed: 7,
-            measure: Measure::Stdout,
             init_samples: 10,
             max_retries: 2,
             fail_prob: 0.2,
             timeout_factor: Some(4.0),
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
-            workers: 1,
-            batch: 1,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let (cfg, best) = run(&options).unwrap();
         assert!(best.is_finite() && best > 0.0, "best objective: {best}");
@@ -1137,22 +1271,10 @@ mod tests {
     #[test]
     fn app_mode_rejects_unknown_dataset() {
         let options = CliOptions {
-            space_path: String::new(),
-            command: String::new(),
             app: Some("nbody".into()),
             budget: 10,
-            seed: 0,
-            measure: Measure::Stdout,
             init_samples: 5,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
-            workers: 1,
-            batch: 1,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("unknown app"), "{err}");
@@ -1176,20 +1298,10 @@ mod tests {
             command: "if [ {threads} -eq 2 ]; then exit 1; fi; \
                       echo $(( {threads} > 2 ? {threads} - 2 : 2 - {threads} ))"
                 .into(),
-            app: None,
             budget: 8,
             seed: 3,
-            measure: Measure::Stdout,
             init_samples: 4,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
-            workers: 1,
-            batch: 1,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let (cmd, best) = run(&options).unwrap();
         // Best feasible: threads=1 or threads=4, both scoring 1 (never the
@@ -1211,20 +1323,9 @@ mod tests {
         let options = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "exit 1".into(),
-            app: None,
             budget: 3,
-            seed: 0,
-            measure: Measure::Stdout,
             init_samples: 2,
-            max_retries: 0,
-            fail_prob: 0.0,
-            timeout_factor: None,
-            trace_out: None,
-            log_level: Level::Off,
-            metrics_summary: false,
-            workers: 1,
-            batch: 1,
-            surrogate: SurrogateMode::Incremental,
+            ..CliOptions::default()
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("every evaluation"), "{err}");

@@ -1,0 +1,161 @@
+//! Diagnostics parity contract tests.
+//!
+//! Every diagnostics output — the Prometheus exposition, the folded-stack
+//! span profile, and the watchdog's alerts — derives only from event
+//! fields. So a run that writes a trace and the offline replay of that
+//! trace must produce *byte-identical* artifacts, and attaching the whole
+//! diagnostics stack must leave the tuning result bit-identical to an
+//! uninstrumented run.
+
+use hiperbot::cli::{run, run_with_health, CliOptions};
+use hiperbot::obs::{summarize_trace_with, validate_prometheus};
+use std::path::PathBuf;
+
+struct Paths {
+    dir: PathBuf,
+    trace: PathBuf,
+    prom: PathBuf,
+    folded: PathBuf,
+}
+
+fn paths(tag: &str) -> Paths {
+    let dir = std::env::temp_dir().join(format!("hiperbot-diag-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    Paths {
+        trace: dir.join("trace.jsonl"),
+        prom: dir.join("metrics.prom"),
+        folded: dir.join("profile.folded"),
+        dir,
+    }
+}
+
+fn diag_options(p: &Paths) -> CliOptions {
+    CliOptions {
+        app: Some("kripke".into()),
+        budget: 30,
+        seed: 11,
+        init_samples: 10,
+        trace_out: Some(p.trace.to_string_lossy().into_owned()),
+        metrics_out: Some(p.prom.to_string_lossy().into_owned()),
+        profile_out: Some(p.folded.to_string_lossy().into_owned()),
+        diag: true,
+        ..CliOptions::default()
+    }
+}
+
+/// Replaying the run's own trace reproduces the Prometheus exposition and
+/// the folded profile byte-for-byte — the invariant the CI `diag-smoke`
+/// job diffs.
+#[test]
+fn replayed_trace_reproduces_prometheus_and_profile_exactly() {
+    let p = paths("parity");
+    run(&diag_options(&p)).unwrap();
+
+    let trace = std::fs::read_to_string(&p.trace).unwrap();
+    let summary = summarize_trace_with(&trace, false).unwrap();
+
+    let live_prom = std::fs::read_to_string(&p.prom).unwrap();
+    validate_prometheus(&live_prom).unwrap();
+    assert_eq!(live_prom, summary.registry.render_prometheus());
+
+    let live_folded = std::fs::read_to_string(&p.folded).unwrap();
+    assert_eq!(live_folded, summary.profile.folded());
+    assert!(live_folded.contains("run;tuner.fit "), "{live_folded}");
+
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+/// Same parity under the parallel batch path: workers interleave retry
+/// events, but everything the diagnostics fold is commutative, and all
+/// order-sensitive events come from the tuner's own thread.
+#[test]
+fn batch_run_diagnostics_replay_exactly() {
+    let p = paths("batch");
+    let options = CliOptions {
+        workers: 2,
+        batch: 4,
+        max_retries: 1,
+        fail_prob: 0.15,
+        ..diag_options(&p)
+    };
+    run(&options).unwrap();
+
+    let trace = std::fs::read_to_string(&p.trace).unwrap();
+    let summary = summarize_trace_with(&trace, false).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&p.prom).unwrap(),
+        summary.registry.render_prometheus()
+    );
+    let live_folded = std::fs::read_to_string(&p.folded).unwrap();
+    assert_eq!(live_folded, summary.profile.folded());
+    // Batch spans nest: the batch is dispatched after fit/select, so the
+    // merged evaluations (and only they) live under run;tuner.batch.
+    assert!(
+        live_folded.contains("run;tuner.batch;tuner.evaluate "),
+        "{live_folded}"
+    );
+
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+/// A faulty run's watchdog alerts are written into the trace, and the
+/// replay re-derives the identical alert set from the raw events (the
+/// recorded `HealthAlert` lines themselves are ignored as inputs — no
+/// double-counting).
+#[test]
+fn watchdog_alerts_survive_the_trace_round_trip() {
+    let p = paths("alerts");
+    let options = CliOptions {
+        fail_prob: 0.6,
+        ..diag_options(&p)
+    };
+    let (_, live_alerts) = run_with_health(&options).unwrap();
+    assert!(
+        live_alerts.iter().any(|a| a.code == "failure_rate"),
+        "{live_alerts:?}"
+    );
+
+    let trace = std::fs::read_to_string(&p.trace).unwrap();
+    assert!(trace.contains("HealthAlert"), "trace carries the alerts");
+    let summary = summarize_trace_with(&trace, false).unwrap();
+    assert_eq!(summary.diagnostics.alerts, live_alerts);
+    assert!(!summary.diagnostics.healthy());
+    // The alert lines in the trace count once in both expositions.
+    assert_eq!(
+        std::fs::read_to_string(&p.prom).unwrap(),
+        summary.registry.render_prometheus()
+    );
+
+    let _ = std::fs::remove_dir_all(&p.dir);
+}
+
+/// The tentpole's non-negotiable: turning the full diagnostics stack on
+/// does not change what the tuner does.
+#[test]
+fn diagnostics_leave_the_tuning_result_bit_identical() {
+    let base = CliOptions {
+        app: Some("kripke".into()),
+        budget: 24,
+        seed: 3,
+        init_samples: 8,
+        max_retries: 1,
+        fail_prob: 0.2,
+        ..CliOptions::default()
+    };
+    let plain = run(&base).unwrap();
+
+    let p = paths("identity");
+    let instrumented = run(&CliOptions {
+        trace_out: Some(p.trace.to_string_lossy().into_owned()),
+        metrics_out: Some(p.prom.to_string_lossy().into_owned()),
+        profile_out: Some(p.folded.to_string_lossy().into_owned()),
+        diag: true,
+        strict_health: true,
+        ..base
+    })
+    .unwrap();
+    assert_eq!(plain, instrumented);
+
+    let _ = std::fs::remove_dir_all(&p.dir);
+}

@@ -129,6 +129,13 @@ fn jsonl_trace_round_trips_and_replays() {
         let replayed = summary.registry.histogram(phase).expect("replayed").count();
         assert_eq!(live, replayed, "{phase}");
     }
+    // Stronger: the whole registry matches, down to the byte, in both the
+    // summary table and the Prometheus exposition.
+    assert_eq!(registry.render_summary(), summary.registry.render_summary());
+    assert_eq!(
+        registry.render_prometheus(),
+        summary.registry.render_prometheus()
+    );
 
     // The final incumbent matches the actual best of an identical run.
     let history = run_history(11, None);
@@ -139,6 +146,44 @@ fn jsonl_trace_round_trips_and_replays() {
     assert_eq!(summary.final_best, Some(best));
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tee_delivers_each_event_to_every_sink_in_registration_order() {
+    use std::sync::Mutex;
+
+    /// Appends its label on every delivery, exposing the tee's fan-out
+    /// order.
+    struct Tagger {
+        label: &'static str,
+        log: Arc<Mutex<Vec<&'static str>>>,
+    }
+    impl Recorder for Tagger {
+        fn record(&self, _event: &Event) {
+            self.log.lock().unwrap().push(self.label);
+        }
+    }
+
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let tee = MultiRecorder::new()
+        .with(Arc::new(Tagger {
+            label: "first",
+            log: log.clone(),
+        }))
+        .with(Arc::new(Tagger {
+            label: "second",
+            log: log.clone(),
+        }));
+    for iteration in 0..3 {
+        tee.record(&Event::IterationStart {
+            iteration,
+            history_len: iteration,
+        });
+    }
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec!["first", "second", "first", "second", "first", "second"]
+    );
 }
 
 #[test]
