@@ -223,6 +223,7 @@ impl<S: ConfigSelector> ConfigSelector for TracedSelector<S> {
                 objective: y,
                 bootstrap: false,
                 elapsed_ns: timer.elapsed_ns().unwrap_or(0),
+                config: Some(cfg.clone()),
             });
             y
         };
@@ -265,11 +266,13 @@ impl<S: ConfigSelector> ConfigSelector for TracedSelector<S> {
                     objective: y,
                     bootstrap: false,
                     elapsed_ns,
+                    config: Some(cfg.clone()),
                 }),
                 None => recorder.record(&Event::TrialFailed {
                     iteration,
                     reason: out.failure_reason().unwrap_or_default(),
                     elapsed_ns,
+                    config: Some(cfg.clone()),
                 }),
             }
             out

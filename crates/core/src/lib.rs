@@ -27,6 +27,7 @@
 //! Jensen–Shannon divergence between their good and bad densities
 //! (eqs. 13–14, §VI).
 
+pub mod checkpoint;
 pub mod history;
 pub mod importance;
 pub mod incremental;
@@ -37,7 +38,8 @@ pub mod surrogate;
 pub mod transfer;
 pub mod tuner;
 
-pub use history::{FailureRecord, ObservationHistory};
+pub use checkpoint::{CheckpointError, TunerCheckpoint, CHECKPOINT_VERSION};
+pub use history::{FailureRecord, ObservationHistory, SavedHistory};
 pub use importance::{parameter_importance, DivergenceMeasure, ParameterImportance};
 pub use incremental::{ChurnStats, IncrementalSurrogate};
 pub use outcome::EvalOutcome;
@@ -45,4 +47,4 @@ pub use selection::SelectionStrategy;
 pub use stopping::{StoppingRule, StoppingSet};
 pub use surrogate::{SurrogateMode, TpeSurrogate};
 pub use transfer::TransferPrior;
-pub use tuner::{BestResult, InitDesign, Tuner, TunerOptions};
+pub use tuner::{BestResult, CheckpointPolicy, InitDesign, Tuner, TunerOptions};

@@ -9,6 +9,7 @@
 //! 4. Evaluate the true objective; append; goto 2 until the evaluation
 //!    budget is exhausted (or, for Ranking, the space is).
 
+use crate::checkpoint::{CheckpointError, TraceTrial, TunerCheckpoint, CHECKPOINT_VERSION};
 use crate::history::ObservationHistory;
 use crate::incremental::{ChurnStats, IncrementalSurrogate};
 use crate::outcome::EvalOutcome;
@@ -16,7 +17,8 @@ use crate::selection::{rank_encoded, select_by_proposal, SelectionStrategy};
 use crate::surrogate::{FitScratch, SurrogateMode, SurrogateOptions, TpeSurrogate};
 use crate::transfer::TransferPrior;
 use hiperbot_obs::{
-    counters, Event, MetricsRegistry, NoopRecorder, Recorder, RunHeader, SpanTimer,
+    counters, space_fingerprint, Event, MetricsRegistry, NoopRecorder, Recorder, RunHeader,
+    SpanTimer,
 };
 use hiperbot_space::pool::{PoolEncoding, PoolMask};
 use hiperbot_space::sampling::{latin_hypercube, sample_distinct, sample_uniform};
@@ -24,7 +26,32 @@ use hiperbot_space::{Configuration, ParameterSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rustc_hash::FxHashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Where and how often a tuner persists [`TunerCheckpoint`] snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file, overwritten atomically on every write.
+    pub path: PathBuf,
+    /// Write after at least this many trials since the last snapshot (a
+    /// final snapshot is also written when a run ends gracefully).
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// Snapshots to `path` every `every` trials.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        Self {
+            path: path.into(),
+            every,
+        }
+    }
+}
 
 /// How the bootstrap observations are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -247,6 +274,22 @@ pub struct Tuner {
     metrics: Option<Arc<MetricsRegistry>>,
     /// Engine counters already published to `metrics` (delta basis).
     last_churn: ChurnStats,
+    /// Periodic snapshot destination; `None` disables checkpointing.
+    checkpointing: Option<CheckpointPolicy>,
+    /// Trial count at the last persisted snapshot (cadence basis, and the
+    /// guard against writing the same snapshot twice).
+    last_checkpoint_trials: usize,
+    /// RNG word position captured immediately *before* the bootstrap draw.
+    /// A snapshot taken mid-bootstrap stores this instead of the live
+    /// position, so a resume can redraw the identical sample list and skip
+    /// the already-evaluated prefix.
+    boot_word_pos: Option<u64>,
+    /// Set by the resume constructors: the next run keeps the restored
+    /// stall count instead of resetting it, exactly once.
+    preserve_stalls_once: bool,
+    /// Set by the resume constructors ("snapshot" or "trace"); consumed by
+    /// the first traced run header to emit one `RunResumed` event.
+    resumed_from: Option<String>,
 }
 
 impl Tuner {
@@ -281,6 +324,11 @@ impl Tuner {
             failed_cache: Vec::new(),
             metrics: None,
             last_churn: ChurnStats::default(),
+            checkpointing: None,
+            last_checkpoint_trials: 0,
+            boot_word_pos: None,
+            preserve_stalls_once: false,
+            resumed_from: None,
         }
     }
 
@@ -305,6 +353,22 @@ impl Tuner {
     /// Swaps the metrics registry in place.
     pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
         self.metrics = Some(metrics);
+    }
+
+    /// Enables periodic crash-safe snapshots (builder style): after at
+    /// least `policy.every` trials since the last write — and again when a
+    /// run ends gracefully — the tuner persists a [`TunerCheckpoint`] to
+    /// `policy.path` atomically (temp file + rename). Snapshot writes never
+    /// touch the RNG, so checkpointed and checkpoint-free runs are
+    /// bit-identical for the same seed.
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpointing = Some(policy);
+        self
+    }
+
+    /// Enables or reconfigures periodic snapshots in place.
+    pub fn set_checkpointing(&mut self, policy: CheckpointPolicy) {
+        self.checkpointing = Some(policy);
     }
 
     /// Cumulative delta-work counters of the incremental engine, `None`
@@ -342,6 +406,190 @@ impl Tuner {
         tuner.history = history;
         tuner.bootstrapped = bootstrapped;
         tuner
+    }
+
+    /// Takes a crash-safe snapshot of the campaign: the observation history
+    /// (successes and quarantined failures — together the trial cursor and
+    /// incumbent), the exact RNG stream position, and the seed / options /
+    /// space identity the snapshot is only valid under.
+    ///
+    /// Mid-bootstrap snapshots store the RNG position from *before* the
+    /// bootstrap draw: the bootstrap samples are drawn all at once, so a
+    /// resume redraws the identical list and skips the evaluated prefix.
+    pub fn checkpoint(&self) -> TunerCheckpoint {
+        let rng_word_pos = if self.bootstrapped {
+            self.rng.word_pos()
+        } else {
+            self.boot_word_pos.unwrap_or_else(|| self.rng.word_pos())
+        };
+        TunerCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed: self.options.seed,
+            options: self.options.summary(),
+            space_fingerprint: space_fingerprint(&self.space),
+            bootstrapped: self.bootstrapped,
+            stalls: self.stalls as u64,
+            rng_word_pos,
+            history: self.history.clone().into(),
+        }
+    }
+
+    /// Restores a tuner from a [`TunerCheckpoint`]. The snapshot's seed,
+    /// option summary, and space fingerprint must match `options`/`space`
+    /// exactly — a campaign continued under different settings would
+    /// silently diverge, so any mismatch is a [`CheckpointError`] naming
+    /// both sides. The restored tuner continues bit-identically to the
+    /// uninterrupted run: same RNG stream position, same history, same
+    /// stall accounting.
+    ///
+    /// A run killed *mid-bootstrap* resumes correctly too (the remaining
+    /// bootstrap samples are redrawn and the evaluated prefix skipped),
+    /// provided the resumed run uses the same budget, which determines the
+    /// bootstrap clamp.
+    pub fn resume_from_checkpoint(
+        space: ParameterSpace,
+        options: TunerOptions,
+        snapshot: &TunerCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        snapshot.validate(options.seed, &options.summary(), &space_fingerprint(&space))?;
+        let history = ObservationHistory::try_from(snapshot.history.clone())
+            .map_err(CheckpointError::InvalidHistory)?;
+        for cfg in history
+            .configs()
+            .iter()
+            .chain(history.failures().iter().map(|f| &f.config))
+        {
+            if !space.is_feasible(cfg) {
+                return Err(CheckpointError::InvalidHistory(
+                    "snapshot contains a configuration infeasible in this space".into(),
+                ));
+            }
+        }
+        let mut tuner = Self::new(space, options);
+        tuner.rng.set_word_pos(snapshot.rng_word_pos);
+        tuner.history = history;
+        tuner.bootstrapped = snapshot.bootstrapped;
+        tuner.stalls = snapshot.stalls as usize;
+        tuner.preserve_stalls_once = true;
+        tuner.last_checkpoint_trials = tuner.history.trials();
+        tuner.resumed_from = Some("snapshot".into());
+        Ok(tuner)
+    }
+
+    /// Fallback resume when no snapshot survived: reconstructs the
+    /// campaign from an observability trace (JSONL event stream) whose
+    /// trial events embed their configurations. The trace's `RunHeader`
+    /// identity (seed, options, space fingerprint) is validated exactly
+    /// like a snapshot's.
+    ///
+    /// The RNG position is rebuilt by replaying the bootstrap draw, which
+    /// is exact for the Ranking strategy (its model-driven phase never
+    /// consumes randomness). Traces from Proposal-mode runs, or runs that
+    /// fell back to uniform recovery restarts (a trial evaluated while
+    /// every earlier one had failed), consume RNG draws that events alone
+    /// cannot reconstruct — those return
+    /// [`CheckpointError::TraceNotExact`] instead of silently diverging.
+    pub fn resume_from_trace(
+        space: ParameterSpace,
+        options: TunerOptions,
+        trace: &str,
+    ) -> Result<Self, CheckpointError> {
+        if matches!(options.strategy, SelectionStrategy::Proposal { .. }) {
+            return Err(CheckpointError::TraceNotExact(
+                "Proposal-mode candidate draws consume RNG that a trace does not record; \
+                 resume from a snapshot instead"
+                    .into(),
+            ));
+        }
+        let state = crate::checkpoint::parse_trace(trace)?;
+        if state.seed != options.seed {
+            return Err(CheckpointError::SeedMismatch {
+                expected: options.seed,
+                found: state.seed,
+            });
+        }
+        let expected_options = options.summary();
+        if state.options != expected_options {
+            return Err(CheckpointError::OptionsMismatch {
+                expected: expected_options,
+                found: state.options,
+            });
+        }
+        let expected_space = space_fingerprint(&space);
+        if state.space_fingerprint != expected_space {
+            return Err(CheckpointError::SpaceMismatch {
+                expected: expected_space,
+                found: state.space_fingerprint,
+            });
+        }
+        let mut tuner = Self::new(space, options);
+        // The full bootstrap size this space and these options produce
+        // (traces do not record the original budget, so a budget-clamped
+        // bootstrap smaller than this reads as mid-bootstrap below).
+        let full_boot = if tuner.space.is_fully_discrete() {
+            tuner.options.init_samples.min(tuner.pool().configs.len())
+        } else {
+            tuner.options.init_samples
+        };
+        let mut successes = 0usize;
+        for (i, trial) in state.trials.iter().enumerate() {
+            if i >= full_boot && successes == 0 {
+                return Err(CheckpointError::TraceNotExact(
+                    "this run drew uniform recovery restarts (every bootstrap trial \
+                     failed), which a trace cannot replay; resume from a snapshot instead"
+                        .into(),
+                ));
+            }
+            match trial {
+                TraceTrial::Ok(cfg, y) => {
+                    if !tuner.space.is_feasible(cfg) || !y.is_finite() {
+                        return Err(CheckpointError::InvalidHistory(
+                            "trace contains an infeasible configuration or non-finite \
+                             objective"
+                                .into(),
+                        ));
+                    }
+                    if tuner.history.contains(cfg) {
+                        return Err(CheckpointError::InvalidHistory(
+                            "trace contains a duplicate configuration".into(),
+                        ));
+                    }
+                    tuner.history.push(cfg.clone(), *y);
+                    successes += 1;
+                }
+                TraceTrial::Failed(cfg, reason) => {
+                    if !tuner.space.is_feasible(cfg) {
+                        return Err(CheckpointError::InvalidHistory(
+                            "trace contains an infeasible configuration".into(),
+                        ));
+                    }
+                    if tuner.history.contains(cfg) {
+                        return Err(CheckpointError::InvalidHistory(
+                            "trace contains a duplicate configuration".into(),
+                        ));
+                    }
+                    tuner.history.push_failure(cfg.clone(), reason.clone());
+                }
+            }
+        }
+        if tuner.history.trials() >= full_boot {
+            // Bootstrap completed: advance the RNG past the draw it made.
+            let _ = match tuner.options.init_design {
+                InitDesign::UniformRandom => {
+                    sample_distinct(&tuner.space, full_boot, &mut tuner.rng)
+                }
+                InitDesign::LatinHypercube => {
+                    latin_hypercube(&tuner.space, full_boot, &mut tuner.rng)
+                }
+            };
+            tuner.bootstrapped = true;
+        }
+        // else: mid-bootstrap — the RNG stays at the pre-draw position and
+        // the next run redraws the sample list, skipping the evaluated
+        // prefix.
+        tuner.last_checkpoint_trials = tuner.history.trials();
+        tuner.resumed_from = Some("trace".into());
+        Ok(tuner)
     }
 
     /// The space being tuned.
@@ -521,11 +769,16 @@ impl Tuner {
         } else {
             init_samples
         };
+        // A mid-bootstrap resume restarts here with the RNG at the
+        // pre-draw position and the evaluated prefix already in the
+        // history: redraw the identical sample list and skip that prefix.
+        let done = self.history.trials();
+        self.boot_word_pos = Some(self.rng.word_pos());
         let samples = match self.options.init_design {
             InitDesign::UniformRandom => sample_distinct(&self.space, n, &mut self.rng),
             InitDesign::LatinHypercube => latin_hypercube(&self.space, n, &mut self.rng),
         };
-        for cfg in samples {
+        for cfg in samples.into_iter().skip(done) {
             self.evaluate_and_push(cfg, &mut *objective, true);
         }
         self.bootstrapped = true;
@@ -544,7 +797,9 @@ impl Tuner {
         let traced = self.recorder.enabled();
         let timer = SpanTimer::start(traced);
         let outcome = objective(&cfg);
-        self.push_outcome(cfg, outcome, bootstrap, timer.elapsed_ns())
+        let ok = self.push_outcome(cfg, outcome, bootstrap, timer.elapsed_ns());
+        self.maybe_checkpoint();
+        ok
     }
 
     /// Appends one already-evaluated outcome: the observation on success,
@@ -571,6 +826,7 @@ impl Tuner {
                         objective: y,
                         bootstrap,
                         elapsed_ns,
+                        config: Some(cfg.clone()),
                     });
                     if y.is_finite() && !prev_best.is_some_and(|best| y >= best) {
                         self.recorder.record(&Event::IncumbentImproved {
@@ -590,6 +846,7 @@ impl Tuner {
                         iteration: self.history.trials() as u64,
                         reason: reason.clone(),
                         elapsed_ns,
+                        config: Some(cfg.clone()),
                     });
                 }
                 self.history.push_failure(cfg, reason);
@@ -1102,7 +1359,7 @@ impl Tuner {
         assert!(budget > 0, "budget must be positive");
         assert!(batch > 0, "batch size must be positive");
         self.emit_run_header();
-        self.stalls = 0;
+        self.reset_stalls();
         if !self.bootstrapped {
             // A budget smaller than init_samples spends it all on bootstrap.
             // Clamp on a local: the stored options stay as configured.
@@ -1115,6 +1372,7 @@ impl Tuner {
                 break; // pool exhausted
             }
         }
+        self.final_checkpoint();
         self.finish_run()
     }
 
@@ -1137,11 +1395,25 @@ impl Tuner {
         } else {
             init_samples
         };
+        // Mirror the serial bootstrap's resume support: redraw from the
+        // pre-draw RNG position and skip the already-evaluated prefix.
+        // Skipping whole chunks keeps the batch boundaries — and therefore
+        // the constant-liar layout of every later batch — aligned with the
+        // uninterrupted run (checkpoints are only taken at merge points,
+        // so the evaluated prefix is always chunk-aligned).
+        let done = self.history.trials();
+        let k = k.max(1);
+        self.boot_word_pos = Some(self.rng.word_pos());
         let samples = match self.options.init_design {
             InitDesign::UniformRandom => sample_distinct(&self.space, n, &mut self.rng),
             InitDesign::LatinHypercube => latin_hypercube(&self.space, n, &mut self.rng),
         };
-        for chunk in samples.chunks(k.max(1)) {
+        let start = done.min(samples.len());
+        assert!(
+            start % k == 0 || start == samples.len(),
+            "mid-bootstrap resume requires the batch size of the interrupted run"
+        );
+        for chunk in samples[start..].chunks(k) {
             self.evaluate_and_merge(chunk, evaluate_batch, true);
         }
         self.bootstrapped = true;
@@ -1225,6 +1497,55 @@ impl Tuner {
                 elapsed_ns,
             });
         }
+        // Merge boundaries are the batch mode's safe points: a snapshot
+        // here keeps the trial cursor chunk-aligned, so a resumed run's
+        // batch layout matches the uninterrupted one.
+        self.maybe_checkpoint();
+    }
+
+    /// Persists a snapshot if checkpointing is enabled and at least
+    /// `every` trials have elapsed since the last write. Called only at
+    /// safe points (after a serial push or a whole-batch merge). Snapshot
+    /// writes never touch the RNG or the history, so enabling
+    /// checkpointing cannot change what the tuner evaluates.
+    fn maybe_checkpoint(&mut self) {
+        let Some(policy) = &self.checkpointing else {
+            return;
+        };
+        if self.history.trials() - self.last_checkpoint_trials >= policy.every {
+            self.write_checkpoint();
+        }
+    }
+
+    /// Writes a snapshot now (checkpointing must be enabled), emitting one
+    /// `CheckpointWritten` event on success. A failed write is reported on
+    /// stderr and the campaign continues — losing one snapshot is strictly
+    /// better than losing the run.
+    fn write_checkpoint(&mut self) {
+        let Some(policy) = self.checkpointing.clone() else {
+            return;
+        };
+        match self.checkpoint().save(&policy.path) {
+            Ok(()) => {
+                self.last_checkpoint_trials = self.history.trials();
+                if self.recorder.enabled() {
+                    self.recorder.record(&Event::CheckpointWritten {
+                        trials: self.history.trials() as u64,
+                        observations: self.history.len() as u64,
+                        failures: self.history.n_failures() as u64,
+                    });
+                }
+            }
+            Err(e) => eprintln!("hiperbot: checkpoint write failed ({e}); continuing"),
+        }
+    }
+
+    /// The graceful-shutdown snapshot: persists the end-of-run state when
+    /// checkpointing is enabled and the cadence has not just written it.
+    fn final_checkpoint(&mut self) {
+        if self.checkpointing.is_some() && self.history.trials() > self.last_checkpoint_trials {
+            self.write_checkpoint();
+        }
     }
 
     /// Runs until a [`StoppingSet`](crate::stopping::StoppingSet) fires or
@@ -1259,7 +1580,7 @@ impl Tuner {
             "an empty stopping set on a continuous space never terminates"
         );
         self.emit_run_header();
-        self.stalls = 0;
+        self.reset_stalls();
         if !self.bootstrapped {
             // Clamp on a local: the stored options stay as configured (the
             // run header and later runs on this tuner must not see a
@@ -1286,13 +1607,35 @@ impl Tuner {
                 stall_guard = 0;
             }
         }
+        self.final_checkpoint();
         self.finish_run()
     }
 
-    /// Emits the self-describing [`RunHeader`] event (no-op when untraced).
-    fn emit_run_header(&self) {
+    /// Emits the self-describing [`RunHeader`] event (no-op when untraced),
+    /// followed — on the first run after a resume — by one `RunResumed`
+    /// event stamping where the campaign picked up and from what source,
+    /// so trace consumers know the file holds a suffix, not a full run.
+    fn emit_run_header(&mut self) {
         if self.recorder.enabled() {
             self.recorder.record(&Event::RunHeader(self.run_header()));
+            if let Some(source) = self.resumed_from.take() {
+                self.recorder.record(&Event::RunResumed {
+                    trials: self.history.trials() as u64,
+                    observations: self.history.len() as u64,
+                    failures: self.history.n_failures() as u64,
+                    source,
+                });
+            }
+        }
+    }
+
+    /// Resets the per-run stall counter — except exactly once after a
+    /// resume, where the restored count carries the interrupted run's
+    /// stalls so the final `ProposalStalled` accounting matches an
+    /// uninterrupted run.
+    fn reset_stalls(&mut self) {
+        if !std::mem::take(&mut self.preserve_stalls_once) {
+            self.stalls = 0;
         }
     }
 
@@ -1356,7 +1699,7 @@ impl Tuner {
     ) -> Option<BestResult> {
         assert!(budget > 0, "budget must be positive");
         self.emit_run_header();
-        self.stalls = 0;
+        self.reset_stalls();
         if !self.bootstrapped {
             // A budget smaller than init_samples spends it all on bootstrap.
             // Clamp on a local: the stored options stay as configured.
@@ -1380,6 +1723,7 @@ impl Tuner {
                 stall_guard = 0;
             }
         }
+        self.final_checkpoint();
         self.finish_run()
     }
 }

@@ -28,6 +28,17 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Renders a caught panic payload as a human-readable reason string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// Evaluates batches of configurations concurrently over a bounded pool
 /// of scoped worker threads, composing with [`RetryPolicy`] (per-trial
 /// retry loops with deterministic, trial-indexed backoff jitter).
@@ -135,16 +146,37 @@ impl<F: Fn(&Configuration, u64, u32) -> EvalOutcome + Sync> BatchExecutor<F> {
                         }
                         let trial = base_trial + i as u64;
                         let started = Instant::now();
-                        let mut inner =
-                            |c: &Configuration, attempt: u32| (self.objective)(c, trial, attempt);
-                        let (out, retries) = evaluate_with_retries(
-                            &mut inner,
-                            &cfgs[i],
-                            trial,
-                            &self.policy,
-                            self.recorder.as_ref(),
-                            self.sleeper.as_ref(),
-                        );
+                        // A panicking objective must not take the whole
+                        // batch down (unwinding here would poison the
+                        // result slots and abort the scope): catch it and
+                        // quarantine the trial like any other failure.
+                        let (out, retries) =
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let mut inner = |c: &Configuration, attempt: u32| {
+                                    (self.objective)(c, trial, attempt)
+                                };
+                                evaluate_with_retries(
+                                    &mut inner,
+                                    &cfgs[i],
+                                    trial,
+                                    &self.policy,
+                                    self.recorder.as_ref(),
+                                    self.sleeper.as_ref(),
+                                )
+                            })) {
+                                Ok(result) => result,
+                                Err(payload) => {
+                                    let msg = panic_message(payload.as_ref());
+                                    (
+                                        EvalOutcome::Failed {
+                                            reason: format!(
+                                                "objective panicked at trial {trial}: {msg}"
+                                            ),
+                                        },
+                                        0,
+                                    )
+                                }
+                            };
                         self.retries.fetch_add(retries, Ordering::Relaxed);
                         if let Some(registry) = &self.registry {
                             registry.observe_ns(&hist_name, started.elapsed().as_nanos() as u64);
@@ -274,6 +306,42 @@ mod tests {
             total, 6,
             "every trial lands in exactly one worker histogram"
         );
+    }
+
+    #[test]
+    fn panicking_objective_becomes_a_failed_outcome() {
+        // Regression: a panic in the objective used to unwind through the
+        // worker, killing the batch with "result slot poisoned" instead
+        // of surfacing which trial failed.
+        let exec = BatchExecutor::new(
+            |c: &Configuration, _t, _a| {
+                if c.value(0).index() == 2 {
+                    panic!("boom");
+                }
+                EvalOutcome::Ok(c.value(0).index() as f64)
+            },
+            4,
+        );
+        let out = exec.evaluate_batch(&cfgs(6), 10);
+        assert_eq!(out.len(), 6);
+        for (i, o) in out.iter().enumerate() {
+            if i == 2 {
+                let reason = o.failure_reason().expect("panicked trial is Failed");
+                assert!(
+                    reason.contains("trial 12") && reason.contains("boom"),
+                    "reason should carry the trial index and payload: {reason}"
+                );
+            } else {
+                assert_eq!(*o, EvalOutcome::Ok(i as f64), "other trials unaffected");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payloads_render_for_str_string_and_other() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&String::from("heap boom")), "heap boom");
+        assert_eq!(panic_message(&42u32), "non-string panic payload");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! and Recall with mean ± std, plus the exhaustive-best line.
 
 use crate::metrics::GoodSet;
-use crate::report::{FigureReport, MethodSeries};
+use crate::report::{FigureReport, MethodSeries, RunProvenance};
 use crate::runner::{run_trials, run_trials_diagnosed, TrialConfig};
 use hiperbot_apps::Dataset;
 use hiperbot_baselines::{GeistSelector, HiPerBOtSelector, RandomSelector};
@@ -81,6 +81,9 @@ pub fn run(dataset: &Dataset, spec: &FigureSpec) -> FigureReport {
         header: Some(header),
         series,
         diagnostics: Some(diagnostics),
+        // Figure trials never snapshot (each repetition is seconds long),
+        // but the report records the format it would resume under.
+        provenance: Some(RunProvenance::unsnapshotted()),
     }
 }
 

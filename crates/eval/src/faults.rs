@@ -112,8 +112,9 @@ impl RetryPolicy {
     /// The wait in seconds before retry number `attempt + 1` of trial
     /// `trial`: `min(base · multiplier^attempt, max_backoff)` scaled by a
     /// deterministic jitter factor in `[1 - jitter, 1 + jitter]` derived
-    /// from `(seed, trial, attempt)`. Pure — calling it never advances any
-    /// RNG state.
+    /// from `(seed, trial, attempt)`, with the jittered result clamped
+    /// back to `max_backoff` so the documented cap holds on every wait.
+    /// Pure — calling it never advances any RNG state.
     pub fn backoff_seconds(&self, trial: u64, attempt: u32) -> f64 {
         assert!(
             self.base_backoff >= 0.0 && self.multiplier >= 1.0 && self.max_backoff >= 0.0,
@@ -125,7 +126,7 @@ impl RetryPolicy {
         );
         let raw = (self.base_backoff * self.multiplier.powi(attempt as i32)).min(self.max_backoff);
         let u = u64_to_unit_open(mix_words(&[self.seed, JITTER_TAG, trial, attempt as u64]));
-        raw * (1.0 + self.jitter * (2.0 * u - 1.0))
+        (raw * (1.0 + self.jitter * (2.0 * u - 1.0))).min(self.max_backoff)
     }
 }
 
@@ -365,6 +366,44 @@ mod tests {
         assert_ne!(
             p.backoff_seconds(0, 0),
             p.with_seed(10).backoff_seconds(0, 0)
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_never_exceeds_the_cap() {
+        // Regression: jitter used to be applied *after* the max_backoff
+        // min, so a wait at the cap could overshoot it by up to the jitter
+        // fraction (with the defaults, up to 45 s against a documented
+        // 30 s cap).
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+            max_backoff: 30.0,
+            jitter: 0.5,
+            seed: 9,
+            trial_budget: None,
+        };
+        let mut saw_upward_jitter_at_cap = false;
+        for trial in 0..200u64 {
+            for attempt in 0..12u32 {
+                let w = p.backoff_seconds(trial, attempt);
+                assert!(w <= p.max_backoff, "wait {w} exceeds cap {}", p.max_backoff);
+                let raw = (p.base_backoff * p.multiplier.powi(attempt as i32)).min(p.max_backoff);
+                if raw >= p.max_backoff {
+                    let u =
+                        u64_to_unit_open(mix_words(&[p.seed, JITTER_TAG, trial, attempt as u64]));
+                    if u > 0.5 {
+                        // This draw would have overshot before the fix.
+                        saw_upward_jitter_at_cap = true;
+                        assert_eq!(w, p.max_backoff, "upward jitter at the cap clamps");
+                    }
+                }
+            }
+        }
+        assert!(
+            saw_upward_jitter_at_cap,
+            "test must exercise at least one previously-overshooting draw"
         );
     }
 

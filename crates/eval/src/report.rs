@@ -6,8 +6,44 @@
 //! human-readable text and JSON (for downstream plotting).
 
 use crate::runner::CheckpointStats;
+use hiperbot_core::CHECKPOINT_VERSION;
 use hiperbot_obs::{DiagnosticsSummary, RunHeader};
 use serde::{Deserialize, Serialize};
+
+/// Crash-recovery provenance of the runs behind a report.
+///
+/// Deliberately restricted to facts the bit-identity contract makes equal
+/// between an uninterrupted campaign and one killed and resumed from a
+/// snapshot: the snapshot format version and the configured cadence.
+/// Resume lineage (kill points, source files, wall-clock) goes to stderr
+/// and the trace's `RunResumed` event instead — stamping it here would
+/// make resumed reports differ from the uninterrupted reference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunProvenance {
+    /// Checkpoint snapshot format in effect
+    /// ([`hiperbot_core::CHECKPOINT_VERSION`]).
+    pub checkpoint_version: u32,
+    /// Snapshot cadence in trials; `None` when checkpointing was off.
+    pub checkpoint_every: Option<usize>,
+}
+
+impl RunProvenance {
+    /// Provenance of a run with checkpointing off.
+    pub fn unsnapshotted() -> Self {
+        Self {
+            checkpoint_version: CHECKPOINT_VERSION,
+            checkpoint_every: None,
+        }
+    }
+
+    /// Provenance of a run snapshotting every `every` trials.
+    pub fn snapshotted(every: usize) -> Self {
+        Self {
+            checkpoint_version: CHECKPOINT_VERSION,
+            checkpoint_every: Some(every),
+        }
+    }
+}
 
 /// One method's series over the sample-size checkpoints.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,6 +112,10 @@ pub struct FigureReport {
     /// for reports produced before diagnostics existed.
     #[serde(default)]
     pub diagnostics: Option<DiagnosticsSummary>,
+    /// Crash-recovery provenance (checkpoint format and cadence). `None`
+    /// for reports produced before checkpointing existed.
+    #[serde(default)]
+    pub provenance: Option<RunProvenance>,
 }
 
 impl FigureReport {
@@ -88,6 +128,16 @@ impl FigureReport {
             out.push_str(&format!(
                 "run: v{} seed={} space={} ({} params, pool {})\noptions: {}\n",
                 h.version, h.seed, h.space_fingerprint, h.n_params, h.pool_size, h.options
+            ));
+        }
+        if let Some(p) = &self.provenance {
+            let cadence = match p.checkpoint_every {
+                Some(every) => format!("every {every} trials"),
+                None => "off".to_string(),
+            };
+            out.push_str(&format!(
+                "checkpointing: format v{}, {cadence}\n",
+                p.checkpoint_version
             ));
         }
         out.push_str(&format!(
@@ -184,7 +234,27 @@ mod tests {
                 MethodSeries::from_stats("HiPerBOt", &fake_stats()),
             ],
             diagnostics: None,
+            provenance: None,
         }
+    }
+
+    #[test]
+    fn provenance_renders_and_survives_the_json_round_trip() {
+        let mut r = report();
+        assert!(!r.render_text().contains("checkpointing:"));
+        r.provenance = Some(RunProvenance::snapshotted(5));
+        let text = r.render_text();
+        assert!(
+            text.contains("checkpointing: format v1, every 5 trials"),
+            "{text}"
+        );
+        r.provenance = Some(RunProvenance::unsnapshotted());
+        assert!(r.render_text().contains("checkpointing: format v1, off"));
+        let back: FigureReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.provenance, Some(RunProvenance::unsnapshotted()));
+        // Old JSON without the field still deserializes (serde default).
+        let old: FigureReport = serde_json::from_str(&report().to_json()).unwrap();
+        assert!(old.provenance.is_none());
     }
 
     #[test]

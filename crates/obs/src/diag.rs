@@ -574,6 +574,7 @@ mod tests {
             objective,
             bootstrap,
             elapsed_ns: 100,
+            config: None,
         }
     }
 
@@ -669,6 +670,7 @@ mod tests {
                 iteration: i,
                 reason: "crash".into(),
                 elapsed_ns: 10,
+                config: None,
             });
         }
         let alerts = rec.alerts();

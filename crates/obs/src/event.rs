@@ -8,7 +8,7 @@
 //! add variants without disturbing existing consumers, and unknown
 //! variants fail loudly at parse time instead of being silently dropped.
 
-use hiperbot_space::{Domain, ParameterSpace};
+use hiperbot_space::{Configuration, Domain, ParameterSpace};
 use serde::{Deserialize, Serialize};
 
 /// Self-describing metadata stamped at the start of a traced run and
@@ -112,6 +112,11 @@ pub enum Event {
         bootstrap: bool,
         /// Objective wall time.
         elapsed_ns: u64,
+        /// The configuration that was evaluated. `None` on traces written
+        /// before this field existed; when present, the trace alone
+        /// reconstructs the observation history (`resume_from_trace`).
+        #[serde(default)]
+        config: Option<Configuration>,
     },
     /// An objective evaluation failed permanently (every retry exhausted,
     /// or none allowed). The configuration is quarantined as bad evidence
@@ -123,6 +128,11 @@ pub enum Event {
         reason: String,
         /// Wall time across all attempts of the trial.
         elapsed_ns: u64,
+        /// The configuration that failed. `None` on traces written before
+        /// this field existed; when present, trace-based resume can
+        /// re-quarantine the failure.
+        #[serde(default)]
+        config: Option<Configuration>,
     },
     /// An objective evaluation attempt failed and is about to be retried.
     TrialRetried {
@@ -250,6 +260,30 @@ pub enum Event {
     /// ignore this variant — it is an *output* of the diagnostics layer,
     /// appended so traces self-describe their health verdict.
     HealthAlert(HealthAlert),
+    /// A tuner checkpoint snapshot was persisted. Deliberately carries no
+    /// filesystem path or byte size: its payload must be identical across
+    /// runs that follow the same trajectory, so checkpointed traces stay
+    /// diffable against each other.
+    CheckpointWritten {
+        /// Total trials (observations + quarantined failures) captured.
+        trials: u64,
+        /// Successful observations captured.
+        observations: u64,
+        /// Quarantined failures captured.
+        failures: u64,
+    },
+    /// A run was restored from persisted state instead of starting fresh.
+    /// Emitted once, right after the [`RunHeader`] of the resumed run.
+    RunResumed {
+        /// Total trials (observations + failures) restored.
+        trials: u64,
+        /// Successful observations restored.
+        observations: u64,
+        /// Quarantined failures restored.
+        failures: u64,
+        /// Where the state came from: `"snapshot"` or `"trace"`.
+        source: String,
+    },
 }
 
 /// Event verbosity classes for log filtering.
@@ -287,6 +321,7 @@ impl Event {
             | Event::RunFinished { .. }
             | Event::TrialFinished { .. }
             | Event::SelectorRun { .. }
+            | Event::RunResumed { .. }
             | Event::HealthAlert(_) => Level::Info,
             _ => Level::Debug,
         }
@@ -341,6 +376,7 @@ impl Event {
                 objective,
                 bootstrap,
                 elapsed_ns,
+                ..
             } => format!(
                 "iter {iteration} evaluate{} -> {objective:.6} ({:.3} ms)",
                 if *bootstrap { " [bootstrap]" } else { "" },
@@ -350,6 +386,7 @@ impl Event {
                 iteration,
                 reason,
                 elapsed_ns,
+                ..
             } => format!(
                 "iter {iteration} evaluate FAILED: {reason} ({:.3} ms)",
                 ms(*elapsed_ns)
@@ -436,6 +473,21 @@ impl Event {
                 "iter {} HEALTH [{}] {} (value {:.4}, threshold {:.4})",
                 a.iteration, a.code, a.message, a.value, a.threshold
             ),
+            Event::CheckpointWritten {
+                trials,
+                observations,
+                failures,
+            } => format!(
+                "checkpoint written at trial {trials} ({observations} observations, {failures} failures)"
+            ),
+            Event::RunResumed {
+                trials,
+                observations,
+                failures,
+                source,
+            } => format!(
+                "run resumed from {source} at trial {trials} ({observations} observations, {failures} failures)"
+            ),
         }
     }
 }
@@ -508,11 +560,26 @@ mod tests {
                 objective: 2.5,
                 bootstrap: false,
                 elapsed_ns: 88,
+                config: Some(Configuration::from_indices(&[1, 0])),
+            },
+            Event::ObjectiveEvaluated {
+                iteration: 3,
+                objective: 2.5,
+                bootstrap: false,
+                elapsed_ns: 88,
+                config: None,
             },
             Event::TrialFailed {
                 iteration: 4,
                 reason: "crash".into(),
                 elapsed_ns: 1234,
+                config: Some(Configuration::from_indices(&[2, 1])),
+            },
+            Event::TrialFailed {
+                iteration: 4,
+                reason: "crash".into(),
+                elapsed_ns: 1234,
+                config: None,
             },
             Event::TrialRetried {
                 iteration: 4,
@@ -587,6 +654,17 @@ mod tests {
                 value: 0.3,
                 threshold: 0.25,
             }),
+            Event::CheckpointWritten {
+                trials: 25,
+                observations: 22,
+                failures: 3,
+            },
+            Event::RunResumed {
+                trials: 25,
+                observations: 22,
+                failures: 3,
+                source: "snapshot".into(),
+            },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();
@@ -609,6 +687,18 @@ mod tests {
                 previous_best: None,
             }
         );
+    }
+
+    #[test]
+    fn trial_events_without_configs_still_parse() {
+        // Traces written before `config` existed omit the field; they must
+        // keep deserializing (the field defaults to None).
+        let old_eval = r#"{"ObjectiveEvaluated":{"iteration":5,"objective":2.5,"bootstrap":false,"elapsed_ns":9}}"#;
+        let e: Event = serde_json::from_str(old_eval).unwrap();
+        assert!(matches!(e, Event::ObjectiveEvaluated { config: None, .. }));
+        let old_fail = r#"{"TrialFailed":{"iteration":5,"reason":"crash","elapsed_ns":9}}"#;
+        let e: Event = serde_json::from_str(old_fail).unwrap();
+        assert!(matches!(e, Event::TrialFailed { config: None, .. }));
     }
 
     #[test]

@@ -547,6 +547,7 @@ mod tests {
             objective: 1.0,
             bootstrap: true,
             elapsed_ns: 900,
+            config: None,
         });
         rec.record(&Event::IncumbentImproved {
             iteration: 1,
@@ -569,6 +570,7 @@ mod tests {
                 objective: 1.0,
                 bootstrap: false,
                 elapsed_ns: 100,
+                config: None,
             });
         }
         rec.record(&Event::TrialRetried {
@@ -581,6 +583,7 @@ mod tests {
             iteration: 3,
             reason: "crash".into(),
             elapsed_ns: 2_000,
+            config: None,
         });
         assert_eq!(registry.counter("tuner.evaluations.failed"), 1);
         assert_eq!(registry.counter("tuner.retries"), 1);

@@ -207,6 +207,7 @@ mod tests {
             objective: 1.0,
             bootstrap: false,
             elapsed_ns: ns,
+            config: None,
         }
     }
 
@@ -283,6 +284,7 @@ mod tests {
             iteration: 1,
             reason: "crash".into(),
             elapsed_ns: 700,
+            config: None,
         });
         assert_eq!(p.nodes()["run;tuner.evaluate"].total_ns, 700);
     }

@@ -201,6 +201,7 @@ mod tests {
                 objective: 2.0,
                 bootstrap: false,
                 elapsed_ns: 500,
+                config: None,
             },
             Event::IncumbentImproved {
                 iteration: 2,
@@ -247,6 +248,7 @@ mod tests {
                 iteration: 3,
                 reason: "crash".into(),
                 elapsed_ns: 2_000,
+                config: None,
             },
         ]
         .iter()

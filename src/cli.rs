@@ -26,7 +26,10 @@
 //!   hiperbot --app kripke --budget 60 --seed 1 --fail-prob 0.2 --max-retries 2
 //!   ```
 
-use crate::core::{EvalOutcome, SelectionStrategy, SurrogateMode, Tuner, TunerOptions};
+use crate::core::{
+    CheckpointPolicy, EvalOutcome, SelectionStrategy, SurrogateMode, Tuner, TunerCheckpoint,
+    TunerOptions,
+};
 use crate::eval::{outcome_from_sim, BatchExecutor, RetryPolicy, RetryingObjective, ThreadSleeper};
 use crate::obs::{
     DiagnosticsRecorder, Event, HealthAlert, JsonlSink, Level, MetricsRecorder, MetricsRegistry,
@@ -191,6 +194,14 @@ pub struct CliOptions {
     /// (default) or a from-scratch refit per iteration. Bit-identical
     /// results either way; `full` is the escape hatch / reference path.
     pub surrogate: SurrogateMode,
+    /// Where to write crash-recovery snapshots (`None` = checkpointing
+    /// off). Written atomically every `checkpoint_every` trials and at
+    /// the end of the run.
+    pub checkpoint_out: Option<String>,
+    /// Trials between checkpoint snapshots.
+    pub checkpoint_every: usize,
+    /// Snapshot (or JSONL trace) to resume an interrupted run from.
+    pub resume_from: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -218,6 +229,9 @@ impl Default for CliOptions {
             workers: 1,
             batch: 1,
             surrogate: SurrogateMode::Incremental,
+            checkpoint_out: None,
+            checkpoint_every: 10,
+            resume_from: None,
         }
     }
 }
@@ -230,7 +244,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                  [--surrogate incremental|full] \
                  [--trace-out <trace.jsonl>] [--log-level off|info|debug] [--metrics-summary] \
                  [--metrics-out <file.prom>] [--diag] [--strict-health] \
-                 [--profile-out <file.folded>]\n\
+                 [--profile-out <file.folded>] \
+                 [--checkpoint-out <snap.json>] [--checkpoint-every N=10] \
+                 [--resume-from <snap.json|trace.jsonl>]\n\
                  \x20      hiperbot --app kripke|kripke-energy|hypre|lulesh|openatom \
                  [--fail-prob P=0] [--timeout-factor F] [common flags]";
     let mut space_path = None;
@@ -253,6 +269,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut workers = 1usize;
     let mut batch = 1usize;
     let mut surrogate = SurrogateMode::Incremental;
+    let mut checkpoint_out = None;
+    let mut checkpoint_every = 10usize;
+    let mut resume_from = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -331,6 +350,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--diag" => diag = true,
             "--strict-health" => strict_health = true,
             "--profile-out" => profile_out = Some(take("--profile-out")?),
+            "--checkpoint-out" => checkpoint_out = Some(take("--checkpoint-out")?),
+            "--checkpoint-every" => {
+                checkpoint_every = take("--checkpoint-every")?.parse().map_err(|_| {
+                    format!("--checkpoint-every must be a positive integer\n{usage}")
+                })?
+            }
+            "--resume-from" => resume_from = Some(take("--resume-from")?),
             "--help" | "-h" => return Err(usage.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{usage}")),
         }
@@ -363,6 +389,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     if workers == 0 || batch == 0 {
         return Err(format!("--workers and --batch must be positive\n{usage}"));
     }
+    if checkpoint_every == 0 {
+        return Err(format!("--checkpoint-every must be positive\n{usage}"));
+    }
     Ok(CliOptions {
         space_path,
         command,
@@ -384,6 +413,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         workers,
         batch,
         surrogate,
+        checkpoint_out,
+        checkpoint_every,
+        resume_from,
     })
 }
 
@@ -551,6 +583,45 @@ pub fn run_with_health(options: &CliOptions) -> Result<((String, f64), Vec<Healt
     }
 }
 
+/// Builds the tuner for a run: fresh, or resumed from `--resume-from`
+/// (a checkpoint snapshot, falling back to replaying a JSONL trace), with
+/// `--checkpoint-out` snapshotting attached either way. Resume provenance
+/// goes to stderr so stdout reports stay diffable against an
+/// uninterrupted run.
+fn build_tuner(
+    space: ParameterSpace,
+    tuner_options: TunerOptions,
+    options: &CliOptions,
+) -> Result<Tuner, String> {
+    let mut tuner = match &options.resume_from {
+        Some(path) => {
+            let contents = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --resume-from {path}: {e}"))?;
+            let tuner = match TunerCheckpoint::from_json(&contents) {
+                Ok(snapshot) => Tuner::resume_from_checkpoint(space, tuner_options, &snapshot)
+                    .map_err(|e| format!("cannot resume from snapshot {path}: {e}"))?,
+                // Not a snapshot: treat it as a JSONL trace and replay it.
+                Err(_) => Tuner::resume_from_trace(space, tuner_options, &contents).map_err(
+                    |e| format!("cannot resume from {path}: not a checkpoint snapshot, and trace replay failed: {e}"),
+                )?,
+            };
+            let history = tuner.history();
+            eprintln!(
+                "hiperbot: resuming from {path}: {} trials done ({} observations, {} failures)",
+                history.trials(),
+                history.len(),
+                history.n_failures()
+            );
+            tuner
+        }
+        None => Tuner::new(space, tuner_options),
+    };
+    if let Some(out) = &options.checkpoint_out {
+        tuner.set_checkpointing(CheckpointPolicy::new(out, options.checkpoint_every));
+    }
+    Ok(tuner)
+}
+
 /// Command mode: tune an external program via its command template.
 fn run_command_mode(options: &CliOptions) -> Result<((String, f64), Vec<HealthAlert>), String> {
     let json = std::fs::read_to_string(&options.space_path)
@@ -576,7 +647,7 @@ fn run_command_mode(options: &CliOptions) -> Result<((String, f64), Vec<HealthAl
         .with_init_samples(options.init_samples)
         .with_strategy(strategy)
         .with_surrogate_mode(options.surrogate);
-    let mut tuner = Tuner::new(space.clone(), tuner_options);
+    let mut tuner = build_tuner(space.clone(), tuner_options, options)?;
 
     let obs = Observability::from_options(options)?;
     if let Some(recorder) = &obs.recorder {
@@ -675,7 +746,7 @@ fn run_app_mode(
         .with_init_samples(options.init_samples)
         .with_strategy(SelectionStrategy::Ranking)
         .with_surrogate_mode(options.surrogate);
-    let mut tuner = Tuner::new(space.clone(), tuner_options);
+    let mut tuner = build_tuner(space.clone(), tuner_options, options)?;
 
     let obs = Observability::from_options(options)?;
     if let Some(recorder) = &obs.recorder {
@@ -1329,6 +1400,104 @@ mod tests {
         };
         let err = run(&options).unwrap_err();
         assert!(err.contains("every evaluation"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let args: Vec<String> = [
+            "--app",
+            "kripke",
+            "--checkpoint-out",
+            "snap.json",
+            "--checkpoint-every",
+            "5",
+            "--resume-from",
+            "old.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&args).unwrap();
+        assert_eq!(o.checkpoint_out.as_deref(), Some("snap.json"));
+        assert_eq!(o.checkpoint_every, 5);
+        assert_eq!(o.resume_from.as_deref(), Some("old.json"));
+
+        let bad: Vec<String> = ["--app", "kripke", "--checkpoint-every", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&bad).unwrap_err().contains("--checkpoint-every"));
+    }
+
+    #[test]
+    fn app_mode_resumes_from_a_checkpoint_to_the_uninterrupted_result() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snap.json").to_string_lossy().into_owned();
+        let base = CliOptions {
+            app: Some("kripke".into()),
+            budget: 24,
+            seed: 13,
+            init_samples: 8,
+            fail_prob: 0.15,
+            ..CliOptions::default()
+        };
+        let uninterrupted = run(&base).unwrap();
+
+        // "Crash" at trial 15 by running a truncated budget, then resume
+        // from its final snapshot and finish the campaign.
+        let partial = CliOptions {
+            budget: 15,
+            checkpoint_out: Some(snap.clone()),
+            checkpoint_every: 5,
+            ..base.clone()
+        };
+        run(&partial).unwrap();
+        let resumed = run(&CliOptions {
+            resume_from: Some(snap),
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(resumed, uninterrupted);
+
+        // Identity mismatch is refused loudly, not silently retuned.
+        let err = run(&CliOptions {
+            resume_from: Some(dir.join("snap.json").to_string_lossy().into_owned()),
+            seed: 14,
+            ..base.clone()
+        })
+        .unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn app_mode_resumes_from_a_trace_when_no_snapshot_exists() {
+        let dir = std::env::temp_dir().join(format!("hiperbot-cli-tres-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl").to_string_lossy().into_owned();
+        let base = CliOptions {
+            app: Some("kripke".into()),
+            budget: 24,
+            seed: 21,
+            init_samples: 8,
+            ..CliOptions::default()
+        };
+        let uninterrupted = run(&base).unwrap();
+
+        let partial = CliOptions {
+            budget: 15,
+            trace_out: Some(trace.clone()),
+            ..base.clone()
+        };
+        run(&partial).unwrap();
+        let resumed = run(&CliOptions {
+            resume_from: Some(trace),
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(resumed, uninterrupted);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

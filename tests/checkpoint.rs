@@ -1,0 +1,147 @@
+//! Checkpoint/resume through the full parallel stack: the constant-liar
+//! batch loop feeding a real `BatchExecutor` worker pool with retries.
+//! A run killed between merges and resumed from its snapshot must land on
+//! the same history, best, and final snapshot bytes as the uninterrupted
+//! run — worker scheduling and retry timing notwithstanding.
+
+use hiperbot::core::{CheckpointPolicy, EvalOutcome, Tuner, TunerCheckpoint, TunerOptions};
+use hiperbot::eval::{BatchExecutor, RetryPolicy};
+use hiperbot::obs::{Event, MemoryRecorder};
+use hiperbot::space::{Configuration, Domain, ParamDef, ParameterSpace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn space() -> ParameterSpace {
+    let vals: Vec<i64> = (0..8).collect();
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+        .build()
+        .unwrap()
+}
+
+/// Deterministic objective with failures keyed on the configuration, so
+/// every outcome is independent of workers, retries, and kill points.
+fn objective(cfg: &Configuration, _trial: u64, _attempt: u32) -> EvalOutcome {
+    let x = cfg.value(0).index();
+    let y = cfg.value(1).index();
+    if (x * 5 + y).is_multiple_of(6) {
+        EvalOutcome::Failed {
+            reason: "injected".into(),
+        }
+    } else {
+        EvalOutcome::Ok((x as f64 - 5.0).powi(2) + (y as f64 - 2.0).powi(2) + 1.0)
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hiperbot-exec-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn opts() -> TunerOptions {
+    TunerOptions::default().with_seed(17).with_init_samples(8)
+}
+
+fn executor() -> BatchExecutor<impl Fn(&Configuration, u64, u32) -> EvalOutcome + Sync> {
+    BatchExecutor::new(objective, 4).with_policy(RetryPolicy::no_retries())
+}
+
+const BUDGET: usize = 24;
+const BATCH: usize = 4;
+
+#[test]
+fn executor_backed_run_killed_midway_resumes_bit_identically() {
+    let ref_path = temp_path("ref.json");
+    let mut reference =
+        Tuner::new(space(), opts()).with_checkpointing(CheckpointPolicy::new(&ref_path, 1));
+    let exec = executor();
+    let ref_best = reference
+        .run_batch_fallible(BUDGET, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base))
+        .unwrap();
+    let ref_history = serde_json::to_string(reference.history()).unwrap();
+    let ref_bytes = std::fs::read(&ref_path).unwrap();
+
+    // Kill after three merged batches (12 trials): the dispatch closure
+    // panics on the tuner thread, as a crash mid-campaign would.
+    let kill_at = 12u64;
+    let path = temp_path("killed.json");
+    let mut killed =
+        Tuner::new(space(), opts()).with_checkpointing(CheckpointPolicy::new(&path, 1));
+    let exec = executor();
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        killed.run_batch_fallible(BUDGET, BATCH, |cfgs, base| {
+            if base >= kill_at {
+                panic!("simulated crash at trial {base}");
+            }
+            exec.evaluate_batch(cfgs, base)
+        })
+    }));
+    assert!(crashed.is_err(), "run should have crashed");
+
+    let snap = TunerCheckpoint::load(&path).unwrap();
+    assert_eq!(
+        snap.history.configs.len() + snap.history.failures.len(),
+        kill_at as usize,
+        "snapshot captured exactly the merged trials"
+    );
+
+    let rec = Arc::new(MemoryRecorder::new());
+    let mut resumed = Tuner::resume_from_checkpoint(space(), opts(), &snap)
+        .unwrap()
+        .with_recorder(rec.clone())
+        .with_checkpointing(CheckpointPolicy::new(&path, 1));
+    let exec = executor();
+    let best = resumed
+        .run_batch_fallible(BUDGET, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base))
+        .unwrap();
+
+    assert_eq!(
+        serde_json::to_string(resumed.history()).unwrap(),
+        ref_history,
+        "resumed history diverged from the uninterrupted run"
+    );
+    assert_eq!(best.objective, ref_best.objective);
+    assert_eq!(best.config, ref_best.config);
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        ref_bytes,
+        "final snapshots diverged"
+    );
+    assert!(
+        rec.events().iter().any(|e| matches!(
+            e,
+            Event::RunResumed { trials, source, .. }
+                if *trials == kill_at && source == "snapshot"
+        )),
+        "resumed run must announce itself in the trace"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&ref_path).ok();
+}
+
+#[test]
+fn executor_backed_resume_is_worker_count_invariant() {
+    // Resume with a different worker count: scheduling may differ, the
+    // result must not.
+    let path = temp_path("workers.json");
+    let mut first = Tuner::new(space(), opts()).with_checkpointing(CheckpointPolicy::new(&path, 1));
+    let exec = executor();
+    let stop = BUDGET / 2;
+    first.run_batch_fallible(stop, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base));
+
+    let snap = TunerCheckpoint::load(&path).unwrap();
+    let mut results = Vec::new();
+    for workers in [1usize, 4] {
+        let mut resumed = Tuner::resume_from_checkpoint(space(), opts(), &snap).unwrap();
+        let exec = BatchExecutor::new(objective, workers).with_policy(RetryPolicy::no_retries());
+        resumed
+            .run_batch_fallible(BUDGET, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base))
+            .unwrap();
+        results.push(serde_json::to_string(resumed.history()).unwrap());
+    }
+    assert_eq!(results[0], results[1], "worker count changed the outcome");
+    std::fs::remove_file(&path).ok();
+}

@@ -32,6 +32,32 @@ fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: us
 }
 
 impl ChaCha8Rng {
+    /// The number of 32-bit words consumed from the keystream so far.
+    ///
+    /// Because ChaCha is counter-based, `(seed, word_pos)` fully determines
+    /// the generator state: re-seeding from the same seed and calling
+    /// [`set_word_pos`](Self::set_word_pos) restores the exact stream
+    /// position. This is what makes the RNG checkpointable.
+    pub fn word_pos(&self) -> u64 {
+        let counter = self.state[12] as u64 | ((self.state[13] as u64) << 32);
+        // `counter` blocks have been generated; the current block has
+        // `BLOCK_WORDS - idx` unread words left (idx == BLOCK_WORDS right
+        // after seeding, before the first refill, when counter == 0).
+        counter * BLOCK_WORDS as u64 - (BLOCK_WORDS - self.idx) as u64
+    }
+
+    /// Repositions the keystream to `word_pos` words from the start, as
+    /// returned by [`word_pos`](Self::word_pos).
+    pub fn set_word_pos(&mut self, word_pos: u64) {
+        let counter = word_pos / BLOCK_WORDS as u64;
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = BLOCK_WORDS; // force a refill on the next read
+        for _ in 0..(word_pos % BLOCK_WORDS as u64) {
+            self.next_u32();
+        }
+    }
+
     fn refill(&mut self) {
         let mut working = self.state;
         for _ in 0..4 {
@@ -126,6 +152,25 @@ mod tests {
             seen.insert(rng.gen_range(0..10usize));
         }
         assert_eq!(seen.len(), 10, "all residues should appear");
+    }
+
+    #[test]
+    fn word_pos_round_trips_at_every_offset() {
+        // Restoring (seed, word_pos) must reproduce the exact remaining
+        // stream, including positions inside and at block boundaries.
+        for consumed in [0usize, 1, 7, 15, 16, 17, 31, 32, 100] {
+            let mut a = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..consumed {
+                a.next_u32();
+            }
+            assert_eq!(a.word_pos(), consumed as u64);
+            let mut b = ChaCha8Rng::seed_from_u64(99);
+            b.set_word_pos(consumed as u64);
+            assert_eq!(b.word_pos(), consumed as u64);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64(), "at offset {consumed}");
+            }
+        }
     }
 
     #[test]
