@@ -1,0 +1,210 @@
+//! Measures the Proposal hot path — the old interleaved
+//! sample-then-score loop (`select_by_proposal`) vs the vectorized SoA
+//! engine (`select_by_proposal_vectorized` at zero redraw rounds, i.e.
+//! identical work) — and writes `BENCH_proposal.json` at the workspace
+//! root.
+//!
+//! The scenario is the one the vectorization targets: a mostly-continuous
+//! space (six KDE dimensions plus one histogram dimension) with a
+//! 512-observation history, scored at candidate counts from 64 to 4096.
+//! Per count it reports the per-selection wall time of each path (median
+//! of `TRIALS` timed runs through the shared [`MetricsRegistry`]), the
+//! vectorized ns-per-candidate, and the speedup. Both paths are asserted
+//! bit-identical (same pick from the same RNG stream) before either is
+//! timed. Run with `cargo run --release -p hiperbot-bench --bin
+//! bench_proposal`.
+
+use hiperbot_bench::repo_root;
+use hiperbot_core::selection::{
+    select_by_proposal, select_by_proposal_vectorized, ProposalScratch,
+};
+use hiperbot_core::surrogate::{SurrogateOptions, TpeSurrogate};
+use hiperbot_core::ObservationHistory;
+use hiperbot_obs::MetricsRegistry;
+use hiperbot_space::sampling::sample_distinct;
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+const HISTORY_LEN: usize = 512;
+const TRIALS: usize = 5;
+const CANDIDATE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
+
+#[derive(Debug, serde::Serialize)]
+struct CountResult {
+    candidates: usize,
+    history_len: usize,
+    scalar_ns_per_selection: f64,
+    vectorized_ns_per_selection: f64,
+    vectorized_ns_per_candidate: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Report {
+    bench: String,
+    trials: usize,
+    continuous_dims: usize,
+    discrete_dims: usize,
+    counts: Vec<CountResult>,
+}
+
+fn space() -> ParameterSpace {
+    let mut b = ParameterSpace::builder();
+    for (i, &(lo, hi)) in [
+        (0.0, 1.0),
+        (-1.0, 1.0),
+        (1e-6, 1e-1),
+        (0.5, 8.0),
+        (-4.0, 4.0),
+        (0.0, 100.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        b = b.param(ParamDef::new(format!("c{i}"), Domain::continuous(lo, hi)));
+    }
+    b.param(ParamDef::new(
+        "k",
+        Domain::discrete_ints(&[0, 1, 2, 3, 4, 5]),
+    ))
+    .build()
+    .unwrap()
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let mut acc = 1.0;
+    for d in 0..6 {
+        let x = cfg.value(d).as_f64();
+        acc += (x - 0.3 * d as f64).powi(2) / (1.0 + d as f64);
+    }
+    acc + 0.05 * cfg.value(6).index() as f64
+}
+
+/// Runs `TRIALS` timed runs of `f` (each averaging `inner` calls) into the
+/// registry histogram `phase`, then reads the median back out of it.
+fn median_ns(registry: &MetricsRegistry, phase: &str, inner: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..TRIALS {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        registry.observe_ns(phase, t.elapsed().as_nanos() as u64 / inner as u64);
+    }
+    registry
+        .histogram(phase)
+        .and_then(|h| h.quantile(0.5))
+        .expect("samples recorded") as f64
+}
+
+fn measure(
+    registry: &MetricsRegistry,
+    surrogate: &TpeSurrogate,
+    space: &ParameterSpace,
+    history: &ObservationHistory,
+    candidates: usize,
+) -> CountResult {
+    // Parity gate: from one RNG cursor, both paths must pick the same
+    // configuration before either is timed.
+    let mut scalar_rng = ChaCha8Rng::seed_from_u64(99);
+    let mut vec_rng = scalar_rng.clone();
+    let mut scratch = ProposalScratch::default();
+    let scalar_pick = select_by_proposal(surrogate, space, history, candidates, &mut scalar_rng);
+    let vec_pick = select_by_proposal_vectorized(
+        surrogate,
+        space,
+        history,
+        None,
+        candidates,
+        0,
+        &mut vec_rng,
+        &mut scratch,
+    );
+    assert_eq!(
+        vec_pick.config, scalar_pick,
+        "paths disagree at {candidates} candidates"
+    );
+
+    // Calibrate inner repeats so each timed run scores ~16k candidates.
+    let inner = (16_384 / candidates).max(1);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let scalar_ns = median_ns(registry, &format!("scalar.{candidates}"), inner, || {
+        std::hint::black_box(select_by_proposal(
+            surrogate, space, history, candidates, &mut rng,
+        ));
+    });
+
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let vectorized_ns = median_ns(registry, &format!("vectorized.{candidates}"), inner, || {
+        std::hint::black_box(select_by_proposal_vectorized(
+            surrogate,
+            space,
+            history,
+            None,
+            candidates,
+            0,
+            &mut rng,
+            &mut scratch,
+        ));
+    });
+
+    let r = CountResult {
+        candidates,
+        history_len: HISTORY_LEN,
+        scalar_ns_per_selection: scalar_ns,
+        vectorized_ns_per_selection: vectorized_ns,
+        vectorized_ns_per_candidate: vectorized_ns / candidates as f64,
+        speedup: scalar_ns / vectorized_ns,
+    };
+    println!(
+        "{:>6} candidates | scalar {:>12.0} ns | vectorized {:>12.0} ns | {:>5.1}x | {:>8.1} ns/candidate",
+        r.candidates,
+        r.scalar_ns_per_selection,
+        r.vectorized_ns_per_selection,
+        r.speedup,
+        r.vectorized_ns_per_candidate
+    );
+    r
+}
+
+fn main() {
+    eprintln!("[bench_proposal] fitting a {HISTORY_LEN}-observation surrogate…");
+    let space = space();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let configs = sample_distinct(&space, HISTORY_LEN, &mut rng);
+    let objectives: Vec<f64> = configs.iter().map(objective).collect();
+    let surrogate = TpeSurrogate::fit(
+        &space,
+        &configs,
+        &objectives,
+        &SurrogateOptions::default(),
+        None,
+    );
+    let mut history = ObservationHistory::new();
+    for (c, &y) in configs.iter().zip(&objectives) {
+        history.push(c.clone(), y);
+    }
+
+    let registry = MetricsRegistry::new();
+    let counts = CANDIDATE_COUNTS
+        .iter()
+        .map(|&n| measure(&registry, &surrogate, &space, &history, n))
+        .collect();
+    let report = Report {
+        bench: "proposal hot path: interleaved sample+score loop vs vectorized SoA engine".into(),
+        trials: TRIALS,
+        continuous_dims: 6,
+        discrete_dims: 1,
+        counts,
+    };
+    let path = repo_root().join("BENCH_proposal.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_proposal.json");
+    println!("wrote {}", path.display());
+    println!("\n{}", registry.render_summary());
+}

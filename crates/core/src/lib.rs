@@ -43,8 +43,8 @@ pub use history::{FailureRecord, ObservationHistory, SavedHistory};
 pub use importance::{parameter_importance, DivergenceMeasure, ParameterImportance};
 pub use incremental::{ChurnStats, IncrementalSurrogate};
 pub use outcome::EvalOutcome;
-pub use selection::SelectionStrategy;
+pub use selection::{ProposalPick, ProposalScratch, SelectionStrategy};
 pub use stopping::{StoppingRule, StoppingSet};
-pub use surrogate::{SurrogateMode, TpeSurrogate};
+pub use surrogate::{CandidateMatrix, SurrogateMode, TpeSurrogate};
 pub use transfer::TransferPrior;
 pub use tuner::{BestResult, CheckpointPolicy, InitDesign, Tuner, TunerOptions};

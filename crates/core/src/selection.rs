@@ -19,10 +19,11 @@
 //! rayon-chunked argmax. See [`rank_encoded`] for the determinism contract.
 
 use crate::history::ObservationHistory;
-use crate::surrogate::{ScoreTable, TpeSurrogate};
+use crate::surrogate::{CandidateMatrix, ScoreTable, TpeSurrogate};
 use hiperbot_space::pool::{IndexBuffer, PoolEncoding, PoolIndex, PoolMask};
 use hiperbot_space::{Configuration, ParameterSpace};
 use rayon::prelude::*;
+use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 
 /// Which selection regime the tuner uses.
@@ -198,6 +199,113 @@ pub fn select_by_proposal<R: rand::Rng + ?Sized>(
         .or(best_any)
         .map(|(_, c)| c)
         .expect("candidates > 0 guarantees a draw")
+}
+
+/// Extra redraw rounds the vectorized Proposal selector spends hunting for
+/// an unseen candidate before conceding a duplicate stall. Each round
+/// samples and scores a fresh candidate matrix *inside* the selection (no
+/// surrogate refit), so a round costs a fraction of the full
+/// fit-suggest-skip iteration a tuner-level stall burns. Zero rounds
+/// reproduces the scalar [`select_by_proposal`] behavior exactly.
+pub const PROPOSAL_REDRAW_ROUNDS: usize = 3;
+
+/// Reusable buffers for the vectorized Proposal selector: the SoA
+/// candidate matrix, the score vector, and the probe [`Configuration`]
+/// that carries rows through feasibility and seen checks. One instance
+/// lives on the tuner and is recycled every iteration.
+#[derive(Debug, Default)]
+pub struct ProposalScratch {
+    matrix: CandidateMatrix,
+    scores: Vec<f64>,
+    probe: Option<Configuration>,
+}
+
+/// The outcome of one vectorized Proposal selection.
+#[derive(Debug, Clone)]
+pub struct ProposalPick {
+    /// The selected configuration.
+    pub config: Configuration,
+    /// The winning candidate's `log_ei` — the exact selection score, so
+    /// callers never re-score the pick (`SelectionScored.best_ei` reuses
+    /// this value).
+    pub score: f64,
+    /// `true` when every draw in every round duplicated history (or
+    /// `extra_seen`): the pick is the best already-seen draw and callers
+    /// should count a stall instead of evaluating it again.
+    pub duplicate: bool,
+    /// Total candidates sampled and scored across all rounds.
+    pub scored: u64,
+}
+
+/// The vectorized Proposal selector: samples `candidates` draws from `p_g`
+/// into a structure-of-arrays matrix, scores them with the batched
+/// bit-identical `log_ei` kernel, and picks the best unseen draw with the
+/// lowest-draw-index tie-break (first strict maximum in draw order — the
+/// same winner the scalar [`select_by_proposal`] loop keeps).
+///
+/// When a round contains no unseen candidate, up to `redraw_rounds`
+/// additional sample+score rounds run before the selector concedes and
+/// returns the best seen draw with `duplicate: true`. With
+/// `redraw_rounds = 0` the function consumes exactly the RNG draws of the
+/// scalar path and returns its exact pick.
+///
+/// `extra_seen` extends the duplicate check beyond evaluated history —
+/// the constant-liar batch path passes its in-flight picks so one batch
+/// never proposes the same configuration twice.
+#[allow(clippy::too_many_arguments)]
+pub fn select_by_proposal_vectorized<R: rand::Rng + ?Sized>(
+    surrogate: &TpeSurrogate,
+    space: &ParameterSpace,
+    history: &ObservationHistory,
+    extra_seen: Option<&FxHashSet<Configuration>>,
+    candidates: usize,
+    redraw_rounds: usize,
+    rng: &mut R,
+    scratch: &mut ProposalScratch,
+) -> ProposalPick {
+    assert!(candidates > 0, "need at least one candidate");
+    let mut best_dup: Option<(f64, Configuration)> = None;
+    let mut scored = 0u64;
+    for _ in 0..=redraw_rounds {
+        surrogate.sample_good_batch(
+            space,
+            candidates,
+            rng,
+            &mut scratch.matrix,
+            &mut scratch.probe,
+        );
+        surrogate.log_ei_batch(&scratch.matrix, &mut scratch.scores);
+        scored += candidates as u64;
+        let probe = scratch.probe.as_mut().expect("sampled at least one row");
+        let mut best_unseen: Option<(f64, usize)> = None;
+        for (c, &score) in scratch.scores.iter().enumerate() {
+            scratch.matrix.write_row(c, probe);
+            let seen = history.contains(probe) || extra_seen.is_some_and(|s| s.contains(probe));
+            if seen {
+                if best_dup.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best_dup = Some((score, probe.clone()));
+                }
+            } else if best_unseen.is_none_or(|(s, _)| score > s) {
+                best_unseen = Some((score, c));
+            }
+        }
+        if let Some((score, c)) = best_unseen {
+            scratch.matrix.write_row(c, probe);
+            return ProposalPick {
+                config: probe.clone(),
+                score,
+                duplicate: false,
+                scored,
+            };
+        }
+    }
+    let (score, config) = best_dup.expect("candidates > 0 guarantees a draw");
+    ProposalPick {
+        config,
+        score,
+        duplicate: true,
+        scored,
+    }
 }
 
 #[cfg(test)]

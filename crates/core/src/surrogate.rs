@@ -12,6 +12,12 @@ use hiperbot_space::{Configuration, Domain, ParamValue, ParameterSpace};
 use hiperbot_stats::histogram::SmoothedHistogram;
 use hiperbot_stats::kde::{Bandwidth, GaussianKde};
 use hiperbot_stats::quantile::split_by_quantile;
+use rayon::prelude::*;
+
+/// Candidate-count chunk the batched scorer hands each rayon task. Fixed
+/// (never derived from thread count) so chunk boundaries — and therefore
+/// the exact per-candidate arithmetic — are identical on every machine.
+pub const SCORE_CHUNK: usize = 256;
 
 /// Hyperparameters of the surrogate fit.
 #[derive(Debug, Clone, Copy)]
@@ -331,6 +337,144 @@ impl TpeSurrogate {
         panic!("could not propose a feasible configuration from p_g");
     }
 
+    /// Samples `n` configurations from `p_g` into a structure-of-arrays
+    /// [`CandidateMatrix`], without allocating a `Configuration` per draw.
+    ///
+    /// RNG protocol: draws are consumed exactly as `n` successive
+    /// [`sample_good`](Self::sample_good) calls would consume them —
+    /// candidate by candidate, dimension by dimension in density order,
+    /// with a full redraw of every dimension on an infeasible
+    /// configuration. Scoring consumes no randomness, so
+    /// "sample everything, then score everything" leaves the RNG cursor
+    /// exactly where the scalar sample/score interleaving would.
+    ///
+    /// `probe` is a reusable scratch [`Configuration`] (created on first
+    /// use) that carries each draw through the feasibility check.
+    ///
+    /// # Panics
+    /// Panics if any draw fails to find a feasible configuration in
+    /// 10 000 attempts, exactly like [`sample_good`](Self::sample_good).
+    pub fn sample_good_batch<R: rand::Rng + ?Sized>(
+        &self,
+        space: &ParameterSpace,
+        n: usize,
+        rng: &mut R,
+        matrix: &mut CandidateMatrix,
+        probe: &mut Option<Configuration>,
+    ) {
+        matrix.reset(&self.densities, n);
+        let probe = probe.get_or_insert_with(|| {
+            Configuration::new(
+                self.densities
+                    .iter()
+                    .map(|d| match d {
+                        ParamDensity::Discrete { .. } => ParamValue::Index(0),
+                        ParamDensity::Continuous { lo, .. } => ParamValue::Real(*lo),
+                    })
+                    .collect(),
+            )
+        });
+        assert_eq!(probe.len(), self.densities.len(), "arity mismatch");
+        for _ in 0..n {
+            let mut feasible = false;
+            for _ in 0..10_000 {
+                for (i, d) in self.densities.iter().enumerate() {
+                    let v = match d {
+                        ParamDensity::Discrete { good, .. } => ParamValue::Index(good.sample(rng)),
+                        ParamDensity::Continuous { good, lo, hi, .. } => {
+                            // clamp KDE tails back into the domain
+                            ParamValue::Real(good.sample(rng).clamp(*lo, *hi))
+                        }
+                    };
+                    probe.set_value(i, v);
+                }
+                if space.is_feasible(probe) {
+                    feasible = true;
+                    break;
+                }
+            }
+            if !feasible {
+                panic!("could not propose a feasible configuration from p_g");
+            }
+            matrix.push_row(probe);
+        }
+    }
+
+    /// Scores every candidate in `matrix`, writing `log_ei` per candidate
+    /// into `scores` (cleared and resized to `matrix.len()`).
+    ///
+    /// Bit-identity contract: `scores[c]` carries the same bits
+    /// [`log_ei`](Self::log_ei) would return for candidate `c`. The
+    /// per-candidate accumulation runs dimension by dimension in density
+    /// order starting from `0.0` — the same fold `Iterator::sum` performs
+    /// in the scalar path — with continuous dimensions delegated to the
+    /// bit-identical [`GaussianKde::log_pdf_batch`] kernel and discrete
+    /// dimensions looked up from tables built with the [`ScoreTable`]
+    /// expressions.
+    ///
+    /// Candidates are scored in fixed chunks of [`SCORE_CHUNK`] distributed
+    /// over the rayon pool; chunk results are independent (no cross-chunk
+    /// reduction), so the output is identical at every thread count.
+    pub fn log_ei_batch(&self, matrix: &CandidateMatrix, scores: &mut Vec<f64>) {
+        assert_eq!(
+            matrix.columns().len(),
+            self.densities.len(),
+            "arity mismatch"
+        );
+        let n = matrix.len();
+        scores.clear();
+        scores.resize(n, 0.0);
+        if n == 0 {
+            return;
+        }
+        let tables: Vec<Option<Vec<f64>>> = self
+            .densities
+            .iter()
+            .map(|d| match d {
+                ParamDensity::Discrete { good, bad } => Some(
+                    (0..good.n_categories())
+                        .map(|i| good.pmf(i).ln() - bad.pmf(i).ln())
+                        .collect(),
+                ),
+                ParamDensity::Continuous { .. } => None,
+            })
+            .collect();
+        scores
+            .par_chunks_mut(SCORE_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let start = ci * SCORE_CHUNK;
+                let len = chunk.len();
+                let mut lg = vec![0.0f64; len];
+                let mut lb = vec![0.0f64; len];
+                for (p, d) in self.densities.iter().enumerate() {
+                    match (d, &matrix.columns()[p]) {
+                        (
+                            ParamDensity::Continuous { good, bad, lo, hi },
+                            CandidateColumn::Real(xs),
+                        ) => {
+                            let xs = &xs[start..start + len];
+                            good.log_pdf_batch(xs, &mut lg);
+                            match bad {
+                                Some(kde) => kde.log_pdf_batch(xs, &mut lb),
+                                None => lb.fill((1.0 / (hi - lo)).ln()), // uniform fallback
+                            }
+                            for (s, (&g, &b)) in chunk.iter_mut().zip(lg.iter().zip(&lb)) {
+                                *s += g - b;
+                            }
+                        }
+                        (ParamDensity::Discrete { .. }, CandidateColumn::Index(is)) => {
+                            let t = tables[p].as_ref().expect("discrete table");
+                            for (s, &v) in chunk.iter_mut().zip(&is[start..start + len]) {
+                                *s += t[v];
+                            }
+                        }
+                        _ => panic!("configuration value kind does not match parameter domain"),
+                    }
+                }
+            });
+    }
+
     /// The good/bad threshold `y(τ)` used for this fit.
     pub fn threshold(&self) -> f64 {
         self.threshold
@@ -376,6 +520,107 @@ impl TpeSurrogate {
             })
             .collect();
         ScoreTable { entries }
+    }
+}
+
+/// One structure-of-arrays column of a [`CandidateMatrix`].
+#[derive(Debug, Clone)]
+pub enum CandidateColumn {
+    /// Values of one continuous parameter across all candidates.
+    Real(Vec<f64>),
+    /// Values of one discrete parameter across all candidates.
+    Index(Vec<usize>),
+}
+
+/// A structure-of-arrays batch of candidate configurations: one column per
+/// parameter, candidate-indexed. The Proposal engine samples into this
+/// layout so scoring walks each dimension's values contiguously (one
+/// [`GaussianKde::log_pdf_batch`] call per continuous column) instead of
+/// allocating and re-dispatching a `Configuration` per candidate.
+///
+/// The matrix is a reusable scratch buffer: [`reset`](Self::reset) clears
+/// rows but keeps column allocations when the space shape is unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateMatrix {
+    cols: Vec<CandidateColumn>,
+    n: usize,
+}
+
+impl CandidateMatrix {
+    /// Clears the matrix and shapes its columns after `densities`,
+    /// reserving room for `n_hint` candidates. Existing column allocations
+    /// are kept when the shape already matches.
+    fn reset(&mut self, densities: &[ParamDensity], n_hint: usize) {
+        let matches = self.cols.len() == densities.len()
+            && self.cols.iter().zip(densities).all(|(c, d)| {
+                matches!(
+                    (c, d),
+                    (CandidateColumn::Real(_), ParamDensity::Continuous { .. })
+                        | (CandidateColumn::Index(_), ParamDensity::Discrete { .. })
+                )
+            });
+        if !matches {
+            self.cols = densities
+                .iter()
+                .map(|d| match d {
+                    ParamDensity::Continuous { .. } => CandidateColumn::Real(Vec::new()),
+                    ParamDensity::Discrete { .. } => CandidateColumn::Index(Vec::new()),
+                })
+                .collect();
+        }
+        for col in &mut self.cols {
+            match col {
+                CandidateColumn::Real(xs) => {
+                    xs.clear();
+                    xs.reserve(n_hint);
+                }
+                CandidateColumn::Index(is) => {
+                    is.clear();
+                    is.reserve(n_hint);
+                }
+            }
+        }
+        self.n = 0;
+    }
+
+    /// Appends one candidate row from `cfg`'s values.
+    fn push_row(&mut self, cfg: &Configuration) {
+        for (col, &v) in self.cols.iter_mut().zip(cfg.values()) {
+            match (col, v) {
+                (CandidateColumn::Real(xs), ParamValue::Real(x)) => xs.push(x),
+                (CandidateColumn::Index(is), ParamValue::Index(i)) => is.push(i),
+                _ => panic!("configuration value kind does not match column kind"),
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Writes candidate `c`'s values into `cfg` (which must have matching
+    /// arity), reconstructing the row without allocating.
+    pub fn write_row(&self, c: usize, cfg: &mut Configuration) {
+        assert!(c < self.n, "candidate index out of range");
+        for (p, col) in self.cols.iter().enumerate() {
+            let v = match col {
+                CandidateColumn::Real(xs) => ParamValue::Real(xs[c]),
+                CandidateColumn::Index(is) => ParamValue::Index(is[c]),
+            };
+            cfg.set_value(p, v);
+        }
+    }
+
+    /// The per-parameter columns.
+    pub fn columns(&self) -> &[CandidateColumn] {
+        &self.cols
+    }
+
+    /// Number of candidate rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 }
 

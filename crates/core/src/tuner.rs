@@ -13,7 +13,10 @@ use crate::checkpoint::{CheckpointError, TraceTrial, TunerCheckpoint, CHECKPOINT
 use crate::history::ObservationHistory;
 use crate::incremental::{ChurnStats, IncrementalSurrogate};
 use crate::outcome::EvalOutcome;
-use crate::selection::{rank_encoded, select_by_proposal, SelectionStrategy};
+use crate::selection::{
+    rank_encoded, select_by_proposal_vectorized, ProposalScratch, SelectionStrategy,
+    PROPOSAL_REDRAW_ROUNDS,
+};
 use crate::surrogate::{FitScratch, SurrogateMode, SurrogateOptions, TpeSurrogate};
 use crate::transfer::TransferPrior;
 use hiperbot_obs::{
@@ -25,7 +28,7 @@ use hiperbot_space::sampling::{latin_hypercube, sample_distinct, sample_uniform}
 use hiperbot_space::{Configuration, ParameterSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -265,6 +268,7 @@ pub struct Tuner {
     /// Reused point/weight buffers for from-scratch KDE fits (the full-mode
     /// and Proposal paths) — no per-fit allocations.
     fit_scratch: FitScratch,
+    proposal_scratch: ProposalScratch,
     /// Prefix-cloned failure configurations, grown once per new failure
     /// instead of re-cloning the whole failure list on every fit.
     failed_cache: Vec<Configuration>,
@@ -321,6 +325,7 @@ impl Tuner {
             recorder: Arc::new(NoopRecorder),
             engine: None,
             fit_scratch: FitScratch::default(),
+            proposal_scratch: ProposalScratch::default(),
             failed_cache: Vec::new(),
             metrics: None,
             last_churn: ChurnStats::default(),
@@ -939,7 +944,7 @@ impl Tuner {
             });
         }
         let select_timer = SpanTimer::start(traced);
-        let (picked, candidates) = match self.options.strategy {
+        let (picked, candidates, proposal_score) = match self.options.strategy {
             SelectionStrategy::Ranking => {
                 let table = surrogate.score_table();
                 let tables = table
@@ -949,24 +954,29 @@ impl Tuner {
                 let pool_len = pool.configs.len() as u64;
                 let picked = rank_encoded(&tables, &pool.encoding, &pool.seen)
                     .map(|i| pool.configs[i].clone());
-                (picked, pool_len)
+                (picked, pool_len, None)
             }
-            SelectionStrategy::Proposal { candidates } => (
-                Some(select_by_proposal(
+            SelectionStrategy::Proposal { candidates } => {
+                let pick = select_by_proposal_vectorized(
                     &surrogate,
                     &self.space,
                     &self.history,
+                    None,
                     candidates,
+                    PROPOSAL_REDRAW_ROUNDS,
                     &mut self.rng,
-                )),
-                candidates as u64,
-            ),
+                    &mut self.proposal_scratch,
+                );
+                (Some(pick.config), pick.scored, Some(pick.score))
+            }
         };
         if let (Some(elapsed_ns), Some(cfg)) = (select_timer.elapsed_ns(), &picked) {
             self.recorder.record(&Event::SelectionScored {
                 iteration,
                 candidates,
-                best_ei: surrogate.log_ei(cfg),
+                // Proposal already scored every candidate: reuse the
+                // winning score instead of re-walking the densities.
+                best_ei: proposal_score.unwrap_or_else(|| surrogate.log_ei(cfg)),
                 elapsed_ns,
             });
         }
@@ -1090,25 +1100,28 @@ impl Tuner {
     /// With `k == 1` this is exactly [`suggest`](Self::suggest): one fit,
     /// one argmax, same tie-break (lowest pool index), bit-identical pick.
     /// Returns fewer than `k` configurations when the pool runs out.
-    /// Ranking strategy only.
+    ///
+    /// Under the **Proposal** strategy the same constant-liar scheme runs
+    /// on the vectorized Proposal selector (see
+    /// [`suggest_batch_proposal`](Self::suggest_batch_proposal)): picks
+    /// that duplicate history after the in-selection redraw rounds are
+    /// dropped from the batch and counted as stalls.
     ///
     /// # Panics
-    /// Panics before bootstrap, with a Proposal strategy, or when every
-    /// trial so far failed (no observation to fit the surrogate on).
+    /// Panics before bootstrap, or when every trial so far failed (no
+    /// observation to fit the surrogate on).
     pub fn suggest_batch(&mut self, k: usize) -> Vec<Configuration> {
         assert!(
             self.bootstrapped,
             "call run/step first: the surrogate needs bootstrap data"
         );
-        assert_eq!(
-            self.options.strategy,
-            SelectionStrategy::Ranking,
-            "batch suggestion requires the Ranking strategy"
-        );
         assert!(
             !self.history.is_empty(),
             "no successful observations to fit the surrogate on"
         );
+        if let SelectionStrategy::Proposal { candidates } = self.options.strategy {
+            return self.suggest_batch_proposal(k, candidates);
+        }
         if self.use_incremental() {
             return self.suggest_batch_incremental(k);
         }
@@ -1173,6 +1186,92 @@ impl Tuner {
             }
             picks.push(cfg);
         }
+        picks
+    }
+
+    /// Constant-liar batch suggestion for the **Proposal** strategy: every
+    /// pick refits the surrogate over history + fantasy observations at
+    /// the liar value (the pre-batch good-threshold `y(τ)`, exactly as in
+    /// the Ranking arm) and runs the vectorized Proposal selector with the
+    /// batch's earlier picks folded into the duplicate check, so one batch
+    /// never proposes the same configuration twice. A pick that still
+    /// duplicates history after the in-selection redraw rounds is dropped
+    /// from the batch and counted as a stall (surfaced through the
+    /// existing `ProposalStalled` accounting when the run finishes).
+    ///
+    /// With `k == 1` this performs exactly the fits, RNG draws, and events
+    /// of [`suggest`](Self::suggest) — the serial==batch=1 parity contract
+    /// extends to Proposal mode.
+    fn suggest_batch_proposal(&mut self, k: usize, candidates: usize) -> Vec<Configuration> {
+        self.sync_failed_cache();
+        let traced = self.recorder.enabled();
+        let base_iteration = self.history.trials() as u64;
+        let opts = self.surrogate_options();
+        let prior = self.options.prior.as_ref().map(|(p, w)| (p, *w));
+        // Scratch tables: real history plus constant-liar fantasies.
+        let mut configs: Vec<Configuration> = self.history.configs().to_vec();
+        let mut objectives: Vec<f64> = self.history.objectives().to_vec();
+        let mut batch_seen: FxHashSet<Configuration> = FxHashSet::default();
+        let mut liar = 0.0;
+        let mut picks = Vec::with_capacity(k);
+        let mut stalled = 0usize;
+        for i in 0..k {
+            let fit_timer = SpanTimer::start(traced);
+            let surrogate = TpeSurrogate::fit_with_failures_scratch(
+                &self.space,
+                &configs,
+                &objectives,
+                &self.failed_cache,
+                &opts,
+                prior,
+                &mut self.fit_scratch,
+            );
+            if i == 0 {
+                // The constant liar: the pre-batch good-threshold objective.
+                liar = surrogate.threshold();
+            }
+            if let Some(elapsed_ns) = fit_timer.elapsed_ns() {
+                self.recorder.record(&Event::SurrogateFit {
+                    iteration: base_iteration + i as u64,
+                    n_good: surrogate.n_good() as u64,
+                    n_bad: surrogate.n_bad() as u64,
+                    threshold: surrogate.threshold(),
+                    elapsed_ns,
+                });
+            }
+            let select_timer = SpanTimer::start(traced);
+            let pick = select_by_proposal_vectorized(
+                &surrogate,
+                &self.space,
+                &self.history,
+                Some(&batch_seen),
+                candidates,
+                PROPOSAL_REDRAW_ROUNDS,
+                &mut self.rng,
+                &mut self.proposal_scratch,
+            );
+            if let Some(elapsed_ns) = select_timer.elapsed_ns() {
+                self.recorder.record(&Event::SelectionScored {
+                    iteration: base_iteration + i as u64,
+                    candidates: pick.scored,
+                    best_ei: pick.score,
+                    elapsed_ns,
+                });
+            }
+            if pick.duplicate {
+                // Every draw duplicated history or an earlier pick: count
+                // the stall and let the remaining picks keep going.
+                stalled += 1;
+                continue;
+            }
+            if i + 1 < k {
+                configs.push(pick.config.clone());
+                objectives.push(liar);
+            }
+            batch_seen.insert(pick.config.clone());
+            picks.push(pick.config);
+        }
+        self.stalls += stalled;
         picks
     }
 
@@ -1300,22 +1399,24 @@ impl Tuner {
     ///
     /// With `k == 1` every fit, selection, evaluation, and append happens
     /// in exactly the serial [`step_fallible`](Self::step_fallible) order,
-    /// so the resulting history is bit-identical to a serial run.
+    /// so the resulting history is bit-identical to a serial run — under
+    /// both strategies.
+    ///
+    /// An empty suggestion set means "pool exhausted" (`false`) under
+    /// Ranking, but under Proposal it means every pick of this batch
+    /// duplicated history — a stall iteration, already counted by
+    /// [`suggest_batch`](Self::suggest_batch), after which fresh draws can
+    /// still make progress — so the Proposal arm returns `true`.
     ///
     /// # Panics
-    /// Panics with a Proposal strategy, or if `evaluate_batch` returns a
-    /// different number of outcomes than configurations.
+    /// Panics if `evaluate_batch` returns a different number of outcomes
+    /// than configurations.
     pub fn step_batch_fallible(
         &mut self,
         k: usize,
         mut evaluate_batch: impl FnMut(&[Configuration], u64) -> Vec<EvalOutcome>,
     ) -> bool {
         assert!(k > 0, "batch size must be positive");
-        assert_eq!(
-            self.options.strategy,
-            SelectionStrategy::Ranking,
-            "batch stepping requires the Ranking strategy"
-        );
         if !self.bootstrapped {
             let init = self.options.init_samples;
             self.bootstrap_batch(&mut evaluate_batch, init, k);
@@ -1334,7 +1435,10 @@ impl Tuner {
             self.suggest_batch(k)
         };
         if suggestions.is_empty() {
-            return false;
+            // Ranking: the pool is exhausted, no further progress possible.
+            // Proposal: the whole batch stalled on duplicates; fresh draws
+            // next iteration can still make progress.
+            return matches!(self.options.strategy, SelectionStrategy::Proposal { .. });
         }
         self.evaluate_and_merge(&suggestions, &mut evaluate_batch, false);
         true
@@ -1366,10 +1470,23 @@ impl Tuner {
             let init = self.options.init_samples.min(budget);
             self.bootstrap_batch(&mut evaluate_batch, init, batch);
         }
+        let mut stall_guard = 0usize;
         while self.history.trials() < budget {
-            let k = batch.min(budget - self.history.trials());
+            let before = self.history.trials();
+            let k = batch.min(budget - before);
             if !self.step_batch_fallible(k, &mut evaluate_batch) {
                 break; // pool exhausted
+            }
+            if self.history.trials() == before {
+                // A fully stalled Proposal batch (stalls are counted per
+                // pick inside suggest_batch; this guard only bounds the
+                // loop so a degenerate space cannot spin forever).
+                stall_guard += 1;
+                if stall_guard > 100 * budget {
+                    break;
+                }
+            } else {
+                stall_guard = 0;
             }
         }
         self.final_checkpoint();

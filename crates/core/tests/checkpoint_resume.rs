@@ -91,6 +91,7 @@ struct Reference {
 /// Runs the uninterrupted serial reference with a per-trial checkpoint
 /// cadence, capturing everything the resumed runs must match.
 fn serial_reference(
+    space: ParameterSpace,
     opts: TunerOptions,
     budget: usize,
     eval: fn(&Configuration) -> EvalOutcome,
@@ -98,7 +99,7 @@ fn serial_reference(
 ) -> Reference {
     let path = temp_path(&format!("{tag}-ref.json"));
     let rec = Arc::new(MemoryRecorder::new());
-    let mut tuner = Tuner::new(space(), opts)
+    let mut tuner = Tuner::new(space, opts)
         .with_recorder(rec.clone())
         .with_checkpointing(CheckpointPolicy::new(&path, 1));
     let best = tuner.run_fallible(budget, eval).unwrap();
@@ -115,6 +116,7 @@ fn serial_reference(
 /// call panics mid-evaluation, as a crash would) and returns the snapshot
 /// the cadence left behind.
 fn kill_serial_at(
+    space: ParameterSpace,
     opts: TunerOptions,
     budget: usize,
     eval: fn(&Configuration) -> EvalOutcome,
@@ -123,7 +125,7 @@ fn kill_serial_at(
 ) -> TunerCheckpoint {
     let path = temp_path(&format!("{tag}-k{k}.json"));
     let calls = AtomicUsize::new(0);
-    let mut killed = Tuner::new(space(), opts).with_checkpointing(CheckpointPolicy::new(&path, 1));
+    let mut killed = Tuner::new(space, opts).with_checkpointing(CheckpointPolicy::new(&path, 1));
     let crashed = catch_unwind(AssertUnwindSafe(|| {
         killed.run_fallible(budget, |cfg| {
             if calls.fetch_add(1, Ordering::SeqCst) >= k {
@@ -146,6 +148,7 @@ fn kill_serial_at(
 /// the reference: history bytes, best result, final snapshot bytes, and
 /// the timing-normalized trace suffix after the kill point.
 fn assert_resumed_matches(
+    space: ParameterSpace,
     opts: TunerOptions,
     budget: usize,
     eval: fn(&Configuration) -> EvalOutcome,
@@ -156,7 +159,7 @@ fn assert_resumed_matches(
 ) {
     let path = temp_path(&format!("{tag}-k{k}-resumed.json"));
     let rec = Arc::new(MemoryRecorder::new());
-    let mut resumed = Tuner::resume_from_checkpoint(space(), opts, snap)
+    let mut resumed = Tuner::resume_from_checkpoint(space, opts, snap)
         .unwrap()
         .with_recorder(rec.clone())
         .with_checkpointing(CheckpointPolicy::new(&path, 1));
@@ -195,10 +198,10 @@ fn assert_resumed_matches(
 fn serial_kill_at_every_trial_resumes_bit_identically() {
     let budget = 24;
     let opts = || TunerOptions::default().with_seed(3).with_init_samples(6);
-    let reference = serial_reference(opts(), budget, ok, "serial");
+    let reference = serial_reference(space(), opts(), budget, ok, "serial");
     for k in 1..budget {
-        let snap = kill_serial_at(opts(), budget, ok, k, "serial");
-        assert_resumed_matches(opts(), budget, ok, &snap, &reference, k, "serial");
+        let snap = kill_serial_at(space(), opts(), budget, ok, k, "serial");
+        assert_resumed_matches(space(), opts(), budget, ok, &snap, &reference, k, "serial");
     }
 }
 
@@ -206,10 +209,19 @@ fn serial_kill_at_every_trial_resumes_bit_identically() {
 fn fault_injected_kill_at_every_trial_resumes_bit_identically() {
     let budget = 24;
     let opts = || TunerOptions::default().with_seed(11).with_init_samples(6);
-    let reference = serial_reference(opts(), budget, faulty, "faulty");
+    let reference = serial_reference(space(), opts(), budget, faulty, "faulty");
     for k in 1..budget {
-        let snap = kill_serial_at(opts(), budget, faulty, k, "faulty");
-        assert_resumed_matches(opts(), budget, faulty, &snap, &reference, k, "faulty");
+        let snap = kill_serial_at(space(), opts(), budget, faulty, k, "faulty");
+        assert_resumed_matches(
+            space(),
+            opts(),
+            budget,
+            faulty,
+            &snap,
+            &reference,
+            k,
+            "faulty",
+        );
     }
 }
 
@@ -224,9 +236,9 @@ proptest! {
         let budget = 20;
         let opts = || TunerOptions::default().with_seed(seed).with_init_samples(5);
         let tag = format!("prop-{seed}");
-        let reference = serial_reference(opts(), budget, faulty, &tag);
-        let snap = kill_serial_at(opts(), budget, faulty, k, &tag);
-        assert_resumed_matches(opts(), budget, faulty, &snap, &reference, k, &tag);
+        let reference = serial_reference(space(), opts(), budget, faulty, &tag);
+        let snap = kill_serial_at(space(), opts(), budget, faulty, k, &tag);
+        assert_resumed_matches(space(), opts(), budget, faulty, &snap, &reference, k, &tag);
     }
 }
 
@@ -308,6 +320,133 @@ fn batch_kill_at_every_trial_resumes_bit_identically() {
             resumed_suffix,
             suffix_after_checkpoint(&ref_events, at as u64),
             "kill at {k}: batch trace suffix diverged"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A mixed continuous + discrete space for Proposal-mode tests. Proposal
+/// selection consumes RNG *inside* `suggest` (candidate draws), which is
+/// exactly the state the checkpoint's word-pos cursor must capture.
+fn proposal_space() -> ParameterSpace {
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::continuous(0.0, 1.0)))
+        .param(ParamDef::new("k", Domain::discrete_ints(&[0, 1, 2, 3])))
+        .build()
+        .unwrap()
+}
+
+fn proposal_ok(cfg: &Configuration) -> EvalOutcome {
+    let x = cfg.value(0).as_f64();
+    let k = cfg.value(1).index() as f64;
+    EvalOutcome::Ok((x - 0.3).powi(2) + 0.1 * (k - 2.0).powi(2) + 1.0)
+}
+
+#[test]
+fn proposal_serial_kill_at_every_trial_resumes_bit_identically() {
+    let budget = 18;
+    let opts = || {
+        TunerOptions::default()
+            .with_seed(7)
+            .with_init_samples(5)
+            .with_strategy(hiperbot_core::SelectionStrategy::Proposal { candidates: 16 })
+    };
+    let reference = serial_reference(proposal_space(), opts(), budget, proposal_ok, "proposal");
+    for k in 1..budget {
+        let snap = kill_serial_at(proposal_space(), opts(), budget, proposal_ok, k, "proposal");
+        assert_resumed_matches(
+            proposal_space(),
+            opts(),
+            budget,
+            proposal_ok,
+            &snap,
+            &reference,
+            k,
+            "proposal",
+        );
+    }
+}
+
+#[test]
+fn proposal_batch_kill_at_every_trial_resumes_bit_identically() {
+    // The batched Proposal engine (constant-liar fantasies + in-suggest
+    // candidate draws) through the same merge-aligned snapshot protocol.
+    let budget = 18;
+    let batch = 3;
+    let opts = || {
+        TunerOptions::default()
+            .with_seed(13)
+            .with_init_samples(6)
+            .with_strategy(hiperbot_core::SelectionStrategy::Proposal { candidates: 16 })
+    };
+    let eval_batch = |cfgs: &[Configuration], _base: u64| -> Vec<EvalOutcome> {
+        cfgs.iter().map(proposal_ok).collect()
+    };
+
+    let ref_path = temp_path("prop-batch-ref.json");
+    let ref_rec = Arc::new(MemoryRecorder::new());
+    let mut reference = Tuner::new(proposal_space(), opts())
+        .with_recorder(ref_rec.clone())
+        .with_checkpointing(CheckpointPolicy::new(&ref_path, 1));
+    let ref_best = reference
+        .run_batch_fallible(budget, batch, eval_batch)
+        .unwrap();
+    let ref_history = serde_json::to_string(reference.history()).unwrap();
+    let ref_events = ref_rec.events();
+    let ref_bytes = std::fs::read(&ref_path).unwrap();
+
+    for k in 1..budget {
+        let path = temp_path(&format!("prop-batch-k{k}.json"));
+        let calls = AtomicUsize::new(0);
+        let mut killed = Tuner::new(proposal_space(), opts())
+            .with_checkpointing(CheckpointPolicy::new(&path, 1));
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            killed.run_batch_fallible(budget, batch, |cfgs, _base| {
+                cfgs.iter()
+                    .map(|c| {
+                        if calls.fetch_add(1, Ordering::SeqCst) >= k {
+                            panic!("simulated crash at trial {k}");
+                        }
+                        proposal_ok(c)
+                    })
+                    .collect()
+            })
+        }));
+        assert!(crashed.is_err());
+        let snap = match TunerCheckpoint::load(&path) {
+            Ok(snap) => snap,
+            Err(CheckpointError::Io(_)) => {
+                assert!(k < batch, "only pre-first-merge kills lack a snapshot");
+                continue;
+            }
+            Err(e) => panic!("kill at {k}: snapshot load failed: {e}"),
+        };
+        let at = snap.history.configs.len() + snap.history.failures.len();
+        assert!(at <= k, "snapshot holds only fully merged batches");
+        assert_eq!(at % batch, 0, "snapshot is merge-aligned");
+
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut resumed = Tuner::resume_from_checkpoint(proposal_space(), opts(), &snap)
+            .unwrap()
+            .with_recorder(rec.clone())
+            .with_checkpointing(CheckpointPolicy::new(&path, 1));
+        let best = resumed
+            .run_batch_fallible(budget, batch, eval_batch)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(resumed.history()).unwrap(),
+            ref_history,
+            "kill at {k}: Proposal batch history diverged"
+        );
+        assert_eq!(best.objective, ref_best.objective);
+        assert_eq!(std::fs::read(&path).unwrap(), ref_bytes);
+        let events = rec.events();
+        assert!(matches!(&events[1], Event::RunResumed { trials, .. } if *trials == at as u64));
+        let resumed_suffix: Vec<String> = events[2..].iter().map(normalized).collect();
+        assert_eq!(
+            resumed_suffix,
+            suffix_after_checkpoint(&ref_events, at as u64),
+            "kill at {k}: Proposal batch trace suffix diverged"
         );
         std::fs::remove_file(&path).ok();
     }
@@ -458,6 +597,17 @@ fn trace_fallback_rejects_what_it_cannot_replay_exactly() {
         .with_strategy(hiperbot_core::SelectionStrategy::Proposal { candidates: 8 });
     let err = Tuner::resume_from_trace(cont, opts, "").err().unwrap();
     assert!(matches!(err, CheckpointError::TraceNotExact(_)));
+    // The message must still *name the reason*: Proposal draws consume
+    // RNG that a trace does not record, so only snapshots can resume it.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("Proposal") && msg.contains("RNG"),
+        "refusal must explain itself: {msg}"
+    );
+    assert!(
+        msg.contains("snapshot"),
+        "refusal should point at the fix: {msg}"
+    );
 
     // Identity mismatches are rejected exactly like snapshot resumes.
     let rec = Arc::new(MemoryRecorder::new());

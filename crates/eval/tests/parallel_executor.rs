@@ -2,7 +2,7 @@
 //! tuner + executor produce the same run no matter how many workers run
 //! or in which order they happen to complete.
 
-use hiperbot_core::{EvalOutcome, Tuner, TunerOptions};
+use hiperbot_core::{EvalOutcome, SelectionStrategy, Tuner, TunerOptions};
 use hiperbot_eval::{outcome_from_sim, BatchExecutor, RetryPolicy};
 use hiperbot_perfsim::faults::FaultModel;
 use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
@@ -139,6 +139,59 @@ fn executor_runs_identically_at_any_worker_count() {
         .with_policy(RetryPolicy::default().with_max_retries(2).with_seed(7));
         let mut t = tuner(29);
         let best = t.run_batch_fallible(40, 4, |cfgs, base| exec.evaluate_batch(cfgs, base));
+        (
+            fingerprint(&mut t),
+            best.map(|b| (format!("{:?}", b.config), b.objective)),
+        )
+    };
+    let serial = run(1);
+    for workers in [2, 4, 8] {
+        assert_eq!(run(workers), serial, "workers = {workers}");
+    }
+}
+
+/// The lifted continuous-space guard, end to end: a Proposal-mode tuner
+/// over a mixed continuous/discrete space batches through the real
+/// executor, and 1/2/4/8 workers reproduce one identical run — the same
+/// worker-count determinism contract Ranking spaces already pin.
+#[test]
+fn proposal_mode_executor_runs_identically_at_any_worker_count() {
+    let space = || {
+        ParameterSpace::builder()
+            .param(ParamDef::new("alpha", Domain::continuous(0.0, 1.0)))
+            .param(ParamDef::new("beta", Domain::continuous(-1.0, 1.0)))
+            .param(ParamDef::new("k", Domain::discrete_ints(&[0, 1, 2, 3])))
+            .build()
+            .unwrap()
+    };
+    let eval = |cfg: &Configuration, _trial: u64, attempt: u32| {
+        let model = FaultModel::new(19, 0.2);
+        let words: Vec<u64> = vec![
+            cfg.value(0).as_f64().to_bits(),
+            cfg.value(1).as_f64().to_bits(),
+            cfg.value(2).index() as u64,
+        ];
+        match outcome_from_sim(model.attempt_outcome(&words, attempt, 4.0)) {
+            EvalOutcome::Ok(_) => {
+                let a = cfg.value(0).as_f64();
+                let b = cfg.value(1).as_f64();
+                let k = cfg.value(2).index() as f64;
+                EvalOutcome::Ok((a - 0.4).powi(2) + b.powi(2) + 0.1 * k + 1.0)
+            }
+            other => other,
+        }
+    };
+    let run = |workers: usize| {
+        let exec = BatchExecutor::new(eval, workers)
+            .with_policy(RetryPolicy::default().with_max_retries(2).with_seed(3));
+        let mut t = Tuner::new(
+            space(),
+            TunerOptions::default()
+                .with_seed(41)
+                .with_init_samples(6)
+                .with_strategy(SelectionStrategy::Proposal { candidates: 16 }),
+        );
+        let best = t.run_batch_fallible(32, 4, |cfgs, base| exec.evaluate_batch(cfgs, base));
         (
             fingerprint(&mut t),
             best.map(|b| (format!("{:?}", b.config), b.objective)),

@@ -94,10 +94,12 @@ pub enum Event {
     SelectionScored {
         /// Evaluation index this selection serves.
         iteration: u64,
-        /// Candidates considered (pool size for Ranking, draw count for
-        /// Proposal).
+        /// Candidates considered (pool size for Ranking; total draw
+        /// count for Proposal, redraw rounds included).
         candidates: u64,
-        /// Winning candidate's EI score (log density ratio).
+        /// Winning candidate's EI score (log density ratio). For
+        /// Proposal this is the selection engine's own score, reused
+        /// rather than recomputed.
         best_ei: f64,
         /// Selection wall time.
         elapsed_ns: u64,

@@ -128,6 +128,56 @@ impl GaussianKde {
         max_t + acc.ln() + INV_SQRT_2PI.ln() - (self.total_weight * h).ln()
     }
 
+    /// Evaluates the log-density at every point of `xs`, writing into
+    /// `out`. Bit-identical to calling [`GaussianKde::log_pdf`] per point.
+    ///
+    /// The batch form hoists the candidate-independent work out of the
+    /// per-candidate loop — `ln(w_i)` per kernel, the normalizer
+    /// `ln(W·h)`, and the zero-weight filter — and stores the pass-1 terms
+    /// `t_i = ln(w_i) - z_i²/2` so pass 2 reuses them instead of
+    /// recomputing. Every floating-point expression the scalar path
+    /// evaluates per candidate is kept in the same form and the same
+    /// left-to-right order (the stored `t_i` round-trips exactly; `ln` of
+    /// the same input is deterministic), so each `out[c]` carries the same
+    /// bits `log_pdf(xs[c])` would.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `out` differ in length.
+    pub fn log_pdf_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "xs/out length mismatch");
+        let h = self.bandwidth;
+        let log_norm_num = INV_SQRT_2PI.ln();
+        let log_norm_den = (self.total_weight * h).ln();
+        let kernels: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .zip(&self.weights)
+            .filter(|&(_, &w)| w != 0.0)
+            .map(|(&p, &w)| (p, w.ln()))
+            .collect();
+        let mut terms = vec![0.0f64; kernels.len()];
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            let mut max_t = f64::NEG_INFINITY;
+            for (&(p, ln_w), t) in kernels.iter().zip(terms.iter_mut()) {
+                let z = (x - p) / h;
+                let term = ln_w - 0.5 * z * z;
+                *t = term;
+                if term > max_t {
+                    max_t = term;
+                }
+            }
+            if !max_t.is_finite() {
+                *o = f64::NEG_INFINITY;
+                continue;
+            }
+            let mut acc = 0.0;
+            for &t in &terms {
+                acc += (t - max_t).exp();
+            }
+            *o = max_t + acc.ln() + log_norm_num - log_norm_den;
+        }
+    }
+
     /// Draws one sample: pick a kernel center proportionally to its weight,
     /// then add Gaussian noise of the bandwidth scale.
     pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
@@ -386,6 +436,60 @@ mod tests {
     }
 
     #[test]
+    fn log_pdf_batch_matches_scalar_bitwise() {
+        let kde = GaussianKde::fit_weighted(
+            &[0.0, 1.0, 5.0, 5.5],
+            &[1.0, 2.0, 0.5, 1.5],
+            Bandwidth::Fixed(0.5),
+        );
+        let xs = [-2.0, 0.0, 0.7, 3.0, 5.2, 8.0, 1e6, -1e6];
+        let mut out = vec![0.0; xs.len()];
+        kde.log_pdf_batch(&xs, &mut out);
+        for (&x, &b) in xs.iter().zip(&out) {
+            assert_eq!(kde.log_pdf(x).to_bits(), b.to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn log_pdf_batch_handles_degenerate_inputs_like_scalar() {
+        // Zero-weight kernels, infinite queries, NaN queries: every edge
+        // the scalar path defines, bit for bit.
+        let kde =
+            GaussianKde::fit_weighted(&[0.0, 10.0, -3.0], &[0.0, 1.0, 2.0], Bandwidth::Fixed(1.0));
+        let xs = [0.0, 10.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1e300];
+        let mut out = vec![0.0; xs.len()];
+        kde.log_pdf_batch(&xs, &mut out);
+        for (&x, &b) in xs.iter().zip(&out) {
+            let s = kde.log_pdf(x);
+            assert_eq!(s.to_bits(), b.to_bits(), "x={x}: scalar {s} vs batch {b}");
+        }
+    }
+
+    #[test]
+    fn log_pdf_batch_with_all_zero_usable_weights_is_neg_infinity() {
+        // One positive weight keeps the fit constructible; zero it out via
+        // insert/remove so every *usable* kernel has weight zero.
+        let mut kde = GaussianKde::fit_weighted(&[0.0, 5.0], &[0.0, 1.0], Bandwidth::Fixed(1.0));
+        kde.remove_point(1);
+        kde.insert_point(1, 5.0, 0.0);
+        // total_weight is now 0.0; the scalar path returns -inf for any x.
+        let xs = [0.0, 5.0, 100.0];
+        let mut out = vec![1.0; xs.len()];
+        kde.log_pdf_batch(&xs, &mut out);
+        for (&x, &b) in xs.iter().zip(&out) {
+            assert_eq!(kde.log_pdf(x).to_bits(), b.to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn log_pdf_batch_rejects_mismatched_buffers() {
+        let kde = GaussianKde::fit(&[0.0], Bandwidth::Fixed(1.0));
+        let mut out = vec![0.0; 2];
+        kde.log_pdf_batch(&[1.0], &mut out);
+    }
+
+    #[test]
     fn insert_point_matches_refit_bitwise() {
         let pts = [0.0, 1.0, 5.0];
         let wts = [1.0, 2.0, 1.0];
@@ -470,6 +574,29 @@ mod tests {
             let shifted: Vec<f64> = pts.iter().map(|p| p + shift).collect();
             let kde2 = GaussianKde::fit(&shifted, Bandwidth::Fixed(1.0));
             prop_assert!((kde.pdf(x) - kde2.pdf(x + shift)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn log_pdf_batch_is_bit_identical_to_scalar(
+            pts in proptest::collection::vec(-100.0f64..100.0, 1..40),
+            wts_seed in proptest::collection::vec(0u8..4, 1..40),
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..64),
+            h in 0.001f64..50.0,
+        ) {
+            // Weights in {0, 0.5, 1, 2} exercise the zero-weight skip path
+            // alongside ordinary mixtures; keep at least one positive.
+            let n = pts.len().min(wts_seed.len());
+            let pts = &pts[..n];
+            let mut wts: Vec<f64> = wts_seed[..n].iter().map(|&s| s as f64 * 0.5).collect();
+            if wts.iter().all(|&w| w == 0.0) {
+                wts[0] = 1.0;
+            }
+            let kde = GaussianKde::fit_weighted(pts, &wts, Bandwidth::Fixed(h));
+            let mut out = vec![0.0; xs.len()];
+            kde.log_pdf_batch(&xs, &mut out);
+            for (&x, &b) in xs.iter().zip(&out) {
+                prop_assert_eq!(kde.log_pdf(x).to_bits(), b.to_bits());
+            }
         }
 
         #[test]

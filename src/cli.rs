@@ -186,9 +186,13 @@ pub struct CliOptions {
     /// Where to write the folded-stack span profile (`None` = off).
     pub profile_out: Option<String>,
     /// Worker threads for concurrent objective evaluation (1 = serial).
+    /// Applies to both strategies: Ranking (finite) and Proposal
+    /// (continuous) spaces.
     pub workers: usize,
     /// Configurations suggested per surrogate refit, via constant-liar
-    /// batch selection (1 = the paper's serial algorithm).
+    /// batch selection (1 = the paper's serial algorithm). Ranking
+    /// batches pick from the refit score table; Proposal batches pick
+    /// through the vectorized proposal engine, same liar protocol.
     pub batch: usize,
     /// Surrogate maintenance mode: the O(churn) incremental engine
     /// (default) or a from-scratch refit per iteration. Bit-identical
@@ -629,14 +633,9 @@ fn run_command_mode(options: &CliOptions) -> Result<((String, f64), Vec<HealthAl
     let spec = SpaceSpec::from_json(&json)?;
     let space = spec.build()?;
 
+    // Continuous spaces batch through the vectorized Proposal engine;
+    // discrete spaces through Ranking — both with constant-liar fantasies.
     let parallel = options.workers > 1 || options.batch > 1;
-    if parallel && spec.has_continuous() {
-        return Err(
-            "--workers/--batch > 1 need a fully discrete space (batch selection \
-             is Ranking-only; continuous parameters use the Proposal strategy)"
-                .to_string(),
-        );
-    }
     let strategy = if spec.has_continuous() {
         SelectionStrategy::Proposal { candidates: 32 }
     } else {
@@ -1237,7 +1236,11 @@ mod tests {
     }
 
     #[test]
-    fn command_mode_rejects_parallel_flags_on_continuous_spaces() {
+    fn command_mode_accepts_parallel_flags_on_continuous_spaces() {
+        // Continuous spaces batch through the vectorized Proposal engine:
+        // --workers/--batch are accepted, batch=1 through the parallel
+        // path matches the pure serial path exactly, and at a fixed batch
+        // every worker count yields the same result.
         let dir = std::env::temp_dir().join(format!("hiperbot-cli-cont-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let spec_path = dir.join("space.json");
@@ -1246,17 +1249,36 @@ mod tests {
             r#"{"params": [{"type": "continuous", "name": "alpha", "lo": 0.0, "hi": 1.0}]}"#,
         )
         .unwrap();
-        let options = CliOptions {
+        let base = CliOptions {
             space_path: spec_path.to_string_lossy().into_owned(),
             command: "echo {alpha}".into(),
-            budget: 4,
-            init_samples: 2,
-            workers: 2,
-            batch: 2,
+            budget: 8,
+            seed: 1,
+            init_samples: 4,
             ..CliOptions::default()
         };
-        let err = run(&options).unwrap_err();
-        assert!(err.contains("discrete"), "{err}");
+        let serial = run(&base).unwrap();
+        let batched_serial = run(&CliOptions {
+            workers: 2,
+            batch: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(batched_serial, serial, "batch=1 must match the serial path");
+        let batch4 = run(&CliOptions {
+            workers: 1,
+            batch: 4,
+            ..base.clone()
+        })
+        .unwrap();
+        for workers in [2, 4] {
+            let options = CliOptions {
+                workers,
+                batch: 4,
+                ..base.clone()
+            };
+            assert_eq!(run(&options).unwrap(), batch4, "workers = {workers}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
