@@ -20,7 +20,7 @@
 //! size) before anything is timed. Run with
 //! `cargo run --release -p hiperbot-bench --bin bench_incremental`.
 
-use hiperbot_bench::repo_root;
+use hiperbot_bench::{host_meta, pin_threads, write_bench_json, HostMeta};
 use hiperbot_core::surrogate::{FitScratch, SurrogateMode, SurrogateOptions, TpeSurrogate};
 use hiperbot_core::{IncrementalSurrogate, ObservationHistory, Tuner, TunerOptions};
 use hiperbot_obs::MetricsRegistry;
@@ -103,6 +103,7 @@ struct BatchResult {
 #[derive(Debug, serde::Serialize)]
 struct Report {
     bench: String,
+    host: HostMeta,
     trials: usize,
     pool_size: usize,
     refits: Vec<RefitResult>,
@@ -209,6 +210,7 @@ fn measure_suggest_batch(
 }
 
 fn main() {
+    pin_threads();
     let _registry = MetricsRegistry::new();
     eprintln!("[bench_incremental] enumerating + shuffling the pool…");
     let space = bench_space();
@@ -225,17 +227,12 @@ fn main() {
     }
 
     let report = Report {
+        host: host_meta(),
         bench: "incremental surrogate: O(churn) delta updates vs full refits".into(),
         trials: TRIALS,
         pool_size: pool.len(),
         refits,
         suggest_batch: suggest,
     };
-    let path = repo_root().join("BENCH_incremental.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serialize"),
-    )
-    .expect("write BENCH_incremental.json");
-    println!("wrote {}", path.display());
+    write_bench_json("BENCH_incremental.json", &report);
 }

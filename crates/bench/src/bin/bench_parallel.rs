@@ -16,7 +16,7 @@
 //!
 //! Run with `cargo run --release -p hiperbot-bench --bin bench_parallel`.
 
-use hiperbot_bench::repo_root;
+use hiperbot_bench::{host_meta, pin_threads, write_bench_json, HostMeta};
 use hiperbot_core::{EvalOutcome, Tuner, TunerOptions};
 use hiperbot_eval::BatchExecutor;
 use hiperbot_obs::MetricsRegistry;
@@ -54,6 +54,7 @@ struct SuggestOverhead {
 #[derive(Debug, serde::Serialize)]
 struct Report {
     bench: String,
+    host: HostMeta,
     eval_ms: u64,
     budget: usize,
     init_samples: usize,
@@ -143,6 +144,7 @@ fn suggest_overhead(registry: &MetricsRegistry) -> SuggestOverhead {
 }
 
 fn main() {
+    pin_threads();
     eprintln!(
         "[bench_parallel] {BUDGET}-trial campaigns, {EVAL_MS} ms/eval, batch {BATCH}, \
          workers {WORKER_COUNTS:?}…"
@@ -186,6 +188,7 @@ fn main() {
     );
 
     let report = Report {
+        host: host_meta(),
         bench: "parallel batch evaluation: wall-clock speedup vs workers, \
                 constant-liar suggestion overhead"
             .into(),
@@ -196,12 +199,6 @@ fn main() {
         workers,
         suggest_overhead: overhead,
     };
-    let path = repo_root().join("BENCH_parallel.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serialize"),
-    )
-    .expect("write BENCH_parallel.json");
-    println!("wrote {}", path.display());
+    write_bench_json("BENCH_parallel.json", &report);
     println!("\n{}", registry.render_summary());
 }

@@ -1,0 +1,259 @@
+//! Measures the speculative suggest-ahead pipeline end to end — the same
+//! seeded constant-liar campaign through `run_batch_fallible` (suggestion
+//! on the critical path) and `run_batch_pipelined` (suggestion overlapped
+//! with evaluation) at 1/2/4/8 workers — and writes `BENCH_pipeline.json`
+//! at the workspace root.
+//!
+//! The campaign resumes from a pre-built history of `PREFILL` (≥1k)
+//! observations, the regime where per-round suggestion cost is material
+//! (BENCH_incremental puts it at hundreds of µs per pick and growing), so
+//! the bench answers the tentpole question directly: how much wall-clock
+//! does moving suggestion off the critical path recover, and how often
+//! does constant-liar speculation commit?
+//!
+//! Both drivers must finish on the identical history (bit-identity
+//! contract) — asserted per worker count before timings are reported.
+//!
+//! Run with `cargo run --release -p hiperbot-bench --bin bench_pipeline`.
+
+use hiperbot_bench::{host_meta, pin_threads, write_bench_json, HostMeta};
+use hiperbot_core::{EvalOutcome, ObservationHistory, PipelineStats, Tuner, TunerOptions};
+use hiperbot_eval::BatchExecutor;
+use hiperbot_space::sampling::sample_distinct;
+use hiperbot_space::{Configuration, Domain, ParamDef, ParameterSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Simulated evaluation latency: the evaluation-dominated regime the
+/// pipeline targets, small enough to keep the sweep under a minute.
+const EVAL_MS: u64 = 4;
+/// Observations pre-filled into the history before the timed campaign.
+const PREFILL: usize = 2048;
+/// Timed trials on top of the prefill.
+const TRIALS: usize = 96;
+const BATCH: usize = 8;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed repetitions of the bare suggest-cost measurement.
+const SUGGEST_TRIALS: usize = 9;
+/// Full-campaign repetitions per (driver, worker-count) cell; the minimum
+/// is reported, washing out sleep/scheduler jitter.
+const REPS: usize = 3;
+
+#[derive(Debug, serde::Serialize)]
+struct WorkerResult {
+    workers: usize,
+    unpipelined_ms: f64,
+    pipelined_ms: f64,
+    /// Unpipelined / pipelined wall-clock for the same campaign.
+    speedup: f64,
+    spec_attempted: u64,
+    spec_committed: u64,
+    /// Committed / attempted speculative batches.
+    spec_hit_rate: f64,
+    /// Individual picks the speculation predicted correctly.
+    picks_adopted: u64,
+    /// Picks whose decision inputs replayed bit-identically, skipping the
+    /// selection sweep on the critical path entirely.
+    sweeps_skipped: u64,
+    /// Suggestion time the serial driver paid on the critical path over
+    /// the whole campaign (every model-driven round, measured in-driver).
+    unpipelined_suggest_ms: f64,
+    /// Suggestion time the *pipelined* driver paid on the critical path:
+    /// the first serial round plus every validation replay. The rest hid
+    /// behind in-flight evaluation.
+    pipelined_suggest_ms: f64,
+    best_objective: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Report {
+    bench: String,
+    host: HostMeta,
+    eval_ms: u64,
+    prefill_observations: usize,
+    trials: usize,
+    batch: usize,
+    /// Median serial `suggest_batch(BATCH)` cost at the prefilled
+    /// history — what the unpipelined driver pays on the critical path
+    /// every round, and the pipelined driver overlaps with evaluation.
+    suggest_batch_ns: f64,
+    workers: Vec<WorkerResult>,
+}
+
+/// A 32×32×32 = 32.8k-configuration space: the 2k-observation prefill
+/// leaves the ranking pool far from exhausted, and the per-round sweep is
+/// expensive enough (hundreds of µs to ms) to matter against a 4 ms eval.
+fn space() -> ParameterSpace {
+    let vals: Vec<i64> = (0..32).collect();
+    ParameterSpace::builder()
+        .param(ParamDef::new("x", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("y", Domain::discrete_ints(&vals)))
+        .param(ParamDef::new("z", Domain::discrete_ints(&vals)))
+        .build()
+        .unwrap()
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.value(0).index() as f64;
+    let y = cfg.value(1).index() as f64;
+    let z = cfg.value(2).index() as f64;
+    (x - 15.0).powi(2) + (y - 4.0).powi(2) + 0.5 * (z - 18.0).powi(2) + 1.0
+}
+
+fn slow_eval(cfg: &Configuration) -> EvalOutcome {
+    std::thread::sleep(Duration::from_millis(EVAL_MS));
+    EvalOutcome::Ok(objective(cfg))
+}
+
+/// The shared starting state: `PREFILL` distinct observations drawn with
+/// a fixed seed, identical for every driver and worker count.
+fn prefilled_history() -> ObservationHistory {
+    let s = space();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF111);
+    let mut history = ObservationHistory::new();
+    for cfg in sample_distinct(&s, PREFILL, &mut rng) {
+        let y = objective(&cfg);
+        history.push(cfg, y);
+    }
+    history
+}
+
+fn resumed_tuner(history: &ObservationHistory) -> Tuner {
+    let mut t = Tuner::resume(
+        space(),
+        TunerOptions::default().with_seed(23),
+        history.clone(),
+    );
+    // Warm the one-time caches (ranking pool, incremental engine) outside
+    // the timed window: a Ranking-mode suggestion is pure computation, so
+    // discarding it leaves the tuner state unchanged and both drivers
+    // measure steady-state rounds only.
+    let _ = t.suggest_batch(BATCH);
+    t
+}
+
+fn fingerprint(t: &Tuner) -> (usize, Vec<u64>) {
+    (
+        t.history().trials(),
+        t.history()
+            .objectives()
+            .iter()
+            .map(|o| o.to_bits())
+            .collect(),
+    )
+}
+
+fn main() {
+    pin_threads();
+    eprintln!(
+        "[bench_pipeline] {PREFILL}-observation prefill, {TRIALS} timed trials, \
+         {EVAL_MS} ms/eval, batch {BATCH}, workers {WORKER_COUNTS:?}…"
+    );
+    let history = prefilled_history();
+    let budget = PREFILL + TRIALS;
+
+    // The bare cost the unpipelined driver pays per round on the critical
+    // path: one constant-liar batch suggestion at the prefilled history.
+    let mut probe = resumed_tuner(&history);
+    let mut samples: Vec<u64> = (0..SUGGEST_TRIALS)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(probe.suggest_batch(BATCH));
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    let suggest_batch_ns = samples[samples.len() / 2] as f64;
+    println!(
+        "suggest_batch({BATCH}) at {PREFILL} observations: {:.0} µs median",
+        suggest_batch_ns / 1e3
+    );
+
+    let mut workers = Vec::new();
+    for &w in &WORKER_COUNTS {
+        let exec = BatchExecutor::new(
+            |cfg: &Configuration, _trial: u64, _attempt: u32| slow_eval(cfg),
+            w,
+        );
+
+        let mut unpipelined_ms = f64::INFINITY;
+        let mut pipelined_ms = f64::INFINITY;
+        let mut serial_print = None;
+        let mut piped_print = None;
+        let mut serial_obj = f64::NAN;
+        let mut piped_obj = f64::NAN;
+        let mut stats = PipelineStats::default();
+        let mut serial_suggest_ns = 0u64;
+        for _ in 0..REPS {
+            let mut serial = resumed_tuner(&history);
+            let start = Instant::now();
+            let serial_best = serial
+                .run_batch_fallible(budget, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base))
+                .expect("no failures injected");
+            unpipelined_ms = unpipelined_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            let mut piped = resumed_tuner(&history);
+            let start = Instant::now();
+            let piped_best = piped
+                .run_batch_pipelined(budget, BATCH, |cfgs, base| exec.evaluate_batch(cfgs, base))
+                .expect("no failures injected");
+            pipelined_ms = pipelined_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            serial_print = Some(fingerprint(&serial));
+            piped_print = Some(fingerprint(&piped));
+            serial_obj = serial_best.objective;
+            piped_obj = piped_best.objective;
+            stats = piped.pipeline_stats();
+            serial_suggest_ns = serial.pipeline_stats().critical_path_suggest_ns;
+        }
+        // The determinism contract: both drivers land on the identical
+        // campaign, so the timing difference compares equal work.
+        assert_eq!(serial_print, piped_print, "drivers diverged");
+        assert_eq!(serial_obj, piped_obj, "drivers diverged");
+        let r = WorkerResult {
+            workers: w,
+            unpipelined_ms,
+            pipelined_ms,
+            speedup: unpipelined_ms / pipelined_ms,
+            spec_attempted: stats.attempted,
+            spec_committed: stats.committed,
+            spec_hit_rate: stats.hit_rate().unwrap_or(0.0),
+            picks_adopted: stats.picks_adopted,
+            sweeps_skipped: stats.sweeps_skipped,
+            unpipelined_suggest_ms: serial_suggest_ns as f64 / 1e6,
+            pipelined_suggest_ms: stats.critical_path_suggest_ns as f64 / 1e6,
+            best_objective: piped_obj,
+        };
+        println!(
+            "workers {:>2} | unpipelined {:>8.1} ms | pipelined {:>8.1} ms | {:>5.2}x | \
+             hit rate {:>5.1}% ({}/{} committed, {} sweeps skipped) | \
+             critical-path suggest {:>6.2} ms -> {:>5.2} ms",
+            r.workers,
+            r.unpipelined_ms,
+            r.pipelined_ms,
+            r.speedup,
+            r.spec_hit_rate * 100.0,
+            r.spec_committed,
+            r.spec_attempted,
+            r.sweeps_skipped,
+            r.unpipelined_suggest_ms,
+            r.pipelined_suggest_ms,
+        );
+        workers.push(r);
+    }
+
+    let report = Report {
+        bench: "speculative suggest-ahead pipeline: wall-clock with suggestion on vs off \
+                the critical path, speculation hit rate"
+            .into(),
+        host: host_meta(),
+        eval_ms: EVAL_MS,
+        prefill_observations: PREFILL,
+        trials: TRIALS,
+        batch: BATCH,
+        suggest_batch_ns,
+        workers,
+    };
+    write_bench_json("BENCH_pipeline.json", &report);
+}

@@ -14,7 +14,7 @@
 //! timed. Run with `cargo run --release -p hiperbot-bench --bin
 //! bench_proposal`.
 
-use hiperbot_bench::repo_root;
+use hiperbot_bench::{host_meta, pin_threads, write_bench_json, HostMeta};
 use hiperbot_core::selection::{
     select_by_proposal, select_by_proposal_vectorized, ProposalScratch,
 };
@@ -44,6 +44,7 @@ struct CountResult {
 #[derive(Debug, serde::Serialize)]
 struct Report {
     bench: String,
+    host: HostMeta,
     trials: usize,
     continuous_dims: usize,
     discrete_dims: usize,
@@ -170,6 +171,7 @@ fn measure(
 }
 
 fn main() {
+    pin_threads();
     eprintln!("[bench_proposal] fitting a {HISTORY_LEN}-observation surrogate…");
     let space = space();
     let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -193,18 +195,13 @@ fn main() {
         .map(|&n| measure(&registry, &surrogate, &space, &history, n))
         .collect();
     let report = Report {
+        host: host_meta(),
         bench: "proposal hot path: interleaved sample+score loop vs vectorized SoA engine".into(),
         trials: TRIALS,
         continuous_dims: 6,
         discrete_dims: 1,
         counts,
     };
-    let path = repo_root().join("BENCH_proposal.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serialize"),
-    )
-    .expect("write BENCH_proposal.json");
-    println!("wrote {}", path.display());
+    write_bench_json("BENCH_proposal.json", &report);
     println!("\n{}", registry.render_summary());
 }

@@ -11,7 +11,7 @@
 //! `cargo run --release -p hiperbot-bench --bin bench_selection`.
 
 use hiperbot_apps::{hypre, kripke, Dataset, Scale};
-use hiperbot_bench::repo_root;
+use hiperbot_bench::{host_meta, pin_threads, write_bench_json, HostMeta};
 use hiperbot_core::selection::rank_encoded;
 use hiperbot_core::surrogate::{SurrogateOptions, TpeSurrogate};
 use hiperbot_core::ObservationHistory;
@@ -39,6 +39,7 @@ struct PoolResult {
 #[derive(Debug, serde::Serialize)]
 struct Report {
     bench: String,
+    host: HostMeta,
     trials: usize,
     pools: Vec<PoolResult>,
 }
@@ -150,6 +151,7 @@ fn measure(registry: &MetricsRegistry, name: &str, dataset: &Dataset) -> PoolRes
 }
 
 fn main() {
+    pin_threads();
     eprintln!("[bench_selection] generating datasets…");
     let registry = MetricsRegistry::new();
     let pools = vec![
@@ -166,16 +168,11 @@ fn main() {
         ),
     ];
     let report = Report {
+        host: host_meta(),
         bench: "ranking hot path: serial log_ei vs batch score-table argmax".into(),
         trials: TRIALS,
         pools,
     };
-    let path = repo_root().join("BENCH_selection.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serialize"),
-    )
-    .expect("write BENCH_selection.json");
-    println!("wrote {}", path.display());
+    write_bench_json("BENCH_selection.json", &report);
     println!("\n{}", registry.render_summary());
 }

@@ -25,6 +25,63 @@ pub fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Host identity stamped into every `BENCH_*.json`, so speedup and
+/// latency numbers are interpretable across machines and CI runners.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct HostMeta {
+    /// Logical CPU count visible to this process.
+    pub logical_cores: usize,
+    /// `rustc --version` of the toolchain that built the bench.
+    pub rustc: String,
+    /// Effective rayon pool width for vectorized sweeps (after
+    /// [`pin_threads`]; equals `logical_cores` when unpinned).
+    pub rayon_threads: usize,
+}
+
+/// Collects the host metadata for a bench report.
+pub fn host_meta() -> HostMeta {
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    HostMeta {
+        logical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rustc,
+        rayon_threads: rayon::current_num_threads(),
+    }
+}
+
+/// Pins the global rayon pool from `HIPERBOT_THREADS` (when set), so BENCH
+/// numbers stop depending on the runner's ambient core count. Call once at
+/// the top of every bench `main`, before any parallel work.
+pub fn pin_threads() {
+    if let Ok(n) = std::env::var("HIPERBOT_THREADS") {
+        if n.parse::<usize>().map(|n| n >= 1).unwrap_or(false) {
+            std::env::set_var("RAYON_NUM_THREADS", n);
+        } else {
+            eprintln!("warning: ignoring HIPERBOT_THREADS={n} (not a positive integer)");
+        }
+    }
+}
+
+/// The shared `BENCH_*.json` writer: serializes `report` (whose struct
+/// carries a [`HostMeta`] field) pretty-printed to `<repo root>/<name>`
+/// and echoes the path.
+pub fn write_bench_json<T: serde::Serialize>(name: &str, report: &T) {
+    let path = repo_root().join(name);
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(report).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {name}: {e}"));
+    println!("wrote {}", path.display());
+}
+
 fn env_reps(var: &str, default: usize) -> usize {
     std::env::var(var)
         .ok()

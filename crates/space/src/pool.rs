@@ -124,7 +124,7 @@ impl PoolEncoding {
 }
 
 /// A fixed-length bitset over pool positions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolMask {
     words: Vec<u64>,
     len: usize,
